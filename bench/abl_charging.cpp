@@ -1,0 +1,117 @@
+// Extension study: first-price (the paper's rule) vs second-price (the
+// paper's declared future work, implemented in core::ChargingRule).
+//
+// Two measurements:
+//   1. Revenue under both rules on identical worlds.
+//   2. A bid-shading experiment: one bidder's expected utility
+//      (value - charge when winning) as it declares a shaded fraction of
+//      its true value.  Under first price, shading pays — the utility
+//      curve peaks below 1.0; under second price the truthful
+//      declaration is (weakly) optimal, which is the dominant-strategy
+//      property the paper wants.
+#include "auction/plain_auction.h"
+#include "bench_util.h"
+#include "core/lppa_auction.h"
+
+using namespace lppa;
+
+namespace {
+
+// Expected utility of user 0 when declaring `declared` while valuing the
+// channel at `value`, against a fixed field of rivals, under `rule`.
+double shading_utility(auction::Money value, auction::Money declared,
+                       core::ChargingRule rule, std::size_t rounds) {
+  double utility = 0.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    Rng world(9000 + round);
+    std::vector<auction::SuLocation> locs;
+    std::vector<auction::BidVector> bids;
+    // User 0 plus five rivals, all conflicting (single winner).
+    for (int i = 0; i < 6; ++i) locs.push_back({10, 10});
+    bids.push_back({declared});
+    for (int i = 1; i < 6; ++i) {
+      bids.push_back({static_cast<auction::Money>(world.below(13))});
+    }
+
+    core::LppaConfig cfg;
+    cfg.num_channels = 1;
+    cfg.lambda = 100;
+    cfg.coord_width = 10;
+    cfg.bid = core::PpbsBidConfig::advanced(
+        15, 3, 4, core::ZeroDisguisePolicy::none(15));
+    cfg.charging_rule = rule;
+    core::LppaAuction engine(cfg, 31 + round);
+    Rng rng(100 + round);
+    const auto outcome = engine.run(locs, bids, rng);
+    for (const auto& award : outcome.outcome.awards) {
+      if (award.user == 0 && award.valid) {
+        utility += static_cast<double>(value) -
+                   static_cast<double>(award.charge);
+      }
+    }
+  }
+  return utility / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t rounds = args.full ? 400 : 150;
+
+  {
+    // Revenue comparison on a realistic world.
+    auto cfg = bench::scenario_config(args, /*area_id=*/3);
+    cfg.fcc.num_channels = 24;
+    cfg.num_users = 50;
+    sim::Scenario scenario(cfg);
+    Table table({"rule", "revenue", "valid_winners"});
+    for (auto rule : {core::ChargingRule::kFirstPrice,
+                      core::ChargingRule::kSecondPrice}) {
+      core::LppaConfig lcfg;
+      lcfg.num_channels = cfg.fcc.num_channels;
+      lcfg.lambda = cfg.lambda_m;
+      lcfg.coord_width = scenario.coord_width();
+      lcfg.bid = core::PpbsBidConfig::advanced(
+          cfg.bmax, 3, 4, core::ZeroDisguisePolicy::linear(cfg.bmax, 0.3));
+      lcfg.charging_rule = rule;
+      core::LppaAuction engine(lcfg, 17);
+      Rng rng(3);
+      const auto outcome =
+          engine.run(scenario.locations(), scenario.bids(), rng);
+      table.add_row({rule == core::ChargingRule::kFirstPrice ? "first-price"
+                                                             : "second-price",
+                     Table::cell(outcome.outcome.winning_bid_sum()),
+                     Table::cell(outcome.outcome.satisfied_winners())});
+    }
+    bench::emit(table, args, "Charging rules — revenue on one world");
+  }
+
+  {
+    // Shading experiment: true value 12, declared 4..15.
+    const auction::Money value = 12;
+    Table table({"declared_bid", "utility_first_price",
+                 "utility_second_price"});
+    for (auction::Money declared = 4; declared <= 15; ++declared) {
+      table.add_row(
+          {Table::cell(static_cast<long long>(declared)),
+           Table::cell(shading_utility(value, declared,
+                                       core::ChargingRule::kFirstPrice,
+                                       rounds),
+                       3),
+           Table::cell(shading_utility(value, declared,
+                                       core::ChargingRule::kSecondPrice,
+                                       rounds),
+                       3)});
+    }
+    bench::emit(table, args,
+                "Bid shading — expected utility of a bidder valuing 12");
+    std::cout
+        << "Expected: the first-price utility peaks at a declared bid\n"
+           "strictly below the true value 12 (shading pays — the rule is\n"
+           "not truthful, as the paper concedes); the second-price\n"
+           "utility is maximised at the truthful declaration 12, and\n"
+           "over-bidding past 12 cannot help.\n";
+  }
+  return 0;
+}

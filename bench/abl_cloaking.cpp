@@ -1,0 +1,62 @@
+// Baseline comparison: spatial cloaking vs LPPA.
+//
+// Cloaking (report a coarse block, keep bids plaintext) caps privacy at
+// the cloak size — the bids still feed BCM/BPM — and costs spectrum
+// reuse through the conservative conflict graph.  LPPA keeps the
+// conflict graph exact while hiding the bids.  The rows below trace the
+// cloaking frontier; the LPPA line is the comparison point.
+#include "bench_util.h"
+#include "sim/cloaking.h"
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  auto cfg = bench::scenario_config(args, /*area_id=*/3);
+  cfg.fcc.num_channels = args.full ? 40 : 24;
+  cfg.num_users = args.full ? 80 : 50;
+  // A larger interference radius makes the reuse cost of conservative
+  // conflicts visible at realistic cloak sizes.
+  cfg.lambda_m = 3000;
+  sim::Scenario scenario(cfg);
+
+  const std::vector<std::size_t> cloak_sizes = {1, 2, 5, 10, 20, 40};
+
+  Table table({"defence", "attack_cells", "attack_fail", "attack_err_km",
+               "revenue_ratio", "conflict_inflation"});
+  for (std::size_t cloak : cloak_sizes) {
+    const auto point = sim::run_cloaking_point(scenario, cloak, 77);
+    table.add_row({"cloak " + std::to_string(cloak) + "x" +
+                       std::to_string(cloak),
+                   Table::cell(point.privacy.mean_possible_cells, 1),
+                   Table::cell(point.privacy.failure_rate, 3),
+                   Table::cell(point.privacy.mean_incorrectness_m / 1000.0, 2),
+                   Table::cell(point.revenue_ratio, 3),
+                   Table::cell(point.conflict_inflation, 2)});
+  }
+
+  // The LPPA comparison point: exact conflicts (ratio vs plain computed
+  // by the fig5e machinery) and the ranking attack at 50 %.
+  {
+    sim::DefenseOptions opts;
+    opts.replace_prob = 0.5;
+    opts.top_fraction = 0.5;
+    const auto defense = sim::run_defense_point(scenario, opts, 99);
+    sim::Scenario perf_scenario(cfg);
+    const auto perf =
+        sim::run_performance_point(perf_scenario, 0.5, 3, 4, 2, 777);
+    table.add_row({"LPPA (replace 0.5)",
+                   Table::cell(defense.lppa.mean_possible_cells, 1),
+                   Table::cell(defense.lppa.failure_rate, 3),
+                   Table::cell(defense.lppa.mean_incorrectness_m / 1000.0, 2),
+                   Table::cell(perf.bid_sum_ratio, 3), "1.00"});
+  }
+  bench::emit(table, args, "Baseline — spatial cloaking vs LPPA");
+  std::cout
+      << "Expected: cloaking buys privacy only as fast as it destroys\n"
+         "reuse (conflict inflation grows with the block), and its attack\n"
+         "failure rate stays ~0 because plaintext bids still feed\n"
+         "BCM/BPM; LPPA reaches far higher attacker failure at a revenue\n"
+         "cost no worse than mid-size cloaks, with exact conflicts.\n";
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Ablation of the advanced bid-submission fixes (DESIGN.md's design-choice
+// index): starting from the basic scheme, enable each countermeasure and
+// measure what the curious auctioneer can still extract.
+//
+//   (i)   per-channel keys   -> can the attacker read each user's
+//                               available-channel support directly?
+//   (ii)  zero disguise      -> how well does per-column ranking recover
+//                               true availability?
+//   (iii) offset rd          -> frequency analysis of the zero ciphertext
+//   (v)   range padding      -> cardinality analysis of range covers
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "crypto/sealed_box.h"
+
+using namespace lppa;
+
+namespace {
+
+// Fraction of users whose full available-channel set the attacker can
+// read by comparing the user's own bids pairwise (possible only when all
+// channels share one HMAC key): with a shared key the attacker orders a
+// user's bids, calls everything above the minimum "available" — the §IV-C
+// "first phase" leak.
+double direct_support_leak(const sim::Scenario& scenario,
+                           const core::PpbsBidConfig& cfg, std::uint64_t seed) {
+  const core::TrustedThirdParty ttp(cfg, seed);
+  const auto subs =
+      sim::make_submissions(scenario, cfg, ttp.su_keys(), seed + 1);
+  std::size_t exact = 0;
+  for (std::size_t u = 0; u < subs.size(); ++u) {
+    const auto& channels = subs[u].channels;
+    // The attacker finds the column-minimum via masked comparisons, then
+    // marks every strictly-greater channel as available.
+    std::vector<std::size_t> support;
+    for (std::size_t r = 0; r < channels.size(); ++r) {
+      bool is_min = true;
+      for (std::size_t s = 0; s < channels.size(); ++s) {
+        if (s != r && !core::encrypted_ge(channels[s], channels[r])) {
+          is_min = false;
+          break;
+        }
+      }
+      if (!is_min) support.push_back(r);
+    }
+    // Ground truth support (positive bids).
+    std::vector<std::size_t> truth;
+    const auto& bids = scenario.users()[u].bids;
+    for (std::size_t r = 0; r < bids.size(); ++r) {
+      if (bids[r] > 0) truth.push_back(r);
+    }
+    if (support == truth) ++exact;
+  }
+  return static_cast<double>(exact) / static_cast<double>(subs.size());
+}
+
+// Mean Jaccard similarity between the attacker's rank-inferred
+// availability sets and the truth — measures fix (ii).
+double rank_inference_quality(const sim::Scenario& scenario,
+                              const core::PpbsBidConfig& cfg,
+                              std::uint64_t seed) {
+  const core::TrustedThirdParty ttp(cfg, seed);
+  const auto subs =
+      sim::make_submissions(scenario, cfg, ttp.su_keys(), seed + 1);
+  const core::LppaAdversary adversary(scenario.dataset());
+  const auto inferred = adversary.infer_available_sets(subs, 0.5);
+  double total = 0.0;
+  for (std::size_t u = 0; u < subs.size(); ++u) {
+    std::set<std::size_t> truth;
+    const auto& bids = scenario.users()[u].bids;
+    for (std::size_t r = 0; r < bids.size(); ++r) {
+      if (bids[r] > 0) truth.insert(r);
+    }
+    const std::set<std::size_t> guess(inferred[u].begin(), inferred[u].end());
+    std::size_t inter = 0;
+    for (std::size_t r : guess) inter += truth.count(r);
+    const std::size_t uni = truth.size() + guess.size() - inter;
+    total += uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+  }
+  return total / static_cast<double>(subs.size());
+}
+
+// Can the attacker isolate the zero price by ciphertext frequency?  Count
+// the share of all submitted value-families that collide with another
+// identical family (without rd+cr, all zeros of a column encrypt alike).
+double ciphertext_collision_rate(const sim::Scenario& scenario,
+                                 const core::PpbsBidConfig& cfg,
+                                 std::uint64_t seed) {
+  const core::TrustedThirdParty ttp(cfg, seed);
+  const auto subs =
+      sim::make_submissions(scenario, cfg, ttp.su_keys(), seed + 1);
+  std::size_t colliding = 0, total = 0;
+  const std::size_t k = subs.front().channels.size();
+  for (std::size_t r = 0; r < k; ++r) {
+    std::map<std::string, std::size_t> freq;
+    for (const auto& sub : subs) {
+      std::string key;
+      for (const auto& d : sub.channels[r].value_family.digests()) {
+        key += d.hex();
+      }
+      ++freq[key];
+    }
+    for (const auto& [key, count] : freq) {
+      total += count;
+      if (count > 1) colliding += count;
+    }
+  }
+  return static_cast<double>(colliding) / static_cast<double>(total);
+}
+
+// Spread of range-cover cardinalities across submissions (0 once padded).
+std::size_t range_cardinality_spread(const sim::Scenario& scenario,
+                                     const core::PpbsBidConfig& cfg,
+                                     std::uint64_t seed) {
+  const core::TrustedThirdParty ttp(cfg, seed);
+  const auto subs =
+      sim::make_submissions(scenario, cfg, ttp.su_keys(), seed + 1);
+  std::size_t lo = ~std::size_t{0}, hi = 0;
+  for (const auto& sub : subs) {
+    for (const auto& ch : sub.channels) {
+      lo = std::min(lo, ch.range_set.size());
+      hi = std::max(hi, ch.range_set.size());
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  auto cfg = bench::scenario_config(args, /*area_id=*/3);
+  cfg.fcc.num_channels = args.full ? 40 : 20;
+  cfg.num_users = args.full ? 60 : 30;
+  const sim::Scenario scenario(cfg);
+  const auction::Money bmax = cfg.bmax;
+
+  auto variant = [&](bool per_channel_keys, bool pad, auction::Money rd,
+                     std::uint64_t cr, double replace) {
+    core::PpbsBidConfig c;
+    c.enc = core::BidEncodingParams{bmax, rd, cr};
+    c.policy = core::ZeroDisguisePolicy::uniform(bmax, replace);
+    c.per_channel_keys = per_channel_keys;
+    c.pad_range_sets = pad;
+    return c;
+  };
+
+  Table table({"variant", "support_leak", "rank_jaccard",
+               "ct_collision", "range_card_spread"});
+  struct Row {
+    std::string name;
+    core::PpbsBidConfig cfg;
+  };
+  const std::vector<Row> rows = {
+      {"basic (no fixes)", variant(false, false, 0, 1, 0.0)},
+      {"+ per-channel keys (i)", variant(true, false, 0, 1, 0.0)},
+      {"+ rd offset + cr map (iii,iv)", variant(true, false, 3, 4, 0.0)},
+      {"+ wider rd*cr (zero band 289)", variant(true, false, 16, 17, 0.0)},
+      {"+ range padding (v)", variant(true, true, 3, 4, 0.0)},
+      {"+ zero disguise 0.5 (ii) = full", variant(true, true, 3, 4, 0.5)},
+      {"full, disguise 1.0", variant(true, true, 3, 4, 1.0)},
+  };
+  for (const auto& row : rows) {
+    table.add_row(
+        {row.name,
+         Table::cell(direct_support_leak(scenario, row.cfg, 11), 3),
+         Table::cell(rank_inference_quality(scenario, row.cfg, 13), 3),
+         Table::cell(ciphertext_collision_rate(scenario, row.cfg, 17), 3),
+         Table::cell(range_cardinality_spread(scenario, row.cfg, 19))});
+  }
+  bench::emit(table, args, "Ablation — what each advanced-scheme fix closes");
+  std::cout
+      << "Expected: the basic scheme leaks full bid support (column 2 high,\n"
+         "ciphertext collisions high, cardinality spread > 0); per-channel\n"
+         "keys kill the direct support read; rd+cr kill ciphertext\n"
+         "collisions; padding zeroes the cardinality spread; zero-disguise\n"
+         "degrades the rank-inference Jaccard toward noise.\n";
+  return 0;
+}

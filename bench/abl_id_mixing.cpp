@@ -1,0 +1,44 @@
+// Ablation for §V-C.3: repeated participation vs ID mixing.
+//
+// A bidder whose position is fixed participates in R successive
+// auctions.  Without fresh pseudonyms the attacker majority-votes over
+// the rounds' inferred availability sets — genuine channels recur while
+// disguised zeros are per-round noise — and the zero-disguise defence
+// erodes.  With ID mixing the attacker is stuck at single-round quality.
+#include "bench_util.h"
+#include "sim/multi_round.h"
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  auto cfg = bench::scenario_config(args, /*area_id=*/3);
+  cfg.fcc.num_channels = args.full ? 60 : 30;
+  cfg.num_users = args.full ? 60 : 40;
+  sim::Scenario scenario(cfg);
+
+  const std::vector<std::size_t> round_counts = {1, 2, 4, 8, 16};
+
+  Table table({"rounds", "mix_ids", "failure_rate", "mean_cells",
+               "channels_used"});
+  for (bool mix : {false, true}) {
+    for (std::size_t rounds : round_counts) {
+      sim::MultiRoundConfig mrc;
+      mrc.rounds = rounds;
+      mrc.mix_ids = mix;
+      mrc.replace_prob = 0.5;
+      const auto result = sim::run_multi_round(scenario, mrc, 5150);
+      table.add_row({Table::cell(rounds), mix ? "yes" : "no",
+                     Table::cell(result.metrics.failure_rate, 3),
+                     Table::cell(result.metrics.mean_possible_cells, 1),
+                     Table::cell(result.mean_channels_used, 1)});
+    }
+  }
+  bench::emit(table, args,
+              "Ablation — repeated participation vs ID mixing (§V-C.3)");
+  std::cout << "Expected: without mixing, more rounds let majority voting\n"
+               "strip the disguise (failure falls, candidate sets shrink);\n"
+               "with mixing, attack quality stays at single-round level\n"
+               "regardless of rounds.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Baseline comparator: the Paillier-based secure auction of the paper's
+// [7] (Pan et al., IEEE JSAC'11) vs LPPA's hash-based masking.
+//
+// The paper dismisses [7] as requiring "a large number of communication
+// costs, which does not fit an efficient auction mechanism".  We measure
+// a charitable floor for [7]: each bid is one Paillier ciphertext, and
+// each masked comparison costs one homomorphic subtraction + blinding +
+// one decryption round-trip to the distributed-auctioneer coalition
+// (2 ciphertexts on the wire).  LPPA's comparison is one local sorted-set
+// intersection with zero online communication.
+//
+// Paillier runs at toy key sizes (n^2 must fit 64 bits); the table
+// reports the measured scaling across sizes next to the wire costs at
+// the 2048-bit modulus [7] actually needs (ciphertext = 4096 bits).
+#include <chrono>
+
+#include "bench_util.h"
+#include "crypto/paillier.h"
+
+using namespace lppa;
+
+namespace {
+
+template <typename Fn>
+double time_per_op_us(std::size_t iterations, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) fn(i);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         static_cast<double>(iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t iters = args.full ? 20000 : 5000;
+  Rng rng(7);
+
+  {
+    Table table({"prime_bits", "ct_bits", "encrypt_us", "decrypt_us",
+                 "compare_us(hom+dec)"});
+    for (int bits : {8, 12, 16}) {
+      const auto keys = crypto::paillier_keygen(bits, rng);
+      std::uint64_t sink = 0;
+      const double enc_us = time_per_op_us(iters, [&](std::size_t i) {
+        sink ^= keys.pub.encrypt(i % keys.pub.n, rng);
+      });
+      std::vector<std::uint64_t> cts;
+      for (int i = 0; i < 64; ++i) {
+        cts.push_back(keys.pub.encrypt(static_cast<std::uint64_t>(i), rng));
+      }
+      const double dec_us = time_per_op_us(iters, [&](std::size_t i) {
+        sink ^= keys.priv.decrypt(cts[i % cts.size()], keys.pub);
+      });
+      const double cmp_us = time_per_op_us(iters, [&](std::size_t i) {
+        // Hom. subtraction (a * b^(n-1)), blinding, then a decryption.
+        const auto& a = cts[i % cts.size()];
+        const auto& b = cts[(i + 1) % cts.size()];
+        const std::uint64_t diff =
+            keys.pub.add(a, keys.pub.scale(b, keys.pub.n - 1));
+        const std::uint64_t blinded =
+            keys.pub.scale(diff, 1 + (i % 97));
+        sink ^= keys.priv.decrypt(blinded, keys.pub);
+      });
+      table.add_row({Table::cell(bits),
+                     Table::cell(keys.pub.ciphertext_bits()),
+                     Table::cell(enc_us, 2), Table::cell(dec_us, 2),
+                     Table::cell(cmp_us, 2)});
+      if (sink == 0xdeadbeef) std::cout << "";  // keep the sink alive
+    }
+    bench::emit(table, args,
+                "Paillier primitive costs across toy key sizes");
+  }
+
+  {
+    // Column-max search over N bids: LPPA vs the Paillier floor.
+    Rng key_rng(11);
+    const auto gb = crypto::SecretKey::generate(key_rng);
+    const auto gc = crypto::SecretKey::generate(key_rng);
+    const auto cfg = core::PpbsBidConfig::advanced(
+        15, 3, 4, core::ZeroDisguisePolicy::none(15));
+    const core::BidSubmitter submitter(cfg, gb, gc);
+    const auto keys = crypto::paillier_keygen(16, rng);
+
+    Table table({"N", "lppa_max_us", "lppa_online_bytes",
+                 "paillier_max_us", "paillier_online_bytes_2048bit"});
+    std::size_t sink2 = 0;
+    for (std::size_t n : {8u, 32u, 128u}) {
+      std::vector<core::ChannelBidSubmission> masked;
+      std::vector<std::uint64_t> cts;
+      for (std::size_t i = 0; i < n; ++i) {
+        masked.push_back(submitter.encode_bid(0, rng.below(16), rng));
+        cts.push_back(keys.pub.encrypt(rng.below(16), rng));
+      }
+      const double lppa_us = time_per_op_us(200, [&](std::size_t) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+          if (!core::encrypted_ge(masked[best], masked[i])) best = i;
+        }
+        sink2 += best;
+      });
+      const double paillier_us = time_per_op_us(200, [&](std::size_t) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+          const std::uint64_t diff = keys.pub.add(
+              cts[best], keys.pub.scale(cts[i], keys.pub.n - 1));
+          const std::uint64_t blinded = keys.pub.scale(diff, 13);
+          // The coalition's decryption decides the comparison.
+          const std::uint64_t plain = keys.priv.decrypt(blinded, keys.pub);
+          if (plain > keys.pub.n / 2) best = i;  // negative => i greater
+        }
+        sink2 += best;
+      });
+      // Online bytes: LPPA max search is local (0); the Paillier floor
+      // ships 2 ciphertexts per comparison at [7]'s 2048-bit modulus.
+      const std::size_t paillier_bytes = (n - 1) * 2 * (4096 / 8);
+      if (sink2 == 0xdeadbeef) std::cout << "";
+      table.add_row({Table::cell(n), Table::cell(lppa_us, 1), "0",
+                     Table::cell(paillier_us, 1),
+                     Table::cell(paillier_bytes)});
+    }
+    bench::emit(table, args,
+                "Column max search — LPPA intersections vs Paillier floor");
+    std::cout
+        << "Expected: LPPA's max search is local and linear with cheap\n"
+           "digest intersections; the Paillier route pays a decryption\n"
+           "round-trip per comparison (already visible at toy key sizes;\n"
+           "modexp grows ~cubically in modulus bits toward [7]'s 2048)\n"
+           "plus ~1 KiB of coalition traffic per comparison — the paper's\n"
+           "\"large communication costs\" claim, quantified.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: what do sensing errors do to the attacks, before any
+// deliberate defence?
+//
+// The BCM attack rests on "an SU only bids on channels available at its
+// position".  With database-driven availability that is exact; with
+// energy-detection sensing, misses and false alarms break it — an SU
+// that bids on a protected channel poisons its own BCM intersection the
+// same way a disguised zero would.  This bench sweeps the sensing noise
+// and reports attack quality plus the interference exposure (bids on
+// protected channels) the operator pays for that accidental privacy.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  const std::vector<double> sigmas = {0.0, 1.0, 2.0, 4.0, 8.0};
+
+  Table table({"sigma_db", "bcm_cells", "bcm_failure", "bpm_failure",
+               "interference_bids_%"});
+  for (double sigma : sigmas) {
+    auto cfg = bench::scenario_config(args, /*area_id=*/4);
+    cfg.fcc.num_channels = args.full ? 60 : 30;
+    cfg.num_users = 60;
+    cfg.initial_phase = sim::InitialPhase::kSpectrumSensing;
+    cfg.sensing.measurement_sigma_db = sigma;
+    cfg.sensing.averaging = 2;
+    const sim::Scenario scenario(cfg);
+
+    const auto point =
+        sim::run_attack_point(scenario, cfg.fcc.num_channels, 0.5, 250);
+
+    std::size_t interference = 0, positive = 0;
+    for (const auto& su : scenario.users()) {
+      const std::size_t cell = scenario.dataset().grid().index(su.cell);
+      for (std::size_t r = 0; r < su.bids.size(); ++r) {
+        if (su.bids[r] == 0) continue;
+        ++positive;
+        if (!scenario.dataset().availability(r).contains(cell)) {
+          ++interference;
+        }
+      }
+    }
+    table.add_row(
+        {Table::cell(sigma, 1), Table::cell(point.bcm.mean_possible_cells, 1),
+         Table::cell(point.bcm.failure_rate, 3),
+         Table::cell(point.bpm.failure_rate, 3),
+         Table::cell(positive ? 100.0 * interference / positive : 0.0, 2)});
+  }
+  bench::emit(table, args,
+              "Ablation — sensing errors vs the attacks (no defence)");
+  std::cout << "Expected: with exact sensing the attacks behave as in\n"
+               "Fig. 4; rising measurement noise makes SUs bid on\n"
+               "protected channels, which empties BCM intersections\n"
+               "(failure climbs) — accidental privacy paid for in\n"
+               "interference exposure (last column).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every binary accepts "--full" to run at the paper's scale (100x100
+// cells, 129 channels, 100+ users); the default profile shrinks the
+// workload so the whole bench suite finishes in a couple of minutes while
+// preserving every qualitative shape.  "--csv" switches the output to
+// machine-readable CSV.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "sim/experiments.h"
+
+namespace lppa::bench {
+
+struct BenchArgs {
+  bool full = false;
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+      else if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
+      else if (std::strcmp(argv[i], "--help") == 0) {
+        std::cout << "usage: " << argv[0] << " [--full] [--csv]\n"
+                  << "  --full  paper-scale workload (slower)\n"
+                  << "  --csv   machine-readable output\n";
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+/// The paper's experimental world scaled by the profile.
+inline sim::ScenarioConfig scenario_config(const BenchArgs& args, int area_id,
+                                           std::uint64_t seed = 20130708) {
+  sim::ScenarioConfig cfg;
+  cfg.area_id = area_id;
+  cfg.seed = seed;
+  if (args.full) {
+    cfg.fcc.rows = 100;
+    cfg.fcc.cols = 100;
+    cfg.fcc.num_channels = 129;
+    cfg.num_users = 100;
+  } else {
+    cfg.fcc.rows = 100;
+    cfg.fcc.cols = 100;
+    cfg.fcc.num_channels = 60;
+    cfg.num_users = 60;
+  }
+  return cfg;
+}
+
+inline void emit(const Table& table, const BenchArgs& args,
+                 const std::string& title) {
+  std::cout << "== " << title << " ==\n";
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace lppa::bench

@@ -1,0 +1,35 @@
+// Fig. 4(c): BCM + BPM results across the four areas under the
+// full-channel auction.  Terrain drives the differences: rural areas
+// (crisp coverage edges) are attacked more precisely than urban ones
+// (ragged shadowed coverage), and one dense-metro area produces very
+// large BCM outputs.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  const std::vector<double> fractions = {1.0, 0.5, 0.25, 0.125};
+
+  Table table({"area", "terrain", "bpm_fraction", "bcm_cells", "bpm_cells",
+               "bpm_success"});
+  for (int area = 1; area <= 4; ++area) {
+    const auto cfg = bench::scenario_config(args, area);
+    const sim::Scenario scenario(cfg);
+    for (double f : fractions) {
+      const auto point =
+          sim::run_attack_point(scenario, cfg.fcc.num_channels, f, 250);
+      table.add_row({Table::cell(area),
+                     geo::area_preset(area).name,
+                     Table::cell(f, 3),
+                     Table::cell(point.bcm.mean_possible_cells, 1),
+                     Table::cell(point.bpm.mean_possible_cells, 1),
+                     Table::cell(1.0 - point.bpm.failure_rate, 3)});
+    }
+  }
+  bench::emit(table, args, "Fig 4(c) — BCM and BPM across Areas 1-4");
+  std::cout << "Expected shape: rural/exurban areas (3, 4) geo-locate\n"
+               "users more tightly than the urban presets (1, 2); the\n"
+               "dense-metro preset (2) yields the largest BCM sets.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared driver for Fig. 5(a)-(d): one defence sweep over the
+// zero-replace probability (1 - p0) and the attacker's top-percentage,
+// in Area 3, with the unprotected BCM/BPM baselines alongside.  Each
+// figure binary selects one metric column.
+#pragma once
+
+#include <functional>
+
+#include "bench_util.h"
+
+namespace lppa::bench {
+
+struct DefenseFigure {
+  std::string title;
+  std::string column;
+  std::string expectation;
+  std::function<double(const core::AggregateMetrics&)> metric;
+};
+
+inline int run_defense_figure(int argc, char** argv,
+                              const DefenseFigure& figure) {
+  const auto args = BenchArgs::parse(argc, argv);
+
+  const auto cfg = scenario_config(args, /*area_id=*/3);
+  sim::Scenario scenario(cfg);
+
+  const std::vector<double> replace_probs = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                             0.6, 0.7, 0.8, 0.9, 1.0};
+  const std::vector<double> fractions = {0.25, 0.5, 0.66, 0.8, 1.0};
+
+  sim::DefenseOptions base;
+  // Average over resampled user populations (smoother curves at --full).
+  const std::size_t repetitions = args.full ? 3 : 2;
+  const auto sweep = sim::run_defense_sweep_repeated(
+      scenario, repetitions, replace_probs, fractions, base, 424242);
+
+  std::cout << "baseline (no LPPA):  BCM " << figure.column << " = "
+            << figure.metric(sweep.plain_bcm) << ",  BPM " << figure.column
+            << " = " << figure.metric(sweep.plain_bpm) << "\n\n";
+
+  Table table({"replace_prob", "top25%", "top50%", "top66%", "top80%",
+               "top100%"});
+  for (double replace : replace_probs) {
+    std::vector<std::string> row = {Table::cell(replace, 2)};
+    for (double fraction : fractions) {
+      for (const auto& point : sweep.points) {
+        if (point.replace_prob == replace && point.top_fraction == fraction) {
+          row.push_back(Table::cell(figure.metric(point.lppa), 3));
+        }
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  emit(table, args, figure.title);
+  std::cout << figure.expectation << "\n";
+  return 0;
+}
+
+}  // namespace lppa::bench

@@ -1,0 +1,19 @@
+// Fig. 5(a): attacker uncertainty (entropy of the posterior over the
+// candidate set, all attacked users) vs the zero-replace probability,
+// one curve per attacker top-percentage, with the no-LPPA baselines.
+#include "fig5_defense.h"
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  return bench::run_defense_figure(
+      argc, argv,
+      bench::DefenseFigure{
+          "Fig 5(a) — uncertainty (nats) under LPPA, Area 3",
+          "uncertainty",
+          "Expected shape: LPPA keeps uncertainty at or above the BCM\n"
+          "baseline; larger attacker percentages lower it, rising\n"
+          "replace probability eventually inflates it.",
+          [](const core::AggregateMetrics& m) {
+            return m.mean_uncertainty_nats;
+          }});
+}

@@ -1,0 +1,18 @@
+// Fig. 5(b): attacker incorrectness (expected distance between guess and
+// truth, km, all attacked users) vs the zero-replace probability.
+#include "fig5_defense.h"
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  return bench::run_defense_figure(
+      argc, argv,
+      bench::DefenseFigure{
+          "Fig 5(b) — incorrectness (km) under LPPA, Area 3",
+          "incorrectness_km",
+          "Expected shape: incorrectness stays roughly flat across the\n"
+          "replace probability (the paper reports ~constant curves) and\n"
+          "sits above the BPM baseline.",
+          [](const core::AggregateMetrics& m) {
+            return m.mean_incorrectness_m / 1000.0;
+          }});
+}

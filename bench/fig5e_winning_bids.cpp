@@ -1,0 +1,39 @@
+// Fig. 5(e): reduction of the winning-bid sum under LPPA relative to the
+// plain auction, vs the zero-replace probability, for several population
+// sizes.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  const std::vector<double> replace_probs = {0.1, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<std::size_t> populations =
+      args.full ? std::vector<std::size_t>{100, 200, 300}
+                : std::vector<std::size_t>{40, 80, 120};
+  const std::size_t rounds = args.full ? 3 : 2;
+
+  Table table({"replace_prob", "users", "plain_sum", "lppa_sum", "ratio",
+               "reduction_%"});
+  for (std::size_t n : populations) {
+    auto cfg = bench::scenario_config(args, /*area_id=*/3);
+    if (!args.full) cfg.fcc.num_channels = 40;  // keep the quick run quick
+    cfg.num_users = n;
+    sim::Scenario scenario(cfg);
+    for (double replace : replace_probs) {
+      const auto point =
+          sim::run_performance_point(scenario, replace, 3, 4, rounds, 777);
+      table.add_row({Table::cell(replace, 2), Table::cell(n),
+                     Table::cell(point.plain_bid_sum, 1),
+                     Table::cell(point.lppa_bid_sum, 1),
+                     Table::cell(point.bid_sum_ratio, 3),
+                     Table::cell(100.0 * (1.0 - point.bid_sum_ratio), 1)});
+    }
+  }
+  bench::emit(table, args,
+              "Fig 5(e) — winning-bid-sum under LPPA vs plain auction");
+  std::cout << "Expected shape: ratio falls from ~0.95 toward ~0.7 as the\n"
+               "replace probability rises to 1; the population size has\n"
+               "little effect (the protocol scales).\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 5(f): user satisfaction (fraction of interested bidders holding a
+// validly-charged channel) under LPPA vs the plain auction.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  const std::vector<double> replace_probs = {0.1, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<std::size_t> populations =
+      args.full ? std::vector<std::size_t>{100, 200, 300}
+                : std::vector<std::size_t>{40, 80, 120};
+  const std::size_t rounds = args.full ? 3 : 2;
+
+  Table table({"replace_prob", "users", "plain_satisfaction",
+               "lppa_satisfaction", "ratio"});
+  for (std::size_t n : populations) {
+    auto cfg = bench::scenario_config(args, /*area_id=*/3);
+    if (!args.full) cfg.fcc.num_channels = 40;
+    cfg.num_users = n;
+    sim::Scenario scenario(cfg);
+    for (double replace : replace_probs) {
+      const auto point =
+          sim::run_performance_point(scenario, replace, 3, 4, rounds, 888);
+      table.add_row({Table::cell(replace, 2), Table::cell(n),
+                     Table::cell(point.plain_satisfaction, 3),
+                     Table::cell(point.lppa_satisfaction, 3),
+                     Table::cell(point.satisfaction_ratio, 3)});
+    }
+  }
+  bench::emit(table, args,
+              "Fig 5(f) — user satisfaction under LPPA vs plain auction");
+  std::cout << "Expected shape: satisfaction ratio declines from ~0.95\n"
+               "toward ~0.7 as the replace probability reaches 1, roughly\n"
+               "independent of the population size.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// attack_demo: walks one victim through the paper's two attacks.
+//
+// A secondary user sitting in a known cell submits truthful plaintext
+// bids; the curious auctioneer first runs BCM (intersecting availability
+// regions of every positively-bid channel) and then BPM (ranking the
+// surviving cells by bid-to-quality distance dq).  The demo prints how
+// each stage shrinks the victim's anonymity.
+//
+// Build & run:  cmake --build build && ./build/examples/attack_demo
+#include <iomanip>
+#include <iostream>
+
+#include "core/attack_metrics.h"
+#include "core/bcm.h"
+#include "core/bpm.h"
+#include "geo/render.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace lppa;
+
+  sim::ScenarioConfig cfg;
+  cfg.area_id = 4;  // rural: crisp coverage boundaries, strongest attack
+  cfg.fcc.num_channels = 60;
+  cfg.num_users = 1;
+  cfg.seed = 4711;
+  const sim::Scenario scenario(cfg);
+  const auto& victim = scenario.users().front();
+  const auto& dataset = scenario.dataset();
+  const auto& grid = dataset.grid();
+
+  std::cout << "victim's true cell: (" << victim.cell.row << ", "
+            << victim.cell.col << ") of a " << grid.rows() << "x"
+            << grid.cols() << " map (" << grid.cell_count() << " cells)\n";
+
+  std::size_t positive = 0;
+  for (auto b : victim.bids) positive += b > 0 ? 1 : 0;
+  std::cout << "victim bids on " << positive << " of "
+            << victim.bids.size() << " channels\n\n";
+
+  // --- Stage 1: BCM -------------------------------------------------------
+  const core::BcmAttack bcm(dataset);
+  const CellSet possible = bcm.run(victim.bids);
+  const auto bcm_metrics = core::evaluate_attack(
+      core::LocationEstimate::uniform_over(possible), grid, victim.cell);
+  geo::RenderOptions map_opts;
+  map_opts.block = 4;  // 100x100 cells -> 25x25 characters
+  std::cout << "BCM candidate region (#), victim (X), 1 char = 3x3 km:\n"
+            << geo::render_ascii_map(grid, possible, &victim.cell, map_opts)
+            << "\n";
+
+  std::cout << "BCM attack (Algorithm 1):\n"
+            << "  possible cells: " << grid.cell_count() << " -> "
+            << possible.count() << "\n"
+            << "  uncertainty: " << std::fixed << std::setprecision(2)
+            << bcm_metrics.uncertainty_nats << " nats, expected error "
+            << bcm_metrics.incorrectness_m / 1000.0 << " km\n"
+            << "  contains the true cell: "
+            << (bcm_metrics.failed ? "no" : "yes") << "\n\n";
+
+  // --- Stage 2: BPM -------------------------------------------------------
+  const core::BpmAttack bpm(dataset);
+  for (double fraction : {0.5, 0.25, 0.1}) {
+    core::BpmOptions opts;
+    opts.keep_fraction = fraction;
+    opts.max_cells = 250;
+    const auto ranked = bpm.run(possible, victim.bids, opts);
+    const auto metrics = core::evaluate_attack(
+        core::LocationEstimate::uniform_over(ranked.cells), grid,
+        victim.cell);
+    std::cout << "BPM attack (Algorithm 2), keep " << fraction * 100
+              << "% of cells:\n"
+              << "  kept " << ranked.cells.size() << " cells, best dq = "
+              << (ranked.dq.empty() ? 0.0 : ranked.dq.front()) << "\n"
+              << "  expected error " << metrics.incorrectness_m / 1000.0
+              << " km, success: " << (metrics.failed ? "no" : "yes") << "\n";
+    if (!ranked.cells.empty()) {
+      const geo::Cell best = grid.cell_at(ranked.cells.front());
+      std::cout << "  top guess: (" << best.row << ", " << best.col
+                << "), " << grid.cell_distance_m(best, victim.cell) / 1000.0
+                << " km from the truth\n";
+    }
+  }
+
+  std::cout << "\nThe tighter the attacker cuts, the closer its top guess\n"
+               "gets — this is the leakage LPPA's masked submissions close.\n";
+  return 0;
+}

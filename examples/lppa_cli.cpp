@@ -1,0 +1,159 @@
+// lppa_cli: a command-line experiment runner over the whole library.
+//
+// Configure a world and a defence from flags, run the attacks with and
+// without LPPA plus the auction performance comparison, and print a
+// compact report.  This is the "one binary to poke at everything" tool
+// for downstream users.
+//
+//   ./build/examples/lppa_cli --area 3 --users 80 --channels 40
+//       --replace 0.5 --fraction 0.5 --seed 7 --second-price
+//
+// Run with --help for the full flag list.
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "sim/experiments.h"
+
+namespace {
+
+struct CliOptions {
+  int area = 3;
+  std::size_t users = 60;
+  std::size_t channels = 40;
+  double replace = 0.5;
+  double fraction = 0.5;
+  std::uint64_t seed = 1;
+  bool second_price = false;
+  bool sensing = false;
+  double sensing_sigma = 2.0;
+};
+
+void print_help() {
+  std::cout <<
+      "lppa_cli — run one LPPA experiment\n"
+      "  --area N          terrain preset 1..4 (default 3)\n"
+      "  --users N         number of secondary users (default 60)\n"
+      "  --channels N      number of auctioned channels (default 40)\n"
+      "  --replace P       zero-replace probability 1-p0 (default 0.5)\n"
+      "  --fraction P      attacker's per-column top fraction (default 0.5)\n"
+      "  --seed N          experiment seed (default 1)\n"
+      "  --second-price    charge winners the column runner-up price\n"
+      "  --sensing [SIGMA] use spectrum sensing for the initial phase\n"
+      "  --help            this text\n";
+}
+
+bool parse(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next_value = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::stod(argv[++i]);
+      return true;
+    };
+    double v = 0;
+    if (flag == "--help") {
+      print_help();
+      return false;
+    } else if (flag == "--area" && next_value(v)) {
+      opts.area = static_cast<int>(v);
+    } else if (flag == "--users" && next_value(v)) {
+      opts.users = static_cast<std::size_t>(v);
+    } else if (flag == "--channels" && next_value(v)) {
+      opts.channels = static_cast<std::size_t>(v);
+    } else if (flag == "--replace" && next_value(v)) {
+      opts.replace = v;
+    } else if (flag == "--fraction" && next_value(v)) {
+      opts.fraction = v;
+    } else if (flag == "--seed" && next_value(v)) {
+      opts.seed = static_cast<std::uint64_t>(v);
+    } else if (flag == "--second-price") {
+      opts.second_price = true;
+    } else if (flag == "--sensing") {
+      opts.sensing = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        opts.sensing_sigma = std::stod(argv[++i]);
+      }
+    } else {
+      std::cerr << "unknown or incomplete flag: " << flag << "\n";
+      print_help();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lppa;
+  CliOptions opts;
+  if (!parse(argc, argv, opts)) return 1;
+
+  sim::ScenarioConfig cfg;
+  cfg.area_id = opts.area;
+  cfg.fcc.num_channels = static_cast<int>(opts.channels);
+  cfg.num_users = opts.users;
+  cfg.seed = opts.seed;
+  if (opts.sensing) {
+    cfg.initial_phase = sim::InitialPhase::kSpectrumSensing;
+    cfg.sensing.measurement_sigma_db = opts.sensing_sigma;
+  }
+  sim::Scenario scenario(cfg);
+
+  std::cout << "world: area " << opts.area << " ("
+            << geo::area_preset(opts.area).name << "), " << opts.users
+            << " users, " << opts.channels << " channels, seed "
+            << opts.seed
+            << (opts.sensing ? ", sensing initial phase" : "") << "\n\n";
+
+  // --- attacks without LPPA ------------------------------------------------
+  const auto plain = sim::run_attack_point(scenario, opts.channels, 0.5, 250);
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "without LPPA:\n"
+            << "  BCM: " << plain.bcm.mean_possible_cells << " cells, "
+            << "failure " << plain.bcm.failure_rate << "\n"
+            << "  BPM: " << plain.bpm.mean_possible_cells << " cells, "
+            << "failure " << plain.bpm.failure_rate << ", error "
+            << plain.bpm.mean_incorrectness_m / 1000.0 << " km\n\n";
+
+  // --- defence -------------------------------------------------------------
+  sim::DefenseOptions defense;
+  defense.replace_prob = opts.replace;
+  defense.top_fraction = opts.fraction;
+  const auto protected_point =
+      sim::run_defense_point(scenario, defense, opts.seed + 100);
+  std::cout << "with LPPA (replace " << opts.replace << ", attacker top "
+            << opts.fraction * 100 << "%):\n"
+            << "  ranking attack: " << protected_point.lppa.mean_possible_cells
+            << " cells, failure " << protected_point.lppa.failure_rate
+            << ", error "
+            << protected_point.lppa.mean_incorrectness_m / 1000.0
+            << " km\n\n";
+
+  // --- auction performance --------------------------------------------------
+  const auto perf = sim::run_performance_point(
+      scenario, opts.replace, 3, 4, /*rounds=*/2, opts.seed + 200);
+  std::cout << "auction performance (LPPA / plain):\n"
+            << "  revenue ratio:      " << perf.bid_sum_ratio << "\n"
+            << "  satisfaction ratio: " << perf.satisfaction_ratio << "\n";
+  if (opts.second_price) {
+    core::LppaConfig lcfg;
+    lcfg.num_channels = opts.channels;
+    lcfg.lambda = cfg.lambda_m;
+    lcfg.coord_width = scenario.coord_width();
+    lcfg.bid = core::PpbsBidConfig::advanced(
+        cfg.bmax, 3, 4,
+        core::ZeroDisguisePolicy::linear(cfg.bmax, opts.replace));
+    lcfg.charging_rule = core::ChargingRule::kSecondPrice;
+    core::LppaAuction engine(lcfg, opts.seed + 300);
+    Rng rng(opts.seed + 400);
+    const auto outcome =
+        engine.run(scenario.locations(), scenario.bids(), rng);
+    std::cout << "  second-price revenue: "
+              << outcome.outcome.winning_bid_sum() << " over "
+              << outcome.outcome.satisfied_winners() << " valid winners\n";
+  }
+  return 0;
+}

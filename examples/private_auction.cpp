@@ -1,0 +1,93 @@
+// private_auction: the full LPPA protocol, role by role.
+//
+// Shows each message the three parties exchange — the TTP's key setup,
+// the SUs' masked location + bid submissions, the auctioneer's
+// conflict-graph reconstruction and encrypted-domain allocation, and the
+// batched TTP charging — together with the byte volumes on each hop.
+//
+// Build & run:  cmake --build build && ./build/examples/private_auction
+#include <iomanip>
+#include <iostream>
+
+#include "core/lppa_auction.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace lppa;
+
+  // A worldful of users (Area 3, the paper's defence-evaluation area).
+  sim::ScenarioConfig world;
+  world.area_id = 3;
+  world.fcc.num_channels = 24;
+  world.num_users = 30;
+  world.seed = 99;
+  sim::Scenario scenario(world);
+
+  std::cout << "=== TTP: key generation =====================================\n";
+  core::LppaConfig cfg;
+  cfg.num_channels = world.fcc.num_channels;
+  cfg.lambda = world.lambda_m;
+  cfg.coord_width = scenario.coord_width();
+  cfg.bid = core::PpbsBidConfig::advanced(
+      world.bmax, /*rd=*/3, /*cr=*/4,
+      core::ZeroDisguisePolicy::linear(world.bmax, /*replace_prob=*/0.4));
+  cfg.ttp_batch_size = 8;
+  core::LppaAuction engine(cfg, /*ttp_seed=*/20130708);
+
+  std::cout << "  keys: g0 (location), gb_1..gb_" << cfg.num_channels
+            << " (per-channel bid keys), gc (TTP sealing)\n"
+            << "  parameters: bmax=" << cfg.bid.enc.bmax
+            << " rd=" << cfg.bid.enc.rd << " cr=" << cfg.bid.enc.cr
+            << " -> scaled bid width w=" << cfg.bid.enc.scaled_width()
+            << " bits\n\n";
+
+  std::cout << "=== SUs: PPBS submissions ===================================\n";
+  Rng rng(7);
+  auto result = engine.run(scenario.locations(), scenario.bids(), rng);
+  const auto& view = result.view;
+  std::cout << "  " << view.locations.size() << " masked locations ("
+            << view.location_wire_bytes / 1024 << " KiB), "
+            << view.bids.size() << " masked bid vectors ("
+            << view.bid_wire_bytes / 1024 << " KiB)\n"
+            << "  nothing in these messages reveals a coordinate or a "
+               "price.\n\n";
+
+  std::cout << "=== Auctioneer: PSD =========================================\n";
+  std::cout << "  conflict graph: " << view.conflicts.edge_count()
+            << " edges reconstructed from hashed prefixes alone\n"
+            << "  greedy allocation granted " << view.awards.size()
+            << " (user, channel) pairs via encrypted-domain max search\n\n";
+
+  std::cout << "=== TTP: batched charging ===================================\n";
+  std::cout << "  " << engine.ttp().queries_processed() << " charge queries in "
+            << engine.ttp().batches_processed() << " batches of <= "
+            << cfg.ttp_batch_size << "\n";
+
+  std::size_t invalid = 0;
+  for (const auto& award : result.outcome.awards) {
+    if (!award.valid) ++invalid;
+  }
+  std::cout << "  " << invalid << " wins were disguised/true zeros and were "
+               "invalidated\n"
+            << "  manipulations detected: " << result.manipulations_detected
+            << "\n\n";
+
+  std::cout << "=== Outcome =================================================\n";
+  const std::size_t interested = auction::count_interested(scenario.bids());
+  std::cout << std::fixed << std::setprecision(3)
+            << "  revenue (sum of winning bids): "
+            << result.outcome.winning_bid_sum() << "\n"
+            << "  user satisfaction: "
+            << result.outcome.user_satisfaction(interested) << " ("
+            << result.outcome.satisfied_winners() << "/" << interested
+            << " interested bidders served)\n";
+
+  std::cout << "\nwinner  channel  charge  valid\n";
+  for (const auto& award : result.outcome.awards) {
+    std::cout << "  SU" << std::setw(3) << award.user << "   ch"
+              << std::setw(3) << award.channel << "    " << std::setw(4)
+              << award.charge << "   " << (award.valid ? "yes" : "no ")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: one full LPPA round on a small synthetic world.
+//
+//   1. Generate an FCC-style coverage dataset (Area 4 preset).
+//   2. Drop 40 secondary users on the map with truthful bids.
+//   3. Show what a curious auctioneer learns WITHOUT LPPA (BCM+BPM).
+//   4. Run the LPPA auction end to end (PPBS -> PSD -> TTP charging).
+//   5. Show what the same adversary learns WITH LPPA.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "core/adversary.h"
+#include "core/bpm.h"
+#include "sim/experiments.h"
+
+int main() {
+  using namespace lppa;
+
+  // --- 1+2: world ----------------------------------------------------------
+  sim::ScenarioConfig cfg;
+  cfg.area_id = 4;            // rural preset: crisp coverage, strong attacks
+  cfg.fcc.num_channels = 40;  // keep the demo fast
+  cfg.num_users = 40;
+  cfg.seed = 2026;
+  sim::Scenario scenario(cfg);
+
+  std::cout << "dataset: " << scenario.dataset().channel_count()
+            << " channels over a " << scenario.dataset().grid().rows() << "x"
+            << scenario.dataset().grid().cols() << " grid\n";
+
+  // --- 3: the attack the paper identifies ----------------------------------
+  const auto no_defense = sim::run_attack_point(
+      scenario, cfg.fcc.num_channels, /*bpm_fraction=*/0.5,
+      /*bpm_cell_cap=*/250);
+  std::cout << "\nWITHOUT LPPA (curious auctioneer):\n"
+            << "  BCM: mean possible cells = "
+            << no_defense.bcm.mean_possible_cells
+            << ", failure rate = " << no_defense.bcm.failure_rate << "\n"
+            << "  BPM: mean possible cells = "
+            << no_defense.bpm.mean_possible_cells
+            << ", mean error = " << no_defense.bpm.mean_incorrectness_m / 1000.0
+            << " km, failure rate = " << no_defense.bpm.failure_rate << "\n";
+
+  // --- 4: the LPPA auction --------------------------------------------------
+  const auction::Money bmax = cfg.bmax;
+  core::LppaConfig lppa_cfg;
+  lppa_cfg.num_channels = cfg.fcc.num_channels;
+  lppa_cfg.lambda = cfg.lambda_m;
+  lppa_cfg.coord_width = scenario.coord_width();
+  lppa_cfg.bid = core::PpbsBidConfig::advanced(
+      bmax, /*rd=*/3, /*cr=*/4,
+      core::ZeroDisguisePolicy::uniform(bmax, /*replace_prob=*/0.5));
+
+  core::LppaAuction auction_engine(lppa_cfg, /*ttp_seed=*/99);
+  Rng rng(7);
+  const auto result =
+      auction_engine.run(scenario.locations(), scenario.bids(), rng);
+
+  std::cout << "\nLPPA auction:\n"
+            << "  awards: " << result.outcome.awards.size()
+            << ", valid winners: " << result.outcome.satisfied_winners()
+            << ", revenue: " << result.outcome.winning_bid_sum() << "\n"
+            << "  TTP batches: " << auction_engine.ttp().batches_processed()
+            << ", submission volume: "
+            << (result.view.bid_wire_bytes + result.view.location_wire_bytes) /
+                   1024
+            << " KiB\n";
+
+  // --- 5: the adversary against LPPA ----------------------------------------
+  const core::LppaAdversary adversary(scenario.dataset());
+  const auto estimates = adversary.attack(result.view.bids,
+                                          /*top_fraction=*/0.25);
+  std::vector<core::AttackMetrics> metrics;
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    metrics.push_back(core::evaluate_attack(
+        estimates[i], scenario.dataset().grid(), scenario.users()[i].cell));
+  }
+  const auto agg = core::aggregate(metrics);
+  std::cout << "\nWITH LPPA (same adversary, masked submissions):\n"
+            << "  mean possible cells = " << agg.mean_possible_cells
+            << ", failure rate = " << agg.failure_rate << "\n";
+
+  std::cout << "\nLPPA hides bid values and locations; the attacker's "
+               "possible-cell sets inflate\nand its failure rate climbs, "
+               "while the auction still clears.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Greedy spectrum allocation (paper Algorithm 3), written once against an
+// abstract bid-table view so the plaintext baseline and the LPPA
+// encrypted-domain auction share the identical allocation logic — any
+// performance difference between them is then attributable purely to the
+// privacy machinery (zero-disguise), which is what Fig. 5(e)/(f) measures.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "auction/bid.h"
+#include "auction/conflict.h"
+#include "common/rng.h"
+
+namespace lppa::auction {
+
+/// What the allocator needs from a bid table.  `argmax_in_column` is where
+/// the two worlds differ: the plaintext table compares integers, the
+/// encrypted table runs prefix-membership checks.
+class BidTableView {
+ public:
+  virtual ~BidTableView() = default;
+
+  virtual std::size_t num_users() const noexcept = 0;
+  virtual std::size_t num_channels() const noexcept = 0;
+
+  /// Entry still present in the table?
+  virtual bool has(UserId u, ChannelId r) const = 0;
+
+  /// Erase one entry / a whole user row.
+  virtual void remove(UserId u, ChannelId r) = 0;
+  virtual void remove_user(UserId u) = 0;
+
+  /// The user holding the maximum bid among entries still present in
+  /// column r, or nullopt if the column is empty.  Ties may be broken
+  /// arbitrarily but deterministically.
+  virtual std::optional<UserId> argmax_in_column(ChannelId r) const = 0;
+
+  virtual bool empty() const noexcept = 0;
+};
+
+/// Runs Algorithm 3: repeatedly draw a channel uniformly from the rotation
+/// set R, grant the column max, erase the winner's row and the
+/// conflicting neighbours' entries in that column; refill R when it runs
+/// dry; stop when the table is empty.  Charges are NOT set here (the
+/// charging protocol owns them); Award::charge is left 0.
+std::vector<Award> greedy_allocate(BidTableView& table,
+                                   const ConflictGraph& conflicts, Rng& rng);
+
+/// Global-greedy allocation: grants (user, channel) pairs in decreasing
+/// bid order, skipping users already served and channel conflicts.
+///
+/// This order needs cross-channel bid comparisons, which the LPPA masked
+/// domain deliberately makes impossible (per-channel keys) — Algorithm 3
+/// randomises the channel order precisely because of that.  The
+/// plaintext-only variant exists to quantify what that privacy-driven
+/// design choice costs (bench/abl_allocation).
+std::vector<Award> global_greedy_allocate(const std::vector<BidVector>& bids,
+                                          const ConflictGraph& conflicts);
+
+}  // namespace lppa::auction

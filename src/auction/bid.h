@@ -1,0 +1,35 @@
+// Shared value types of the auction layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lppa::auction {
+
+/// Index of a secondary user (bidder) within one auction round.
+using UserId = std::size_t;
+
+/// Index of an auctioned channel.
+using ChannelId = std::size_t;
+
+/// A bid price.  The paper assumes non-negative integer bids bounded by
+/// bmax; zero means "channel not available to me / not wanted".
+using Money = std::uint64_t;
+
+/// One SU's bid vector B_i = {b_1 .. b_k}; entry r is the bid on channel r.
+using BidVector = std::vector<Money>;
+
+/// An award made by the allocation algorithm: user `user` wins channel
+/// `channel`.  `charge` is the first-price charge determined at charging
+/// time (equals the true bid for the plaintext auction; for LPPA it is
+/// what the TTP reveals, and zero-disguised wins are flagged invalid).
+struct Award {
+  UserId user = 0;
+  ChannelId channel = 0;
+  Money charge = 0;
+  bool valid = true;  ///< false when the TTP reports a disguised-zero win
+
+  bool operator==(const Award&) const = default;
+};
+
+}  // namespace lppa::auction

@@ -1,0 +1,64 @@
+#include "auction/bid_matrix.h"
+
+#include "common/error.h"
+
+namespace lppa::auction {
+
+BidMatrix::BidMatrix(const std::vector<BidVector>& bids,
+                     std::size_t num_channels)
+    : users_(bids.size()), channels_(num_channels) {
+  LPPA_REQUIRE(users_ > 0, "BidMatrix requires at least one user");
+  LPPA_REQUIRE(channels_ > 0, "BidMatrix requires at least one channel");
+  entries_.resize(users_ * channels_);
+  for (std::size_t u = 0; u < users_; ++u) {
+    LPPA_REQUIRE(bids[u].size() == channels_,
+                 "every bid vector must cover every channel");
+    for (std::size_t r = 0; r < channels_; ++r) {
+      entries_[u * channels_ + r] = bids[u][r];
+    }
+  }
+}
+
+std::size_t BidMatrix::idx(UserId u, ChannelId r) const {
+  LPPA_REQUIRE(u < users_ && r < channels_, "bid table index out of range");
+  return u * channels_ + r;
+}
+
+bool BidMatrix::has(UserId u, ChannelId r) const {
+  return entries_[idx(u, r)].has_value();
+}
+
+void BidMatrix::remove(UserId u, ChannelId r) { entries_[idx(u, r)].reset(); }
+
+void BidMatrix::remove_user(UserId u) {
+  for (std::size_t r = 0; r < channels_; ++r) entries_[idx(u, r)].reset();
+}
+
+std::optional<UserId> BidMatrix::argmax_in_column(ChannelId r) const {
+  std::optional<UserId> best;
+  Money best_bid = 0;
+  for (std::size_t u = 0; u < users_; ++u) {
+    const auto& e = entries_[idx(u, r)];
+    if (!e) continue;
+    if (!best || *e > best_bid) {
+      best = u;
+      best_bid = *e;
+    }
+  }
+  return best;
+}
+
+bool BidMatrix::empty() const noexcept {
+  for (const auto& e : entries_) {
+    if (e) return false;
+  }
+  return true;
+}
+
+Money BidMatrix::bid(UserId u, ChannelId r) const {
+  const auto& e = entries_[idx(u, r)];
+  LPPA_REQUIRE(e.has_value(), "bid entry already removed");
+  return *e;
+}
+
+}  // namespace lppa::auction

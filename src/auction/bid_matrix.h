@@ -1,0 +1,43 @@
+// BidMatrix: the auctioneer's bid table T (paper §V-A).
+//
+// Rows are users, columns are channels.  Entries are erased as the greedy
+// allocator grants channels (winner's whole row; conflicting neighbours'
+// entries in the granted column).  This is the plaintext instantiation of
+// the BidTableView interface; the encrypted-domain twin lives in
+// core/encrypted_bid_table.h.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "auction/allocate.h"
+#include "auction/bid.h"
+
+namespace lppa::auction {
+
+class BidMatrix final : public BidTableView {
+ public:
+  /// Builds from one BidVector per user; all vectors must have length k.
+  BidMatrix(const std::vector<BidVector>& bids, std::size_t num_channels);
+
+  std::size_t num_users() const noexcept override { return users_; }
+  std::size_t num_channels() const noexcept override { return channels_; }
+
+  bool has(UserId u, ChannelId r) const override;
+  void remove(UserId u, ChannelId r) override;
+  void remove_user(UserId u) override;
+  std::optional<UserId> argmax_in_column(ChannelId r) const override;
+  bool empty() const noexcept override;
+
+  /// The (still present) bid value; requires has(u, r).
+  Money bid(UserId u, ChannelId r) const;
+
+ private:
+  std::size_t users_;
+  std::size_t channels_;
+  std::vector<std::optional<Money>> entries_;  // row-major
+
+  std::size_t idx(UserId u, ChannelId r) const;
+};
+
+}  // namespace lppa::auction

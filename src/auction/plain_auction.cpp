@@ -1,0 +1,71 @@
+#include "auction/plain_auction.h"
+
+#include "common/error.h"
+
+namespace lppa::auction {
+
+Money AuctionOutcome::winning_bid_sum() const noexcept {
+  Money total = 0;
+  for (const auto& a : awards) {
+    if (a.valid) total += a.charge;
+  }
+  return total;
+}
+
+std::size_t AuctionOutcome::satisfied_winners() const noexcept {
+  std::size_t n = 0;
+  for (const auto& a : awards) {
+    if (a.valid && a.charge > 0) ++n;
+  }
+  return n;
+}
+
+double AuctionOutcome::user_satisfaction(
+    std::size_t interested_users) const noexcept {
+  if (interested_users == 0) return 0.0;
+  return static_cast<double>(satisfied_winners()) /
+         static_cast<double>(interested_users);
+}
+
+std::size_t count_interested(const std::vector<BidVector>& bids) {
+  std::size_t n = 0;
+  for (const auto& bv : bids) {
+    for (Money b : bv) {
+      if (b > 0) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+PlainAuction::PlainAuction(std::size_t num_channels, std::uint64_t lambda)
+    : num_channels_(num_channels), lambda_(lambda) {
+  LPPA_REQUIRE(num_channels > 0, "auction requires at least one channel");
+}
+
+AuctionOutcome PlainAuction::run(const std::vector<SuLocation>& locations,
+                                 const std::vector<BidVector>& bids,
+                                 Rng& rng) const {
+  LPPA_REQUIRE(locations.size() == bids.size(),
+               "one location per bid vector required");
+  LPPA_REQUIRE(!bids.empty(), "auction requires at least one bidder");
+
+  const ConflictGraph conflicts =
+      ConflictGraph::from_locations(locations, lambda_);
+  BidMatrix table(bids, num_channels_);
+
+  AuctionOutcome outcome;
+  outcome.awards = greedy_allocate(table, conflicts, rng);
+
+  // First-price charging directly from the plaintext bids.
+  for (auto& award : outcome.awards) {
+    const Money true_bid = bids[award.user][award.channel];
+    award.charge = true_bid;
+    award.valid = true_bid > 0;
+  }
+  return outcome;
+}
+
+}  // namespace lppa::auction

@@ -1,0 +1,60 @@
+// PlainAuction: the non-private baseline ("without LPPA" in Fig. 5).
+//
+// The auctioneer sees plaintext locations and bids, builds the conflict
+// graph, runs the identical greedy allocation (Algorithm 3), and charges
+// first-price.  Every privacy-vs-performance figure compares LppaAuction
+// against this engine under the same seed and workload.
+#pragma once
+
+#include <vector>
+
+#include "auction/allocate.h"
+#include "auction/bid.h"
+#include "auction/bid_matrix.h"
+#include "auction/conflict.h"
+
+namespace lppa::auction {
+
+/// Aggregate result of one auction round plus the paper's two performance
+/// metrics.
+struct AuctionOutcome {
+  std::vector<Award> awards;
+
+  /// Sum of the winners' (valid) charges — the paper's "sum of winning
+  /// bids".
+  Money winning_bid_sum() const noexcept;
+
+  /// Number of awards whose charge is a valid positive price.
+  std::size_t satisfied_winners() const noexcept;
+
+  /// "User satisfaction": fraction of interested bidders (those with at
+  /// least one positive true bid) that ended up holding a channel at a
+  /// valid price.
+  double user_satisfaction(std::size_t interested_users) const noexcept;
+};
+
+/// Number of users with at least one positive bid.
+std::size_t count_interested(const std::vector<BidVector>& bids);
+
+class PlainAuction {
+ public:
+  /// lambda: half interference-square side (paper's λ), in the same
+  /// integer units as the locations.
+  PlainAuction(std::size_t num_channels, std::uint64_t lambda);
+
+  /// Runs one full round: conflict graph from plaintext locations, greedy
+  /// allocation, first-price charging.  A zero-bid win is possible when a
+  /// column holds only zeros; such awards are marked invalid (charge 0),
+  /// mirroring how the TTP invalidates them under LPPA.
+  AuctionOutcome run(const std::vector<SuLocation>& locations,
+                     const std::vector<BidVector>& bids, Rng& rng) const;
+
+  std::uint64_t lambda() const noexcept { return lambda_; }
+  std::size_t num_channels() const noexcept { return num_channels_; }
+
+ private:
+  std::size_t num_channels_;
+  std::uint64_t lambda_;
+};
+
+}  // namespace lppa::auction

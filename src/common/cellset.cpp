@@ -1,0 +1,84 @@
+#include "common/cellset.h"
+
+#include <bit>
+
+namespace lppa {
+
+CellSet::CellSet(std::size_t universe_size)
+    : size_(universe_size), words_((universe_size + 63) / 64, 0) {
+  LPPA_REQUIRE(universe_size > 0, "CellSet universe must be non-empty");
+}
+
+CellSet CellSet::full(std::size_t universe_size) {
+  CellSet s(universe_size);
+  for (auto& w : s.words_) w = ~0ULL;
+  s.clear_tail();
+  return s;
+}
+
+void CellSet::clear_tail() noexcept {
+  const std::size_t tail_bits = size_ % 64;
+  if (tail_bits != 0) {
+    words_.back() &= (1ULL << tail_bits) - 1;
+  }
+}
+
+bool CellSet::contains(std::size_t i) const {
+  LPPA_REQUIRE(i < size_, "CellSet index out of range");
+  return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void CellSet::insert(std::size_t i) {
+  LPPA_REQUIRE(i < size_, "CellSet index out of range");
+  words_[i / 64] |= 1ULL << (i % 64);
+}
+
+void CellSet::erase(std::size_t i) {
+  LPPA_REQUIRE(i < size_, "CellSet index out of range");
+  words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+std::size_t CellSet::count() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+void CellSet::check_same_universe(const CellSet& other) const {
+  LPPA_REQUIRE(size_ == other.size_,
+               "CellSet operands must share a universe size");
+}
+
+CellSet& CellSet::operator&=(const CellSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+CellSet& CellSet::operator|=(const CellSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+CellSet& CellSet::operator-=(const CellSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+CellSet CellSet::complement() const {
+  CellSet out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.clear_tail();
+  return out;
+}
+
+std::vector<std::size_t> CellSet::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace lppa

@@ -1,0 +1,74 @@
+// CellSet: a fixed-universe bitset used to represent sets of grid cells
+// (possible-location sets in the BCM/BPM attacks, channel availability
+// rasters in the coverage maps).
+//
+// The universe size is fixed at construction (rows*cols of the grid).  The
+// attacks spend almost all their time intersecting these sets, so the
+// representation is a packed word array with branch-free bulk operations.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lppa {
+
+class CellSet {
+ public:
+  /// Empty set over a universe of `universe_size` cells.
+  explicit CellSet(std::size_t universe_size);
+
+  /// Full set (all cells present) over the universe.
+  static CellSet full(std::size_t universe_size);
+
+  std::size_t universe_size() const noexcept { return size_; }
+
+  bool contains(std::size_t i) const;
+  void insert(std::size_t i);
+  void erase(std::size_t i);
+
+  /// Number of cells in the set (popcount over the words).
+  std::size_t count() const noexcept;
+  bool empty() const noexcept { return count() == 0; }
+
+  /// In-place set algebra.  All operands must share a universe size.
+  CellSet& operator&=(const CellSet& other);
+  CellSet& operator|=(const CellSet& other);
+  CellSet& operator-=(const CellSet& other);
+
+  friend CellSet operator&(CellSet a, const CellSet& b) { return a &= b; }
+  friend CellSet operator|(CellSet a, const CellSet& b) { return a |= b; }
+  friend CellSet operator-(CellSet a, const CellSet& b) { return a -= b; }
+
+  /// Complement within the universe.
+  CellSet complement() const;
+
+  bool operator==(const CellSet& other) const noexcept = default;
+
+  /// Materialises the member indices in ascending order.
+  std::vector<std::size_t> to_indices() const;
+
+  /// Calls fn(index) for every member, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  void check_same_universe(const CellSet& other) const;
+  void clear_tail() noexcept;
+
+  std::size_t size_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lppa

@@ -1,0 +1,61 @@
+// Error handling for the LPPA library.
+//
+// All contract violations (bad arguments, broken invariants, malformed
+// protocol messages) throw LppaError.  We deliberately use one exception
+// type with a category tag rather than a hierarchy: callers either recover
+// at a protocol boundary (and then only care about the category) or they
+// don't catch at all.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lppa {
+
+/// Coarse classification of an error, available to protocol-boundary code
+/// that wants to distinguish "peer sent garbage" from "caller bug".
+enum class ErrorKind {
+  kInvalidArgument,  ///< caller violated a precondition
+  kProtocol,         ///< malformed or inconsistent protocol message
+  kCrypto,           ///< authentication / decryption failure
+  kState,            ///< object used in the wrong lifecycle state
+};
+
+/// The single exception type thrown by this library.
+class LppaError : public std::runtime_error {
+ public:
+  LppaError(ErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+namespace detail {
+[[noreturn]] inline void raise(ErrorKind kind, const std::string& msg) {
+  throw LppaError(kind, msg);
+}
+}  // namespace detail
+
+}  // namespace lppa
+
+/// Precondition check: throws LppaError(kInvalidArgument) when `cond` is
+/// false.  Used at public API boundaries; internal invariants use assert.
+#define LPPA_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::lppa::detail::raise(::lppa::ErrorKind::kInvalidArgument,        \
+                            std::string("precondition failed: ") + msg); \
+    }                                                                   \
+  } while (0)
+
+/// Protocol-message validation: throws LppaError(kProtocol).
+#define LPPA_PROTOCOL_CHECK(cond, msg)                               \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::lppa::detail::raise(::lppa::ErrorKind::kProtocol,            \
+                            std::string("protocol violation: ") + msg); \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,77 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace lppa {
+
+double log_factorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0.0;
+  return std::exp(log_binomial(n, k));
+}
+
+double log_add_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double ipow(double x, std::uint64_t n) {
+  double result = 1.0;
+  double base = x;
+  while (n != 0) {
+    if (n & 1) result *= base;
+    base *= base;
+    n >>= 1;
+  }
+  return result;
+}
+
+double entropy(const std::vector<double>& probs) {
+  double total = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) total += p;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    const double q = p / total;
+    h -= q * std::log(q);
+  }
+  return h;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+int bit_width_for_value(std::uint64_t v) {
+  return v == 0 ? 1 : std::bit_width(v);
+}
+
+}  // namespace lppa

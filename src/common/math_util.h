@@ -1,0 +1,41 @@
+// Numeric helpers used by the Theorem 1-3 closed forms (common/math_util)
+// and the attack metrics: log-domain combinatorics to keep the binomial
+// sums stable for large m, and small statistics utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lppa {
+
+/// ln(n!) via lgamma.
+double log_factorial(std::uint64_t n);
+
+/// ln C(n, k); returns -inf when k > n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// C(n, k) as a double (may overflow to inf for huge arguments; the
+/// theorem code works in the log domain and only exponentiates sums).
+double binomial(std::uint64_t n, std::uint64_t k);
+
+/// Numerically stable log(exp(a) + exp(b)).
+double log_add_exp(double a, double b);
+
+/// x^n for non-negative integer n (exact repeated squaring on doubles).
+double ipow(double x, std::uint64_t n);
+
+/// Shannon entropy (nats) of a probability vector; ignores zero entries.
+/// Does not require the input to be normalised — it normalises internally.
+double entropy(const std::vector<double>& probs);
+
+/// Mean of a sample; returns 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double sample_stddev(const std::vector<double>& xs);
+
+/// Number of bits needed to represent v (bit_width); 1 for v == 0 so that
+/// "a w-bit number" is always well-formed.
+int bit_width_for_value(std::uint64_t v);
+
+}  // namespace lppa

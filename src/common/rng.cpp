@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace lppa {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  LPPA_REQUIRE(n > 0, "Rng::below requires n > 0");
+  // Lemire's nearly-divisionless method.
+  __uint128_t m = static_cast<__uint128_t>(next()) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  LPPA_REQUIRE(lo <= hi, "Rng::uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform01() noexcept {
+  // 53 uniform bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  LPPA_REQUIRE(lo <= hi, "Rng::uniform requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+  LPPA_REQUIRE(p >= 0.0 && p <= 1.0, "Rng::bernoulli requires p in [0,1]");
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  LPPA_REQUIRE(stddev >= 0.0, "Rng::normal requires stddev >= 0");
+  // Box-Muller; u1 nudged away from 0 to keep log finite.
+  const double u1 = uniform01() + 0x1.0p-60;
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    LPPA_REQUIRE(w >= 0.0, "Rng::discrete requires non-negative weights");
+    total += w;
+  }
+  LPPA_REQUIRE(total > 0.0, "Rng::discrete requires a positive weight");
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point tail
+}
+
+Rng Rng::fork() noexcept {
+  // Mixing two fresh outputs through SplitMix gives an independent stream.
+  SplitMix64 sm(next() ^ rotl(next(), 31));
+  return Rng(sm.next());
+}
+
+}  // namespace lppa

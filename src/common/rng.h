@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (synthetic coverage maps, SU
+// placement, bid noise, zero-disguise sampling, allocation tie-breaks)
+// draws from an lppa::Rng seeded explicitly by the experiment driver, so
+// every figure in EXPERIMENTS.md is reproducible bit-for-bit.
+//
+// The generator is xoshiro256** (Blackman & Vigna, public domain), seeded
+// through SplitMix64 as its authors recommend.  It is NOT a cryptographic
+// RNG; key material is generated via crypto::SecretKey which hashes Rng
+// output through SHA-256 (fine for a simulation — see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lppa {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state, and handy
+/// as a tiny standalone generator for hashing-style mixing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** with convenience distributions.  Satisfies
+/// UniformRandomBitGenerator so it can drive <random> and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform unsigned in [0, n) via Lemire rejection.  Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps the generator
+  /// state a pure function of the draw count).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Samples an index from an unnormalised non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; used to give each module /
+  /// user / round its own stream so adding draws in one place does not
+  /// perturb another.
+  Rng fork() noexcept;
+
+  /// Fisher-Yates shuffle of a contiguous container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace lppa

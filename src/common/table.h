@@ -1,0 +1,40 @@
+// Plain-text table printing for the benchmark harnesses.
+//
+// Every figure/table reproduction in bench/ prints its series through this
+// class so the output format is uniform: a header row, aligned columns,
+// and an optional CSV dump for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lppa {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with sensible precision.
+  static std::string cell(double v, int precision = 4);
+  static std::string cell(std::size_t v);
+  static std::string cell(long long v);
+  static std::string cell(int v) { return cell(static_cast<long long>(v)); }
+
+  /// Pretty-prints with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Machine-readable CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lppa

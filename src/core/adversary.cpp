@@ -1,0 +1,100 @@
+#include "core/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lppa::core {
+
+std::vector<std::vector<auction::UserId>> LppaAdversary::rank_columns(
+    const std::vector<BidSubmission>& bids) const {
+  LPPA_REQUIRE(!bids.empty(), "no submissions to rank");
+  const std::size_t channels = bids.front().channels.size();
+  std::vector<std::vector<UserId>> ranks(channels);
+  for (std::size_t r = 0; r < channels; ++r) {
+    std::vector<UserId> order(bids.size());
+    for (UserId u = 0; u < bids.size(); ++u) order[u] = u;
+    // encrypted_ge(a, b) <=> s_a >= s_b, so "a strictly greater than b"
+    // is !encrypted_ge(b, a); that is a valid strict weak ordering on the
+    // (totally ordered) masked values.
+    std::stable_sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+      return !encrypted_ge(bids[b].channels[r], bids[a].channels[r]);
+    });
+    ranks[r] = std::move(order);
+  }
+  return ranks;
+}
+
+std::vector<std::vector<std::size_t>> LppaAdversary::infer_from_ranks(
+    const std::vector<std::vector<UserId>>& ranks, std::size_t num_users,
+    double top_fraction) {
+  LPPA_REQUIRE(top_fraction > 0.0 && top_fraction <= 1.0,
+               "top_fraction must be in (0, 1]");
+  const std::size_t take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(top_fraction * static_cast<double>(num_users))));
+
+  std::vector<std::vector<std::size_t>> available(num_users);
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (std::size_t pos = 0; pos < std::min(take, ranks[r].size()); ++pos) {
+      available[ranks[r][pos]].push_back(r);
+    }
+  }
+  return available;
+}
+
+std::vector<std::vector<std::size_t>> LppaAdversary::infer_available_sets(
+    const std::vector<BidSubmission>& bids, double top_fraction) const {
+  return infer_from_ranks(rank_columns(bids), bids.size(), top_fraction);
+}
+
+std::vector<std::vector<std::size_t>> LppaAdversary::infer_ordered_sets(
+    const std::vector<std::vector<UserId>>& ranks, std::size_t num_users,
+    double top_fraction) {
+  LPPA_REQUIRE(top_fraction > 0.0 && top_fraction <= 1.0,
+               "top_fraction must be in (0, 1]");
+  const std::size_t take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(top_fraction * static_cast<double>(num_users))));
+
+  // Gather (rank position, channel) pairs per user, then order each
+  // user's channels by how high the user ranked — the top-of-column
+  // guesses are the trustworthy ones.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> scored(
+      num_users);
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (std::size_t pos = 0; pos < std::min(take, ranks[r].size()); ++pos) {
+      scored[ranks[r][pos]].emplace_back(pos, r);
+    }
+  }
+  std::vector<std::vector<std::size_t>> ordered(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    std::sort(scored[u].begin(), scored[u].end());
+    ordered[u].reserve(scored[u].size());
+    for (const auto& [pos, r] : scored[u]) ordered[u].push_back(r);
+  }
+  return ordered;
+}
+
+std::vector<LocationEstimate> LppaAdversary::attack_from_ranks(
+    const std::vector<std::vector<UserId>>& ranks, std::size_t num_users,
+    double top_fraction, bool consistent) const {
+  const auto available =
+      consistent ? infer_ordered_sets(ranks, num_users, top_fraction)
+                 : infer_from_ranks(ranks, num_users, top_fraction);
+  const BcmAttack bcm(*dataset_);
+  std::vector<LocationEstimate> estimates;
+  estimates.reserve(num_users);
+  for (const auto& channels : available) {
+    estimates.push_back(LocationEstimate::uniform_over(
+        consistent ? bcm.run_consistent(channels)
+                   : bcm.run_with_channels(channels)));
+  }
+  return estimates;
+}
+
+std::vector<LocationEstimate> LppaAdversary::attack(
+    const std::vector<BidSubmission>& bids, double top_fraction) const {
+  return attack_from_ranks(rank_columns(bids), bids.size(), top_fraction);
+}
+
+}  // namespace lppa::core

@@ -1,0 +1,118 @@
+#include "core/attack_metrics.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace lppa::core {
+
+LocationEstimate LocationEstimate::uniform_over(const CellSet& set) {
+  return uniform_over(set.to_indices());
+}
+
+LocationEstimate LocationEstimate::uniform_over(std::vector<std::size_t> cells) {
+  LocationEstimate e;
+  e.cells = std::move(cells);
+  return e;
+}
+
+AttackMetrics evaluate_attack(const LocationEstimate& estimate,
+                              const geo::Grid& grid, const geo::Cell& truth) {
+  LPPA_REQUIRE(estimate.weights.empty() ||
+                   estimate.weights.size() == estimate.cells.size(),
+               "weights must be empty or match the cell list");
+  AttackMetrics m;
+  m.possible_cells = estimate.cells.size();
+  if (estimate.cells.empty()) {
+    m.failed = true;
+    return m;
+  }
+
+  // Normalise weights (uniform when absent).
+  std::vector<double> probs;
+  if (estimate.weights.empty()) {
+    probs.assign(estimate.cells.size(),
+                 1.0 / static_cast<double>(estimate.cells.size()));
+  } else {
+    double total = 0.0;
+    for (double w : estimate.weights) {
+      LPPA_REQUIRE(w >= 0.0, "attack weights must be non-negative");
+      total += w;
+    }
+    LPPA_REQUIRE(total > 0.0, "attack weights must not all be zero");
+    probs.reserve(estimate.weights.size());
+    for (double w : estimate.weights) probs.push_back(w / total);
+  }
+
+  const std::size_t truth_index = grid.index(truth);
+  m.failed = true;
+  m.uncertainty_nats = entropy(probs);
+  for (std::size_t i = 0; i < estimate.cells.size(); ++i) {
+    const geo::Cell cell = grid.cell_at(estimate.cells[i]);
+    m.incorrectness_m += probs[i] * grid.cell_distance_m(cell, truth);
+    if (estimate.cells[i] == truth_index) m.failed = false;
+  }
+  return m;
+}
+
+AggregateMetrics aggregate(const std::vector<AttackMetrics>& metrics) {
+  AggregateMetrics agg;
+  agg.samples = metrics.size();
+  if (metrics.empty()) return agg;
+  for (const auto& m : metrics) {
+    agg.mean_uncertainty_nats += m.uncertainty_nats;
+    agg.mean_incorrectness_m += m.incorrectness_m;
+    agg.failure_rate += m.failed ? 1.0 : 0.0;
+    agg.mean_possible_cells += static_cast<double>(m.possible_cells);
+    if (!m.failed) {
+      ++agg.successes;
+      agg.success_uncertainty_nats += m.uncertainty_nats;
+      agg.success_incorrectness_m += m.incorrectness_m;
+      agg.success_possible_cells += static_cast<double>(m.possible_cells);
+    }
+  }
+  const auto n = static_cast<double>(metrics.size());
+  agg.mean_uncertainty_nats /= n;
+  agg.mean_incorrectness_m /= n;
+  agg.failure_rate /= n;
+  agg.mean_possible_cells /= n;
+  if (agg.successes > 0) {
+    const auto s = static_cast<double>(agg.successes);
+    agg.success_uncertainty_nats /= s;
+    agg.success_incorrectness_m /= s;
+    agg.success_possible_cells /= s;
+  }
+  return agg;
+}
+
+AggregateMetrics average_aggregates(
+    const std::vector<AggregateMetrics>& runs) {
+  AggregateMetrics avg;
+  if (runs.empty()) return avg;
+  double success_weight = 0.0;
+  for (const auto& run : runs) {
+    avg.mean_uncertainty_nats += run.mean_uncertainty_nats;
+    avg.mean_incorrectness_m += run.mean_incorrectness_m;
+    avg.failure_rate += run.failure_rate;
+    avg.mean_possible_cells += run.mean_possible_cells;
+    avg.samples += run.samples;
+    avg.successes += run.successes;
+    const auto w = static_cast<double>(run.successes);
+    avg.success_uncertainty_nats += w * run.success_uncertainty_nats;
+    avg.success_incorrectness_m += w * run.success_incorrectness_m;
+    avg.success_possible_cells += w * run.success_possible_cells;
+    success_weight += w;
+  }
+  const auto n = static_cast<double>(runs.size());
+  avg.mean_uncertainty_nats /= n;
+  avg.mean_incorrectness_m /= n;
+  avg.failure_rate /= n;
+  avg.mean_possible_cells /= n;
+  if (success_weight > 0.0) {
+    avg.success_uncertainty_nats /= success_weight;
+    avg.success_incorrectness_m /= success_weight;
+    avg.success_possible_cells /= success_weight;
+  }
+  return avg;
+}
+
+}  // namespace lppa::core

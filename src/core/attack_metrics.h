@@ -1,0 +1,66 @@
+// The four location-privacy metrics of the paper's §VI-A:
+//
+//   uncertainty    = -sum_x Pr_x * log(Pr_x)   (entropy of the attacker's
+//                    posterior over the possible-cell set),
+//   incorrectness  = sum_x Pr_x * ||l_x - l0|| (expected distance, metres,
+//                    between guessed and true location),
+//   failure        = the true cell is not in the attacker's set,
+//   possible cells = |P|.
+//
+// Larger values of all four mean better-preserved privacy.
+#pragma once
+
+#include <vector>
+
+#include "common/cellset.h"
+#include "geo/grid.h"
+
+namespace lppa::core {
+
+/// An attacker's belief: candidate cells with (unnormalised, non-negative)
+/// weights.  BCM produces uniform weights; BPM can weight by 1/dq rank or
+/// keep uniform over the selected slice — the paper treats the output set
+/// as uniform, and we follow it.
+struct LocationEstimate {
+  std::vector<std::size_t> cells;   ///< candidate cell indices
+  std::vector<double> weights;      ///< same length; empty means uniform
+
+  static LocationEstimate uniform_over(const CellSet& set);
+  static LocationEstimate uniform_over(std::vector<std::size_t> cells);
+};
+
+struct AttackMetrics {
+  double uncertainty_nats = 0.0;
+  double incorrectness_m = 0.0;
+  bool failed = false;
+  std::size_t possible_cells = 0;
+};
+
+/// Evaluates one attack output against the true cell of the victim.
+/// An empty estimate is a failed attack with zero-entropy metrics.
+AttackMetrics evaluate_attack(const LocationEstimate& estimate,
+                              const geo::Grid& grid, const geo::Cell& truth);
+
+/// Mean metrics over a population of attacked users.  The success_*
+/// fields average only over attacks whose candidate set contained the
+/// true cell — the conditioning Fig. 5(a)-(c) uses, since a failed attack
+/// (often an empty set) has no meaningful posterior.
+struct AggregateMetrics {
+  double mean_uncertainty_nats = 0.0;
+  double mean_incorrectness_m = 0.0;
+  double failure_rate = 0.0;
+  double mean_possible_cells = 0.0;
+  double success_uncertainty_nats = 0.0;
+  double success_incorrectness_m = 0.0;
+  double success_possible_cells = 0.0;
+  std::size_t samples = 0;
+  std::size_t successes = 0;
+};
+
+AggregateMetrics aggregate(const std::vector<AttackMetrics>& metrics);
+
+/// Averages aggregates from repeated experiment runs (equal weight per
+/// run; success-conditioned fields weighted by each run's successes).
+AggregateMetrics average_aggregates(const std::vector<AggregateMetrics>& runs);
+
+}  // namespace lppa::core

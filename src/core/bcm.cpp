@@ -1,0 +1,36 @@
+#include "core/bcm.h"
+
+#include "common/error.h"
+
+namespace lppa::core {
+
+CellSet BcmAttack::run(const auction::BidVector& bids) const {
+  LPPA_REQUIRE(bids.size() <= dataset_->channel_count(),
+               "bid vector longer than the dataset's channel list");
+  std::vector<std::size_t> channels;
+  for (std::size_t r = 0; r < bids.size(); ++r) {
+    if (bids[r] > 0) channels.push_back(r);
+  }
+  return run_with_channels(channels);
+}
+
+CellSet BcmAttack::run_with_channels(
+    const std::vector<std::size_t>& channels) const {
+  CellSet possible = CellSet::full(dataset_->grid().cell_count());
+  for (std::size_t r : channels) {
+    possible &= dataset_->availability(r);
+  }
+  return possible;
+}
+
+CellSet BcmAttack::run_consistent(
+    const std::vector<std::size_t>& ordered_channels) const {
+  CellSet possible = CellSet::full(dataset_->grid().cell_count());
+  for (std::size_t r : ordered_channels) {
+    CellSet narrowed = possible & dataset_->availability(r);
+    if (!narrowed.empty()) possible = std::move(narrowed);
+  }
+  return possible;
+}
+
+}  // namespace lppa::core

@@ -1,0 +1,45 @@
+// BCM — Bid-Channels Mining attack (paper Algorithm 1).
+//
+// An SU only bids on channels that are available at its position, so each
+// positive bid reveals "the SU is inside C_r".  Intersecting the
+// availability regions of every positively-bid channel shrinks the
+// possible-location set.
+#pragma once
+
+#include <vector>
+
+#include "auction/bid.h"
+#include "common/cellset.h"
+#include "geo/coverage.h"
+
+namespace lppa::core {
+
+class BcmAttack {
+ public:
+  /// The attacker is assumed to know the full coverage dataset (it is
+  /// public FCC data).
+  explicit BcmAttack(const geo::Dataset& dataset) : dataset_(&dataset) {}
+
+  /// Algorithm 1: P = A ∩ (∩_{r : b_r > 0} C_r).
+  CellSet run(const auction::BidVector& bids) const;
+
+  /// Variant taking the inferred available-channel set directly — the
+  /// form used against LPPA, where the adversary only has a *guess* of
+  /// which channels each user finds available.
+  CellSet run_with_channels(const std::vector<std::size_t>& channels) const;
+
+  /// Consistent-subset variant for noisy channel guesses: channels are
+  /// intersected in the given (most-confident-first) order, and any
+  /// channel that would empty the running set is skipped as presumed
+  /// disinformation.  This is the rational attacker against the
+  /// zero-disguise defence — a strict intersection would let one forged
+  /// channel void everything the attacker learned; the cost is that
+  /// heavy disguise leaves the attacker holding large, wrong regions.
+  CellSet run_consistent(const std::vector<std::size_t>& ordered_channels)
+      const;
+
+ private:
+  const geo::Dataset* dataset_;
+};
+
+}  // namespace lppa::core

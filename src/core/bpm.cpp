@@ -1,0 +1,87 @@
+#include "core/bpm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lppa::core {
+
+BpmResult BpmAttack::run(const CellSet& possible,
+                         const auction::BidVector& bids,
+                         const BpmOptions& options) const {
+  LPPA_REQUIRE(options.keep_fraction > 0.0 && options.keep_fraction <= 1.0,
+               "keep_fraction must be in (0, 1]");
+  LPPA_REQUIRE(bids.size() <= dataset_->channel_count(),
+               "bid vector longer than the dataset's channel list");
+
+  // AS(i) and the reference channel r_max (maximum bid).
+  std::vector<std::size_t> available;
+  std::size_t r_max = 0;
+  auction::Money b_max = 0;
+  for (std::size_t r = 0; r < bids.size(); ++r) {
+    if (bids[r] == 0) continue;
+    available.push_back(r);
+    if (bids[r] > b_max) {
+      b_max = bids[r];
+      r_max = r;
+    }
+  }
+  if (available.empty() || b_max == 0) return {};  // nothing to mine
+
+  // Estimated quality ratios q̂_r = b_r / b_max (q̂_rmax = 1).
+  std::vector<double> q_hat(available.size());
+  for (std::size_t idx = 0; idx < available.size(); ++idx) {
+    q_hat[idx] = static_cast<double>(bids[available[idx]]) /
+                 static_cast<double>(b_max);
+  }
+
+  struct Scored {
+    std::size_t cell;
+    double dq;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(possible.count());
+  possible.for_each([&](std::size_t cell) {
+    const double q_ref = dataset_->quality_at_index(r_max, cell);
+    if (q_ref <= 0.0) return;  // reference channel dead here: not scorable
+    double dq = 0.0;
+    for (std::size_t idx = 0; idx < available.size(); ++idx) {
+      const double q_true =
+          dataset_->quality_at_index(available[idx], cell) / q_ref;
+      const double diff = q_hat[idx] - q_true;
+      dq += diff * diff;
+    }
+    scored.push_back({cell, dq});
+  });
+  if (scored.empty()) return {};
+
+  std::size_t keep = static_cast<std::size_t>(
+      std::ceil(options.keep_fraction * static_cast<double>(scored.size())));
+  keep = std::max<std::size_t>(keep, 1);
+  if (options.max_cells > 0) keep = std::min(keep, options.max_cells);
+  keep = std::min(keep, scored.size());
+
+  std::nth_element(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                   scored.end(),
+                   [](const Scored& a, const Scored& b) { return a.dq < b.dq; });
+  scored.resize(keep);
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.dq < b.dq; });
+
+  BpmResult result;
+  result.cells.reserve(keep);
+  result.dq.reserve(keep);
+  for (const auto& s : scored) {
+    result.cells.push_back(s.cell);
+    result.dq.push_back(s.dq);
+  }
+  return result;
+}
+
+BpmResult BpmAttack::run_global(const auction::BidVector& bids,
+                                const BpmOptions& options) const {
+  return run(CellSet::full(dataset_->grid().cell_count()), bids, options);
+}
+
+}  // namespace lppa::core

@@ -1,0 +1,59 @@
+// BPM — Bid-Price Mining attack (paper Algorithm 2).
+//
+// Truthful bids are proportional to channel quality at the bidder's
+// position.  The attacker normalises the victim's bid vector into
+// estimated quality ratios q̂_r = b_r / b_max, computes for every BCM
+// candidate cell the squared distance
+//     dq(m,n) = sum_r (q̂_r - q*_r(m,n) / q*_rmax(m,n))^2
+// against the public per-cell quality statistics, and keeps the cells
+// with the smallest dq.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/bid.h"
+#include "common/cellset.h"
+#include "geo/coverage.h"
+
+namespace lppa::core {
+
+struct BpmOptions {
+  /// Fraction of the BCM candidate cells to keep (the paper sweeps 1,
+  /// 1/2, 1/3, ...; 1.0 degenerates to BCM's output re-ranked).
+  double keep_fraction = 0.5;
+  /// Hard cap on the number of returned cells (paper §VI-B introduces a
+  /// threshold, e.g. 250, to stop huge candidate sets diluting the rank).
+  /// 0 disables the cap.
+  std::size_t max_cells = 0;
+};
+
+struct BpmResult {
+  /// Kept cells, ascending by dq (best guess first).
+  std::vector<std::size_t> cells;
+  /// dq value per kept cell (same order).
+  std::vector<double> dq;
+};
+
+class BpmAttack {
+ public:
+  explicit BpmAttack(const geo::Dataset& dataset) : dataset_(&dataset) {}
+
+  /// Runs Algorithm 2 on the BCM output `possible` using the victim's bid
+  /// vector.  Cells where the reference channel has zero recorded quality
+  /// cannot be scored and are skipped (they cannot host a bidder whose
+  /// best channel is r_max anyway).
+  BpmResult run(const CellSet& possible, const auction::BidVector& bids,
+                const BpmOptions& options) const;
+
+  /// The paper's §III-B remark operationalised: "even without our basic
+  /// attack, BPM would still be set up by searching the whole possible
+  /// cells" — Algorithm 2 over the entire map, no BCM pre-filter.
+  BpmResult run_global(const auction::BidVector& bids,
+                       const BpmOptions& options) const;
+
+ private:
+  const geo::Dataset* dataset_;
+};
+
+}  // namespace lppa::core

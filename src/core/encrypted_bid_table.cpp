@@ -1,0 +1,67 @@
+#include "core/encrypted_bid_table.h"
+
+namespace lppa::core {
+
+EncryptedBidTable::EncryptedBidTable(
+    const std::vector<BidSubmission>& submissions, std::size_t num_channels)
+    : submissions_(&submissions),
+      users_(submissions.size()),
+      channels_(num_channels) {
+  LPPA_REQUIRE(users_ > 0, "EncryptedBidTable requires at least one user");
+  LPPA_REQUIRE(channels_ > 0, "EncryptedBidTable requires at least one channel");
+  for (const auto& s : submissions) {
+    LPPA_REQUIRE(s.channels.size() == channels_,
+                 "every submission must cover every channel");
+  }
+  present_.assign(users_ * channels_, true);
+}
+
+std::size_t EncryptedBidTable::idx(UserId u, ChannelId r) const {
+  LPPA_REQUIRE(u < users_ && r < channels_, "bid table index out of range");
+  return u * channels_ + r;
+}
+
+bool EncryptedBidTable::has(UserId u, ChannelId r) const {
+  return present_[idx(u, r)];
+}
+
+void EncryptedBidTable::remove(UserId u, ChannelId r) {
+  present_[idx(u, r)] = false;
+}
+
+void EncryptedBidTable::remove_user(UserId u) {
+  for (std::size_t r = 0; r < channels_; ++r) present_[idx(u, r)] = false;
+}
+
+std::optional<auction::UserId> EncryptedBidTable::argmax_in_column(
+    ChannelId r) const {
+  std::optional<UserId> best;
+  for (std::size_t u = 0; u < users_; ++u) {
+    if (!present_[idx(u, r)]) continue;
+    if (!best) {
+      best = u;
+      continue;
+    }
+    const auto& challenger = (*submissions_)[u].channels[r];
+    const auto& incumbent = (*submissions_)[*best].channels[r];
+    // Strictly-greater test keeps the first-seen user on ties, matching
+    // the deterministic tie-break of the plaintext BidMatrix.
+    if (!encrypted_ge(incumbent, challenger)) best = u;
+  }
+  return best;
+}
+
+bool EncryptedBidTable::empty() const noexcept {
+  for (bool p : present_) {
+    if (p) return false;
+  }
+  return true;
+}
+
+const ChannelBidSubmission& EncryptedBidTable::entry(UserId u,
+                                                     ChannelId r) const {
+  LPPA_REQUIRE(u < users_ && r < channels_, "bid table index out of range");
+  return (*submissions_)[u].channels[r];
+}
+
+}  // namespace lppa::core

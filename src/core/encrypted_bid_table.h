@@ -1,0 +1,49 @@
+// EncryptedBidTable: the auctioneer's bid table T in the masked domain.
+//
+// Implements the same BidTableView interface as the plaintext BidMatrix,
+// so PSD's greedy allocator (auction/allocate.h) runs unchanged; the only
+// difference is that argmax_in_column compares bids via prefix-membership
+// intersections instead of integer comparison.
+#pragma once
+
+#include <vector>
+
+#include "auction/allocate.h"
+#include "core/ppbs_bid.h"
+
+namespace lppa::core {
+
+class EncryptedBidTable final : public auction::BidTableView {
+ public:
+  /// Holds a reference to the submissions for the duration of the
+  /// allocation; the caller keeps them alive.
+  EncryptedBidTable(const std::vector<BidSubmission>& submissions,
+                    std::size_t num_channels);
+
+  std::size_t num_users() const noexcept override { return users_; }
+  std::size_t num_channels() const noexcept override { return channels_; }
+
+  bool has(UserId u, ChannelId r) const override;
+  void remove(UserId u, ChannelId r) override;
+  void remove_user(UserId u) override;
+
+  /// Single-pass tournament: keep the running max, replacing it whenever
+  /// the candidate's masked encoding dominates.  O(n) intersections.
+  std::optional<UserId> argmax_in_column(ChannelId r) const override;
+
+  bool empty() const noexcept override;
+
+  /// The masked entry (still present or not); used when assembling charge
+  /// queries for the TTP.
+  const ChannelBidSubmission& entry(UserId u, ChannelId r) const;
+
+ private:
+  std::size_t idx(UserId u, ChannelId r) const;
+
+  const std::vector<BidSubmission>* submissions_;
+  std::size_t users_;
+  std::size_t channels_;
+  std::vector<bool> present_;
+};
+
+}  // namespace lppa::core

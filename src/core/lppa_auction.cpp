@@ -1,0 +1,107 @@
+#include "core/lppa_auction.h"
+
+namespace lppa::core {
+
+LppaAuction::LppaAuction(LppaConfig config, std::uint64_t ttp_seed)
+    : config_(config), ttp_(config.bid, ttp_seed, config.charging_rule) {
+  LPPA_REQUIRE(config_.num_channels > 0, "auction requires channels");
+  LPPA_REQUIRE(config_.ttp_batch_size > 0, "TTP batch size must be positive");
+}
+
+LppaOutcome LppaAuction::run(
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<BidVector>& bids, Rng& rng) {
+  LPPA_REQUIRE(locations.size() == bids.size(),
+               "one location per bid vector required");
+  LPPA_REQUIRE(!bids.empty(), "auction requires at least one bidder");
+  for (const auto& bv : bids) {
+    LPPA_REQUIRE(bv.size() == config_.num_channels,
+                 "bid vectors must cover every auctioned channel");
+  }
+
+  LppaOutcome result;
+  AuctioneerView& view = result.view;
+
+  // --- SU side: PPBS -----------------------------------------------------
+  const SuKeyBundle keys = ttp_.su_keys();
+  const PpbsLocation location_protocol(keys.g0, config_.coord_width,
+                                       config_.lambda,
+                                       config_.pad_location_ranges);
+  const BidSubmitter submitter(ttp_.config(), keys.gb_master, keys.gc);
+
+  // All SU-side randomness comes from a single fork of the caller's
+  // stream, so the allocation below consumes exactly one fork() worth of
+  // caller state regardless of N or k — a baseline run can mirror that
+  // with one fork() and then share the allocation random sequence.
+  Rng su_master = rng.fork();
+  view.locations.reserve(locations.size());
+  view.bids.reserve(bids.size());
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    Rng su_rng = su_master.fork();  // each SU randomises independently
+    view.locations.push_back(location_protocol.submit(locations[i], su_rng));
+    view.bids.push_back(submitter.submit(bids[i], su_rng));
+    view.location_wire_bytes += view.locations.back().wire_size();
+    view.bid_wire_bytes += view.bids.back().wire_size();
+  }
+
+  // --- Auctioneer side: PSD ----------------------------------------------
+  view.conflicts = PpbsLocation::build_conflict_graph(view.locations);
+  EncryptedBidTable table(view.bids, config_.num_channels);
+  std::vector<auction::Award> awards =
+      auction::greedy_allocate(table, view.conflicts, rng);
+
+  // --- Charging through the periodically-available TTP --------------------
+  std::vector<ChargeQuery> pending;
+  auto flush = [&] {
+    if (pending.empty()) return;
+    const auto results = ttp_.process_batch(pending);
+    for (const auto& res : results) {
+      for (auto& award : awards) {
+        if (award.user == res.user && award.channel == res.channel) {
+          if (res.manipulated) {
+            ++result.manipulations_detected;
+            award.valid = false;
+            award.charge = 0;
+          } else {
+            award.valid = res.valid;
+            award.charge = res.charge;
+          }
+        }
+      }
+    }
+    pending.clear();
+  };
+  for (const auto& award : awards) {
+    const ChannelBidSubmission& entry =
+        view.bids[award.user].channels[award.channel];
+    ChargeQuery query{award.user, award.channel, entry.sealed,
+                      entry.value_family, std::nullopt, std::nullopt};
+    if (config_.charging_rule == ChargingRule::kSecondPrice) {
+      // The runner-up of the column among all other bidders, found with
+      // the same masked tournament the allocator uses.
+      std::optional<UserId> second;
+      for (UserId u = 0; u < view.bids.size(); ++u) {
+        if (u == award.user) continue;
+        if (!second ||
+            !encrypted_ge(view.bids[*second].channels[award.channel],
+                          view.bids[u].channels[award.channel])) {
+          second = u;
+        }
+      }
+      if (second) {
+        const auto& runner_up = view.bids[*second].channels[award.channel];
+        query.runner_up_sealed = runner_up.sealed;
+        query.runner_up_family = runner_up.value_family;
+      }
+    }
+    pending.push_back(std::move(query));
+    if (pending.size() >= config_.ttp_batch_size) flush();
+  }
+  flush();
+
+  result.outcome.awards = awards;
+  view.awards = std::move(awards);
+  return result;
+}
+
+}  // namespace lppa::core

@@ -1,0 +1,66 @@
+// LppaAuction: the end-to-end Location Privacy Preserving Dynamic
+// Spectrum Auction — PPBS (masked location + bid submission) followed by
+// PSD (greedy allocation in the masked domain + TTP-assisted charging).
+//
+// run() plays all three roles (SUs, auctioneer, TTP) in-process but keeps
+// their information sets separate: everything the curious-but-honest
+// auctioneer observes during the round is captured in AuctioneerView,
+// which is exactly the input the LppaAdversary attacks get.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/plain_auction.h"
+#include "core/encrypted_bid_table.h"
+#include "core/ppbs_location.h"
+#include "core/ttp.h"
+
+namespace lppa::core {
+
+struct LppaConfig {
+  std::size_t num_channels = 1;
+  std::uint64_t lambda = 1;   ///< half interference-square side
+  int coord_width = 20;       ///< bits per location coordinate
+  PpbsBidConfig bid;          ///< advanced-scheme parameters
+  bool pad_location_ranges = true;
+  std::size_t ttp_batch_size = 16;  ///< charge queries per TTP flush
+  ChargingRule charging_rule = ChargingRule::kFirstPrice;
+};
+
+/// Everything the auctioneer (and hence a curious-but-honest attacker)
+/// sees in one round.
+struct AuctioneerView {
+  std::vector<LocationSubmission> locations;
+  std::vector<BidSubmission> bids;
+  auction::ConflictGraph conflicts{1};
+  std::vector<auction::Award> awards;  ///< published winners with validity
+
+  std::size_t location_wire_bytes = 0;
+  std::size_t bid_wire_bytes = 0;
+};
+
+struct LppaOutcome {
+  auction::AuctionOutcome outcome;  ///< TTP-validated awards
+  AuctioneerView view;
+  std::size_t manipulations_detected = 0;
+};
+
+class LppaAuction {
+ public:
+  LppaAuction(LppaConfig config, std::uint64_t ttp_seed);
+
+  /// Runs one complete round over the true locations/bids.
+  LppaOutcome run(const std::vector<auction::SuLocation>& locations,
+                  const std::vector<BidVector>& bids, Rng& rng);
+
+  const LppaConfig& config() const noexcept { return config_; }
+  const TrustedThirdParty& ttp() const noexcept { return ttp_; }
+  TrustedThirdParty& ttp() noexcept { return ttp_; }
+
+ private:
+  LppaConfig config_;
+  TrustedThirdParty ttp_;
+};
+
+}  // namespace lppa::core

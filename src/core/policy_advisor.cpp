@@ -1,0 +1,74 @@
+#include "core/policy_advisor.h"
+
+#include "core/theorems.h"
+
+namespace lppa::core {
+
+PolicyAdvisor::PolicyAdvisor(AdvisorScenario scenario, DisguiseFamily family)
+    : scenario_(scenario), family_(family) {
+  LPPA_REQUIRE(scenario_.bmax >= 1, "bmax must be at least 1");
+  LPPA_REQUIRE(scenario_.b_n >= 1 && scenario_.b_n <= scenario_.bmax,
+               "representative bid must lie in [1, bmax]");
+  LPPA_REQUIRE(scenario_.t >= 1, "attacker harvests at least one price");
+}
+
+ZeroDisguisePolicy PolicyAdvisor::make_policy(double replace_prob) const {
+  switch (family_) {
+    case DisguiseFamily::kUniform:
+      return ZeroDisguisePolicy::uniform(scenario_.bmax, replace_prob);
+    case DisguiseFamily::kLinear:
+      return ZeroDisguisePolicy::linear(scenario_.bmax, replace_prob);
+  }
+  LPPA_REQUIRE(false, "unknown disguise family");
+  return ZeroDisguisePolicy::none(scenario_.bmax);
+}
+
+double PolicyAdvisor::privacy_at(double replace_prob) const {
+  return theorems::thm2_no_leakage_exact(scenario_.b_n, scenario_.m,
+                                         scenario_.t,
+                                         make_policy(replace_prob));
+}
+
+double PolicyAdvisor::survival_at(double replace_prob) const {
+  return theorems::thm1_zero_not_win(scenario_.b_n, scenario_.m,
+                                     make_policy(replace_prob));
+}
+
+PolicyAdvice PolicyAdvisor::recommend(double privacy_target,
+                                      double tolerance) const {
+  LPPA_REQUIRE(privacy_target >= 0.0 && privacy_target <= 1.0,
+               "privacy target must be a probability");
+  LPPA_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+
+  PolicyAdvice advice;
+  const double best = privacy_at(1.0);
+  if (best < privacy_target) {
+    // Even full disguise cannot reach the target under this family.
+    advice.replace_prob = 1.0;
+    advice.privacy = best;
+    advice.top_bid_survival = survival_at(1.0);
+    advice.target_achievable = false;
+    advice.policy = make_policy(1.0);
+    return advice;
+  }
+
+  // privacy_at is non-decreasing in the replace probability, so bisect
+  // for the smallest probability meeting the target.
+  double lo = 0.0, hi = 1.0;
+  while (hi - lo > tolerance) {
+    const double mid = (lo + hi) / 2.0;
+    if (privacy_at(mid) >= privacy_target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  advice.replace_prob = hi;
+  advice.privacy = privacy_at(hi);
+  advice.top_bid_survival = survival_at(hi);
+  advice.target_achievable = true;
+  advice.policy = make_policy(hi);
+  return advice;
+}
+
+}  // namespace lppa::core

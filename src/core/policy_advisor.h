@@ -1,0 +1,68 @@
+// PolicyAdvisor: turns §IV-C.3's advice — "users should carefully select
+// the value of p_t based on their demand for both privacy protection and
+// spectrum utilization" — into an algorithm.
+//
+// The knob is the zero-replace probability (1 - p_0) of a disguise
+// family (uniform or linear).  Theorems 1 and 2 give closed forms for
+// both sides of the trade-off:
+//   * privacy:      P[no leakage] when the auctioneer harvests the t
+//                   largest prices of a channel (thm2, exact form);
+//   * performance:  P[the genuine top bid still wins] (thm1).
+// Both are monotone in the replace probability, so the minimal
+// probability meeting a privacy target — the performance-optimal choice
+// — is found by bisection.
+#pragma once
+
+#include "core/ppbs_bid.h"
+
+namespace lppa::core {
+
+/// Which parametric disguise family to search within.
+enum class DisguiseFamily {
+  kUniform,  ///< ZeroDisguisePolicy::uniform
+  kLinear,   ///< ZeroDisguisePolicy::linear (paper's p_1 >= ... >= p_bmax)
+};
+
+/// The channel model the advisor plans against: a representative channel
+/// with top genuine bid b_n and m zero bidders, attacked by an
+/// auctioneer harvesting the t largest prices.
+struct AdvisorScenario {
+  Money bmax = 15;
+  Money b_n = 12;      ///< representative top genuine bid
+  std::size_t m = 10;  ///< zeros on the channel
+  std::size_t t = 3;   ///< prices the attacker harvests
+};
+
+struct PolicyAdvice {
+  double replace_prob = 0.0;        ///< the recommended 1 - p_0
+  double privacy = 0.0;             ///< achieved P[no leakage] (thm2 exact)
+  double top_bid_survival = 0.0;    ///< achieved P[genuine max wins] (thm1)
+  bool target_achievable = false;   ///< false: even replace_prob 1 falls short
+  ZeroDisguisePolicy policy = ZeroDisguisePolicy::none(15);
+};
+
+class PolicyAdvisor {
+ public:
+  PolicyAdvisor(AdvisorScenario scenario, DisguiseFamily family);
+
+  /// P[no leakage] at a given replace probability (thm2 exact form).
+  double privacy_at(double replace_prob) const;
+
+  /// P[the genuine top bid wins] at a given replace probability (thm1).
+  double survival_at(double replace_prob) const;
+
+  /// Smallest replace probability whose privacy meets `privacy_target`
+  /// (in [0,1]); bisection to `tolerance`.  When the target is not
+  /// achievable even at replace_prob = 1, returns the best effort with
+  /// target_achievable = false.
+  PolicyAdvice recommend(double privacy_target,
+                         double tolerance = 1e-4) const;
+
+  ZeroDisguisePolicy make_policy(double replace_prob) const;
+
+ private:
+  AdvisorScenario scenario_;
+  DisguiseFamily family_;
+};
+
+}  // namespace lppa::core

@@ -1,0 +1,188 @@
+// PPBS — Private Bid Submission protocols (paper §IV-B, §IV-C).
+//
+// Basic scheme: per channel r the SU submits H_gb(G(b_r)) and
+// H_gb(Q([b_r, bmax])); the auctioneer finds the column maximum through
+// set intersections (an order-preserving masked encoding).
+//
+// Advanced scheme (the one LPPA actually runs) adds five fixes:
+//   (i)  per-channel keys gb_1..gb_k  — kills cross-channel comparison,
+//   (ii) zero-disguise with probabilities p_t — a zero bid masquerades as
+//        a positive one,
+//   (iii) offset rd, true zeros uniform in [0, rd] — kills frequency
+//        analysis of the zero ciphertext,
+//   (iv) scale by cr with a random slot in [cr·x, cr·(x+1)-1] — kills
+//        plaintext-ciphertext replay after charges are published,
+//   (v)  range covers padded to the worst case 2w-2 — kills cardinality
+//        analysis.
+//
+// Both schemes are instances of one code path parameterised by
+// PpbsBidConfig; PpbsBidConfig::basic() recovers the basic scheme exactly
+// (rd=0, cr=1, no disguise, shared key, no padding), which is how the
+// ablation bench isolates each fix.
+#pragma once
+
+#include <vector>
+
+#include "auction/bid.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/sealed_box.h"
+#include "prefix/hashed_set.h"
+
+namespace lppa::core {
+
+using auction::BidVector;
+using auction::ChannelId;
+using auction::Money;
+using auction::UserId;
+
+/// The zero-replacement distribution p_0..p_bmax (paper §IV-C.2/3):
+/// a zero bid stays recognisably zero with probability p_0 and is
+/// disguised as value t >= 1 with probability p_t, p_1 >= ... >= p_bmax.
+class ZeroDisguisePolicy {
+ public:
+  /// No disguise (p_0 = 1) — the basic scheme.
+  static ZeroDisguisePolicy none(Money bmax);
+
+  /// Replace with total probability `replace_prob` (= 1 - p_0), spread
+  /// uniformly over 1..bmax.
+  static ZeroDisguisePolicy uniform(Money bmax, double replace_prob);
+
+  /// Replace with total probability `replace_prob`, weight on t
+  /// proportional to (bmax + 1 - t): larger disguise values are rarer,
+  /// honouring the paper's p_1 >= ... >= p_bmax guidance with less
+  /// auction-performance damage than uniform.
+  static ZeroDisguisePolicy linear(Money bmax, double replace_prob);
+
+  /// The paper's best-protection point: p_r = 1/(bmax+1) for all r.
+  static ZeroDisguisePolicy best_protection(Money bmax);
+
+  /// Arbitrary distribution; probs has bmax+1 entries summing to ~1.
+  static ZeroDisguisePolicy from_probs(std::vector<double> probs);
+
+  Money bmax() const noexcept { return static_cast<Money>(probs_.size() - 1); }
+  const std::vector<double>& probs() const noexcept { return probs_; }
+  double replace_prob() const noexcept { return 1.0 - probs_[0]; }
+
+  /// Samples the disguise value for one zero bid: 0 = stay zero.
+  Money sample(Rng& rng) const;
+
+ private:
+  explicit ZeroDisguisePolicy(std::vector<double> probs);
+  std::vector<double> probs_;  // p_0 .. p_bmax
+};
+
+/// Numeric encoding parameters shared by SUs and TTP.
+struct BidEncodingParams {
+  Money bmax = 15;       ///< upper bound of true bids
+  Money rd = 0;          ///< additive offset; true zeros map into [0, rd]
+  std::uint64_t cr = 1;  ///< multiplicative range-mapping factor
+
+  /// Largest effective (offset) value: bmax + rd.
+  Money max_effective() const noexcept { return bmax + rd; }
+  /// Largest scaled value: cr*(bmax+rd+1) - 1.
+  std::uint64_t scaled_max() const noexcept {
+    return cr * (max_effective() + 1) - 1;
+  }
+  /// Bit width w of the scaled encoding.
+  int scaled_width() const;
+
+  void validate() const;
+};
+
+/// Full protocol configuration (advanced scheme by default).
+struct PpbsBidConfig {
+  BidEncodingParams enc;
+  ZeroDisguisePolicy policy = ZeroDisguisePolicy::none(15);
+  bool per_channel_keys = true;  ///< fix (i)
+  bool pad_range_sets = true;    ///< fix (v)
+  /// Symmetric cipher sealing the TTP payload; the protocol treats it as
+  /// a black box (cipher-agility tests pin the equivalence).
+  crypto::SealedCipher sealed_cipher = crypto::SealedCipher::kChaCha20;
+
+  /// The paper's basic scheme: one key, raw values, no countermeasures.
+  static PpbsBidConfig basic(Money bmax);
+
+  /// The advanced scheme with all fixes enabled.
+  static PpbsBidConfig advanced(Money bmax, Money rd, std::uint64_t cr,
+                                ZeroDisguisePolicy policy);
+};
+
+/// The plaintext the SU seals for the TTP: the true bid v plus the scaled
+/// encoding s whose prefix sets were submitted, so the TTP can verify
+/// non-manipulation and invalidate disguised-zero wins (DESIGN.md §2).
+struct SealedBidPayload {
+  Money true_bid = 0;
+  std::uint64_t scaled = 0;
+
+  Bytes serialize() const;
+  static SealedBidPayload deserialize(std::span<const std::uint8_t> wire);
+  bool operator==(const SealedBidPayload&) const = default;
+};
+
+/// One SU's per-channel bid message.
+struct ChannelBidSubmission {
+  prefix::HashedPrefixSet value_family;  ///< H_gb_r(G(s))
+  prefix::HashedPrefixSet range_set;     ///< H_gb_r(Q([s, smax])), padded
+  crypto::SealedMessage sealed;          ///< SealedBidPayload under gc
+
+  std::size_t wire_size() const noexcept {
+    return value_family.wire_size() + range_set.wire_size() +
+           sealed.wire_size();
+  }
+
+  void serialize(ByteWriter& w) const;
+  static ChannelBidSubmission deserialize(ByteReader& r);
+  bool operator==(const ChannelBidSubmission&) const = default;
+};
+
+/// One SU's full bid vector message.
+struct BidSubmission {
+  std::vector<ChannelBidSubmission> channels;
+
+  std::size_t wire_size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& c : channels) total += c.wire_size();
+    return total;
+  }
+
+  Bytes serialize() const;
+  static BidSubmission deserialize(std::span<const std::uint8_t> wire);
+  bool operator==(const BidSubmission&) const = default;
+};
+
+/// SU-side encoder.
+class BidSubmitter {
+ public:
+  BidSubmitter(PpbsBidConfig config, crypto::SecretKey gb_master,
+               crypto::SecretKey gc);
+
+  /// Encodes a full bid vector (bids[r] <= bmax required).
+  BidSubmission submit(const BidVector& bids, Rng& rng) const;
+
+  /// Encodes one bid — exposed so tests can pin down each transformation.
+  ChannelBidSubmission encode_bid(ChannelId r, Money true_bid, Rng& rng) const;
+
+  /// The HMAC key used for channel r (gb_r when per-channel keys are on,
+  /// gb_master otherwise).
+  crypto::SecretKey channel_key(ChannelId r) const;
+
+  const PpbsBidConfig& config() const noexcept { return config_; }
+
+ private:
+  PpbsBidConfig config_;
+  crypto::SecretKey gb_master_;
+  crypto::SealedBox box_;
+};
+
+/// Auctioneer-side order test within one channel column:
+/// true iff bid `a` >= bid `b` in the masked order-preserving encoding.
+bool encrypted_ge(const ChannelBidSubmission& a,
+                  const ChannelBidSubmission& b) noexcept;
+
+/// Derives gb_r from the master key the same way BidSubmitter does —
+/// shared with the TTP's verification path.
+crypto::SecretKey derive_channel_key(const crypto::SecretKey& gb_master,
+                                     ChannelId r, bool per_channel_keys);
+
+}  // namespace lppa::core

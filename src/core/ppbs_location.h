@@ -1,0 +1,69 @@
+// PPBS — Private Location Submission protocol (paper §IV-A).
+//
+// Each SU submits, under the shared HMAC key g0,
+//   H(G(loc_x)), H(G(loc_y))                         — its point, masked
+//   H(Q([loc_x-2λ, loc_x+2λ])), H(Q([loc_y-2λ, ...])) — its interference
+//                                                       box, masked
+// and the auctioneer declares i,j in conflict iff i's point families
+// intersect j's box ranges on both axes — which holds exactly when
+// |Δx| <= 2λ and |Δy| <= 2λ, i.e. the plaintext conflict predicate of
+// auction/conflict.h, without the auctioneer learning any coordinate.
+#pragma once
+
+#include <vector>
+
+#include "auction/conflict.h"
+#include "common/bytes.h"
+#include "crypto/keys.h"
+#include "prefix/hashed_set.h"
+
+namespace lppa::core {
+
+/// The SU -> auctioneer location message.
+struct LocationSubmission {
+  prefix::HashedPrefixSet x_family;
+  prefix::HashedPrefixSet y_family;
+  prefix::HashedPrefixSet x_range;
+  prefix::HashedPrefixSet y_range;
+
+  std::size_t wire_size() const noexcept {
+    return x_family.wire_size() + y_family.wire_size() + x_range.wire_size() +
+           y_range.wire_size();
+  }
+
+  Bytes serialize() const;
+  static LocationSubmission deserialize(std::span<const std::uint8_t> wire);
+
+  bool operator==(const LocationSubmission&) const = default;
+};
+
+class PpbsLocation {
+ public:
+  /// coord_width: bit width of the coordinate space; every loc +- 2λ must
+  /// fit.  pad_ranges: pad each box range cover to the worst case 2w-2
+  /// (recommended; hides range-cover cardinality, cf. §IV-C fix (v)).
+  PpbsLocation(const crypto::SecretKey& g0, int coord_width,
+               std::uint64_t lambda, bool pad_ranges = true);
+
+  /// SU side: masks one location.  `rng` feeds the padding digests.
+  LocationSubmission submit(const auction::SuLocation& loc, Rng& rng) const;
+
+  /// Auctioneer side: true iff the protocol says i and j interfere.
+  static bool conflicts(const LocationSubmission& a,
+                        const LocationSubmission& b) noexcept;
+
+  /// Auctioneer side: reconstructs the full conflict graph.
+  static auction::ConflictGraph build_conflict_graph(
+      const std::vector<LocationSubmission>& submissions);
+
+  int coord_width() const noexcept { return coord_width_; }
+  std::uint64_t lambda() const noexcept { return lambda_; }
+
+ private:
+  crypto::SecretKey g0_;
+  int coord_width_;
+  std::uint64_t lambda_;
+  bool pad_ranges_;
+};
+
+}  // namespace lppa::core

@@ -1,0 +1,161 @@
+#include "core/ttp.h"
+
+#include <algorithm>
+
+namespace lppa::core {
+
+TrustedThirdParty::TrustedThirdParty(PpbsBidConfig config, std::uint64_t seed,
+                                     ChargingRule rule)
+    : config_(std::move(config)),
+      rule_(rule),
+      g0_([&] {
+        Rng rng(seed);
+        return crypto::SecretKey::generate(rng);
+      }()),
+      gb_master_([&] {
+        Rng rng(seed ^ 0x67626d6173746572ULL);  // independent streams
+        return crypto::SecretKey::generate(rng);
+      }()),
+      gc_([&] {
+        Rng rng(seed ^ 0x6763ULL);
+        return crypto::SecretKey::generate(rng);
+      }()),
+      box_(gc_, config_.sealed_cipher) {
+  config_.enc.validate();
+}
+
+void ChargeQuery::serialize(ByteWriter& w) const {
+  w.u64(user);
+  w.u64(channel);
+  w.bytes(sealed.serialize());
+  value_family.serialize(w);
+  w.u8(runner_up_sealed.has_value() ? 1 : 0);
+  if (runner_up_sealed.has_value()) {
+    LPPA_REQUIRE(runner_up_family.has_value(),
+                 "runner-up sealed payload without its prefix family");
+    w.bytes(runner_up_sealed->serialize());
+    runner_up_family->serialize(w);
+  }
+}
+
+ChargeQuery ChargeQuery::deserialize(ByteReader& r) {
+  ChargeQuery q;
+  q.user = r.u64();
+  q.channel = r.u64();
+  q.sealed = crypto::SealedMessage::deserialize(r.bytes());
+  q.value_family = prefix::HashedPrefixSet::deserialize(r);
+  const std::uint8_t has_runner_up = r.u8();
+  LPPA_PROTOCOL_CHECK(has_runner_up <= 1, "invalid runner-up flag");
+  if (has_runner_up) {
+    q.runner_up_sealed = crypto::SealedMessage::deserialize(r.bytes());
+    q.runner_up_family = prefix::HashedPrefixSet::deserialize(r);
+  }
+  return q;
+}
+
+void ChargeResult::serialize(ByteWriter& w) const {
+  w.u64(user);
+  w.u64(channel);
+  w.u8(valid ? 1 : 0);
+  w.u64(charge);
+  w.u8(manipulated ? 1 : 0);
+}
+
+ChargeResult ChargeResult::deserialize(ByteReader& r) {
+  ChargeResult res;
+  res.user = r.u64();
+  res.channel = r.u64();
+  const std::uint8_t valid_flag = r.u8();
+  res.charge = r.u64();
+  const std::uint8_t manipulated_flag = r.u8();
+  LPPA_PROTOCOL_CHECK(valid_flag <= 1 && manipulated_flag <= 1,
+                      "invalid boolean flag in ChargeResult");
+  res.valid = valid_flag != 0;
+  res.manipulated = manipulated_flag != 0;
+  return res;
+}
+
+std::optional<SealedBidPayload> TrustedThirdParty::open_and_verify(
+    const crypto::SealedMessage& sealed,
+    const prefix::HashedPrefixSet& family, ChannelId channel) const {
+  const auto plain = box_.open(sealed);
+  if (!plain) return std::nullopt;  // not sealed under gc
+  const SealedBidPayload payload =
+      SealedBidPayload::deserialize(std::span<const std::uint8_t>(*plain));
+
+  const auto& enc = config_.enc;
+  // Verify the submitted prefix family really encodes the sealed scaled
+  // value (the bidder cannot under/over-state its price to the TTP).
+  const crypto::SecretKey key =
+      derive_channel_key(gb_master_, channel, config_.per_channel_keys);
+  const auto expected = prefix::HashedPrefixSet::of_value(
+      key, payload.scaled, enc.scaled_width());
+  if (expected != family) return std::nullopt;
+
+  // Consistency between the true bid and the scaled encoding: a positive
+  // bid must sit exactly in its slot; a zero bid must either sit in the
+  // zero band [0, rd] or be a disguise value in (rd, bmax+rd].
+  const std::uint64_t effective = payload.scaled / enc.cr;
+  if (payload.true_bid > enc.bmax ||
+      (payload.true_bid > 0 && effective != payload.true_bid + enc.rd) ||
+      (payload.true_bid == 0 && effective > enc.max_effective())) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+ChargeResult TrustedThirdParty::process(const ChargeQuery& query) const {
+  ChargeResult result;
+  result.user = query.user;
+  result.channel = query.channel;
+
+  const auto payload =
+      open_and_verify(query.sealed, query.value_family, query.channel);
+  if (!payload) {
+    result.manipulated = true;
+    return result;
+  }
+  if (payload->true_bid == 0) {
+    // Disguised or true zero: the win is invalid, no charge (paper §V-B).
+    result.valid = false;
+    return result;
+  }
+  result.valid = true;
+
+  if (rule_ == ChargingRule::kFirstPrice) {
+    result.charge = payload->true_bid;
+    return result;
+  }
+
+  // Second-price extension: the winner pays the runner-up's true bid
+  // (zero when the winner stood alone or the runner-up was a disguised
+  // zero — a free but valid win, as in a Vickrey auction with no
+  // reserve price).
+  if (!query.runner_up_sealed.has_value()) {
+    result.charge = 0;
+    return result;
+  }
+  LPPA_PROTOCOL_CHECK(query.runner_up_family.has_value(),
+                      "runner-up sealed payload without its prefix family");
+  const auto runner_up = open_and_verify(
+      *query.runner_up_sealed, *query.runner_up_family, query.channel);
+  if (!runner_up) {
+    result.manipulated = true;
+    result.valid = false;
+    return result;
+  }
+  result.charge = std::min(runner_up->true_bid, payload->true_bid);
+  return result;
+}
+
+std::vector<ChargeResult> TrustedThirdParty::process_batch(
+    const std::vector<ChargeQuery>& queries) {
+  ++batches_;
+  queries_ += queries.size();
+  std::vector<ChargeResult> results;
+  results.reserve(queries.size());
+  for (const auto& q : queries) results.push_back(process(q));
+  return results;
+}
+
+}  // namespace lppa::core

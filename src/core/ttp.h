@@ -1,0 +1,115 @@
+// TrustedThirdParty (paper §II-C, §V-B): the periodically-available
+// authority that
+//   * generates and distributes the protocol keys (g0 to mask locations,
+//     gb_1..gb_k to mask bids, gc to seal true bids) and the public
+//     encoding parameters rd and cr,
+//   * decrypts winners' sealed bids in batches, verifies the plaintext
+//     against the submitted prefix encoding (anti-manipulation), flags
+//     disguised-/true-zero wins as invalid, and returns the first-price
+//     charge.
+//
+// Keys are handed to SUs via su_keys(); the auctioneer never sees them —
+// the API makes that separation explicit by bundling exactly what each
+// party may hold.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/ppbs_bid.h"
+
+namespace lppa::core {
+
+/// The key material an SU receives from the TTP.
+struct SuKeyBundle {
+  crypto::SecretKey g0;         ///< location-masking HMAC key
+  crypto::SecretKey gb_master;  ///< master for gb_1..gb_k
+  crypto::SecretKey gc;         ///< sealing key towards the TTP
+};
+
+/// How winners are charged.  The paper uses first-price (§V-C.1) and
+/// leaves truthfulness to future work; kSecondPrice is this library's
+/// extension implementing that future work: the winner pays the
+/// second-highest (TTP-validated) bid of its column, which makes
+/// truthful bidding a dominant strategy per column.
+enum class ChargingRule {
+  kFirstPrice,
+  kSecondPrice,
+};
+
+/// A winner's charge request relayed by the auctioneer.
+struct ChargeQuery {
+  UserId user = 0;
+  ChannelId channel = 0;
+  crypto::SealedMessage sealed;          ///< the winner's sealed payload
+  prefix::HashedPrefixSet value_family;  ///< the submitted H_gb_r(G(s))
+
+  /// Under kSecondPrice the auctioneer also relays the column's
+  /// runner-up submission (absent when the winner was alone).
+  std::optional<crypto::SealedMessage> runner_up_sealed;
+  std::optional<prefix::HashedPrefixSet> runner_up_family;
+
+  void serialize(ByteWriter& w) const;
+  static ChargeQuery deserialize(ByteReader& r);
+};
+
+/// What the TTP reveals back to the auctioneer.
+struct ChargeResult {
+  UserId user = 0;
+  ChannelId channel = 0;
+  bool valid = false;        ///< false: disguised/true zero -> no charge
+  Money charge = 0;          ///< first-price charge when valid
+  bool manipulated = false;  ///< prefix encoding did not match the payload
+
+  void serialize(ByteWriter& w) const;
+  static ChargeResult deserialize(ByteReader& r);
+  bool operator==(const ChargeResult&) const = default;
+};
+
+class TrustedThirdParty {
+ public:
+  /// Generates fresh keys for one auction.  The bid configuration (bmax,
+  /// rd, cr, disguise policy defaults) is owned by the TTP per §IV-C.2.
+  TrustedThirdParty(PpbsBidConfig config, std::uint64_t seed,
+                    ChargingRule rule = ChargingRule::kFirstPrice);
+
+  const PpbsBidConfig& config() const noexcept { return config_; }
+  ChargingRule charging_rule() const noexcept { return rule_; }
+
+  /// Key distribution (TTP -> SUs over a secure channel).
+  SuKeyBundle su_keys() const noexcept {
+    return SuKeyBundle{g0_, gb_master_, gc_};
+  }
+  const crypto::SecretKey& g0() const noexcept { return g0_; }
+
+  /// Processes one charge query (decrypt, verify, un-disguise).
+  ChargeResult process(const ChargeQuery& query) const;
+
+  /// Batch interface (paper §V-C.2): the auctioneer accumulates queries
+  /// and flushes them during the TTP's online window.  Counters let the
+  /// benches report TTP load.
+  std::vector<ChargeResult> process_batch(
+      const std::vector<ChargeQuery>& queries);
+
+  std::size_t batches_processed() const noexcept { return batches_; }
+  std::size_t queries_processed() const noexcept { return queries_; }
+
+ private:
+  /// Decrypts and verifies one sealed payload against its submitted
+  /// prefix family; nullopt on any integrity failure.
+  std::optional<SealedBidPayload> open_and_verify(
+      const crypto::SealedMessage& sealed,
+      const prefix::HashedPrefixSet& family, ChannelId channel) const;
+
+  PpbsBidConfig config_;
+  ChargingRule rule_ = ChargingRule::kFirstPrice;
+  crypto::SecretKey g0_;
+  crypto::SecretKey gb_master_;
+  crypto::SecretKey gc_;
+  crypto::SealedBox box_;
+  std::size_t batches_ = 0;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace lppa::core

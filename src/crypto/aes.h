@@ -1,0 +1,41 @@
+// AES-128 (FIPS 197) with CTR-mode keystreaming (NIST SP 800-38A),
+// implemented from scratch.
+//
+// The LPPA protocol treats the TTP's symmetric cipher as a black box;
+// SealedBox defaults to ChaCha20 and can be switched to AES-128-CTR —
+// the cipher-agility test pins that the protocol is indifferent.  The
+// implementation is table-free in the S-box sense (one 256-byte S-box,
+// no T-tables) and favours clarity over throughput.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "crypto/keys.h"
+
+namespace lppa::crypto {
+
+/// An expanded AES-128 key schedule (11 round keys).
+class Aes128 {
+ public:
+  /// Expands a 16-byte key.
+  explicit Aes128(std::span<const std::uint8_t> key16);
+
+  /// Encrypts one 16-byte block in place semantics (returns the output).
+  std::array<std::uint8_t, 16> encrypt_block(
+      const std::array<std::uint8_t, 16>& plaintext) const;
+
+ private:
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_;
+};
+
+/// CTR keystream XOR: counter block = nonce(12 bytes) || big-endian
+/// 32-bit counter, incremented per block.  Encryption == decryption.
+Bytes aes128_ctr_xor(std::span<const std::uint8_t> key16,
+                     std::span<const std::uint8_t> nonce12,
+                     std::uint32_t initial_counter,
+                     std::span<const std::uint8_t> data);
+
+}  // namespace lppa::crypto

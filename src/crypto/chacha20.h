@@ -1,0 +1,34 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// This is the TTP symmetric primitive: SUs seal their true bid under the
+// TTP key gc (crypto/sealed_box.h wraps it in encrypt-then-MAC).  The
+// paper leaves the symmetric scheme unspecified; any IND-CPA cipher works
+// and ChaCha20 is compact and constant-time by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "crypto/keys.h"
+
+namespace lppa::crypto {
+
+/// A 96-bit ChaCha20 nonce.  Must never repeat under one key; SealedBox
+/// derives nonces from a per-key counter plus RNG salt.
+using Nonce = std::array<std::uint8_t, 12>;
+
+/// XORs `data` with the ChaCha20 keystream for (key, nonce, counter).
+/// Encryption and decryption are the same operation.
+Bytes chacha20_xor(const SecretKey& key, const Nonce& nonce,
+                   std::uint32_t initial_counter,
+                   std::span<const std::uint8_t> data);
+
+/// Exposes one 64-byte keystream block for test-vector validation
+/// (RFC 8439 section 2.3.2).
+std::array<std::uint8_t, 64> chacha20_block(const SecretKey& key,
+                                            const Nonce& nonce,
+                                            std::uint32_t counter);
+
+}  // namespace lppa::crypto

@@ -1,0 +1,77 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace lppa::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;
+}
+
+HmacSha256::HmacSha256(const SecretKey& key) noexcept {
+  // Keys are always 32 bytes (< block size), so no pre-hashing needed.
+  std::array<std::uint8_t, kBlockSize> ipad_key{};
+  opad_key_.fill(0x5c);
+  ipad_key.fill(0x36);
+  const auto kb = key.bytes();
+  for (std::size_t i = 0; i < kb.size(); ++i) {
+    ipad_key[i] ^= kb[i];
+    opad_key_[i] ^= kb[i];
+  }
+  inner_.update(std::span<const std::uint8_t>(ipad_key));
+}
+
+Digest HmacSha256::finalize() noexcept {
+  const Digest inner_digest = inner_.finalize();
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad_key_));
+  outer.update(std::span<const std::uint8_t>(inner_digest.bytes));
+  return outer.finalize();
+}
+
+Digest hmac_sha256(const SecretKey& key, std::span<const std::uint8_t> message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.finalize();
+}
+
+Digest hmac_sha256_raw_key(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, kBlockSize> padded{};
+  if (key.size() > kBlockSize) {
+    const Digest hashed = Sha256::hash(key);
+    std::memcpy(padded.data(), hashed.bytes.data(), hashed.bytes.size());
+  } else {
+    std::memcpy(padded.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad_key{};
+  std::array<std::uint8_t, kBlockSize> opad_key{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad_key[i] = padded[i] ^ 0x36;
+    opad_key[i] = padded[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad_key));
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad_key));
+  outer.update(std::span<const std::uint8_t>(inner_digest.bytes));
+  return outer.finalize();
+}
+
+Digest hmac_sha256(const SecretKey& key, std::string_view message) {
+  return hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(message.data()),
+               message.size()));
+}
+
+Digest hmac_sha256_u64(const SecretKey& key, std::uint64_t value) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  return hmac_sha256(key, std::span<const std::uint8_t>(buf, 8));
+}
+
+}  // namespace lppa::crypto

@@ -1,0 +1,51 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//
+// This is the masking function the PPBS protocol applies to numericalised
+// prefixes: H_g(x) = HMAC_g(O(x)).  The auctioneer only ever compares
+// digests for equality, so HMAC's PRF property is exactly the hiding the
+// scheme needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+
+namespace lppa::crypto {
+
+/// One-shot HMAC-SHA-256 over a byte message.
+Digest hmac_sha256(const SecretKey& key, std::span<const std::uint8_t> message);
+
+/// HMAC-SHA-256 with an arbitrary-length raw key (RFC 2104 key handling:
+/// keys longer than the block are pre-hashed, shorter ones zero-padded).
+/// The protocol always uses 32-byte SecretKeys; this entry point exists
+/// so the implementation can be validated against the RFC 4231 vectors,
+/// which exercise short and oversized keys.
+Digest hmac_sha256_raw_key(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message);
+
+/// Convenience overload for string messages (test vectors).
+Digest hmac_sha256(const SecretKey& key, std::string_view message);
+
+/// HMAC over a single little-endian 64-bit integer — the hot path for
+/// hashing numericalised prefixes.
+Digest hmac_sha256_u64(const SecretKey& key, std::uint64_t value);
+
+/// Incremental HMAC, for the SealedBox MAC over header+ciphertext.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(const SecretKey& key) noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept {
+    inner_.update(data);
+  }
+  Digest finalize() noexcept;
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_key_;
+};
+
+}  // namespace lppa::crypto

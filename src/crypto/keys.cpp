@@ -1,0 +1,43 @@
+#include "crypto/keys.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace lppa::crypto {
+
+SecretKey SecretKey::generate(Rng& rng) {
+  // Whiten four RNG words through SHA-256 so the key bytes never expose
+  // the xoshiro stream directly.
+  std::uint8_t seed[32];
+  for (int w = 0; w < 4; ++w) {
+    const std::uint64_t v = rng.next();
+    for (int i = 0; i < 8; ++i) {
+      seed[8 * w + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+  const Digest d = Sha256::hash(std::span<const std::uint8_t>(seed, 32));
+  SecretKey key;
+  key.bytes_ = d.bytes;
+  return key;
+}
+
+SecretKey SecretKey::from_bytes(std::span<const std::uint8_t> bytes) {
+  LPPA_REQUIRE(bytes.size() == kSize, "SecretKey requires exactly 32 bytes");
+  SecretKey key;
+  std::memcpy(key.bytes_.data(), bytes.data(), kSize);
+  return key;
+}
+
+SecretKey SecretKey::derive(std::string_view label, std::uint64_t index) const {
+  ByteWriter w;
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(label.data()), label.size()));
+  w.u64(index);
+  const Digest d = hmac_sha256(*this, std::span<const std::uint8_t>(w.data()));
+  SecretKey key;
+  key.bytes_ = d.bytes;
+  return key;
+}
+
+}  // namespace lppa::crypto

@@ -1,0 +1,51 @@
+// Key material for the LPPA protocol.
+//
+// The TTP (core::TrustedThirdParty) owns:
+//   g0          — HMAC key for the private location submission,
+//   gb_1..gb_k  — per-channel HMAC keys for the advanced bid submission,
+//   gc          — symmetric key sealing the true bid for the TTP,
+// plus the public-ish protocol parameters rd and cr.  All keys here are
+// 32-byte blobs; derivation of the per-channel family from a master key is
+// HMAC-based (HKDF-Expand-like, one block) so tests can regenerate them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+
+namespace lppa::crypto {
+
+/// A 256-bit secret key.  Value type; comparison is only used in tests.
+class SecretKey {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  SecretKey() = default;
+
+  /// Samples a fresh key from the (deterministic, experiment-seeded) RNG.
+  /// The raw RNG words are whitened through SHA-256 so that key bytes are
+  /// never a direct window onto the simulation RNG stream.
+  static SecretKey generate(Rng& rng);
+
+  /// Builds a key from exactly kSize raw bytes.
+  static SecretKey from_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Deterministically derives a sub-key: HMAC(master, label || index).
+  /// Used for the per-channel bid keys gb_r = derive(gb_master, "gb", r).
+  SecretKey derive(std::string_view label, std::uint64_t index) const;
+
+  std::span<const std::uint8_t, kSize> bytes() const noexcept {
+    return std::span<const std::uint8_t, kSize>(bytes_);
+  }
+
+  bool operator==(const SecretKey&) const = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+}  // namespace lppa::crypto

@@ -1,0 +1,67 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The protocol uses SHA-256 only through HMAC (crypto/hmac.h); the digest
+// type defined here is also the canonical "hashed prefix" element that the
+// auctioneer intersects, so Digest carries ordering and hashing support.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace lppa::crypto {
+
+/// A 256-bit digest.  Strong ordering lets HashedPrefixSet keep sorted
+/// vectors and intersect them in linear time.
+struct Digest {
+  static constexpr std::size_t kSize = 32;
+  std::array<std::uint8_t, kSize> bytes{};
+
+  auto operator<=>(const Digest&) const = default;
+
+  /// First 8 bytes as a little-endian integer — used as a fast hash for
+  /// unordered containers (the bytes are already uniform).
+  std::uint64_t fingerprint() const noexcept;
+
+  std::string hex() const { return to_hex(bytes); }
+};
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view data) noexcept;
+
+  /// Finalises and returns the digest.  The object must not be reused
+  /// afterwards without calling reset().
+  Digest finalize() noexcept;
+
+  void reset() noexcept;
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data) noexcept;
+  static Digest hash(std::string_view data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_;
+  std::uint64_t total_len_;
+};
+
+}  // namespace lppa::crypto
+
+template <>
+struct std::hash<lppa::crypto::Digest> {
+  std::size_t operator()(const lppa::crypto::Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.fingerprint());
+  }
+};

@@ -1,0 +1,137 @@
+#include "geo/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lppa::geo {
+
+Dataset::Dataset(Grid grid, double threshold_dbm)
+    : grid_(grid), threshold_dbm_(threshold_dbm) {}
+
+void Dataset::add_channel(ChannelCoverage channel) {
+  LPPA_REQUIRE(channel.rssi_dbm.size() == grid_.cell_count(),
+               "channel raster size must match the grid");
+  LPPA_REQUIRE(channel.available.universe_size() == grid_.cell_count(),
+               "channel availability universe must match the grid");
+  channels_.push_back(std::move(channel));
+}
+
+const ChannelCoverage& Dataset::channel(std::size_t r) const {
+  LPPA_REQUIRE(r < channels_.size(), "channel index out of range");
+  return channels_[r];
+}
+
+double Dataset::quality(std::size_t r, const Cell& cell) const {
+  return quality_at_index(r, grid_.index(cell));
+}
+
+double Dataset::quality_at_index(std::size_t r, std::size_t cell_index) const {
+  const auto& ch = channel(r);
+  LPPA_REQUIRE(cell_index < ch.quality.size(), "cell index out of range");
+  return ch.quality[cell_index];
+}
+
+std::vector<std::size_t> Dataset::available_channels(const Cell& cell) const {
+  const std::size_t idx = grid_.index(cell);
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < channels_.size(); ++r) {
+    if (channels_[r].available.contains(idx)) out.push_back(r);
+  }
+  return out;
+}
+
+Dataset Dataset::restricted_to(std::size_t k) const {
+  LPPA_REQUIRE(k <= channels_.size(),
+               "cannot restrict to more channels than exist");
+  Dataset out(grid_, threshold_dbm_);
+  for (std::size_t r = 0; r < k; ++r) out.add_channel(channels_[r]);
+  return out;
+}
+
+namespace {
+// rssi values are stored as centi-dB offsets from a -300 dBm floor in a
+// u32 — lossless far beyond any physical precision.
+constexpr double kRssiFloorDbm = -300.0;
+
+std::uint32_t pack_rssi(double dbm) {
+  const double clamped = std::max(dbm, kRssiFloorDbm);
+  return static_cast<std::uint32_t>(
+      std::llround((clamped - kRssiFloorDbm) * 100.0));
+}
+
+double unpack_rssi(std::uint32_t packed) {
+  return kRssiFloorDbm + static_cast<double>(packed) / 100.0;
+}
+}  // namespace
+
+Bytes Dataset::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(grid_.rows()));
+  w.u32(static_cast<std::uint32_t>(grid_.cols()));
+  w.u64(static_cast<std::uint64_t>(grid_.cell_size_m() * 1000.0));  // mm
+  w.u32(pack_rssi(threshold_dbm_));
+  w.u32(static_cast<std::uint32_t>(channels_.size()));
+  const std::size_t mask_bytes = (grid_.cell_count() + 7) / 8;
+  for (const auto& ch : channels_) {
+    for (double rssi : ch.rssi_dbm) w.u32(pack_rssi(rssi));
+    // The availability mask is authoritative (cells sitting within
+    // quantisation distance of the threshold must not flip on reload —
+    // the attacks consume these bits).
+    Bytes mask(mask_bytes, 0);
+    ch.available.for_each(
+        [&](std::size_t i) { mask[i / 8] |= std::uint8_t{1} << (i % 8); });
+    w.raw(mask);
+  }
+  return w.take();
+}
+
+Dataset Dataset::deserialize(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  const std::uint32_t rows = r.u32();
+  const std::uint32_t cols = r.u32();
+  const double cell_size_m = static_cast<double>(r.u64()) / 1000.0;
+  LPPA_PROTOCOL_CHECK(rows > 0 && cols > 0 && cell_size_m > 0.0,
+                      "invalid dataset geometry");
+  const double threshold = unpack_rssi(r.u32());
+  const Grid grid(static_cast<int>(rows), static_cast<int>(cols),
+                  cell_size_m);
+  Dataset ds(grid, threshold);
+  const std::uint32_t channels = r.u32();
+  const std::size_t mask_bytes = (grid.cell_count() + 7) / 8;
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    ChannelCoverage ch(grid.cell_count());
+    for (auto& v : ch.rssi_dbm) v = unpack_rssi(r.u32());
+    const Bytes mask = r.raw(mask_bytes);
+    for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+      if ((mask[i / 8] >> (i % 8)) & 1) {
+        ch.available.insert(i);
+        const double headroom = threshold - ch.rssi_dbm[i];
+        ch.quality[i] = std::clamp(headroom / 30.0, 0.0, 1.0);
+      }
+    }
+    ds.add_channel(std::move(ch));
+  }
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after Dataset");
+  return ds;
+}
+
+ChannelCoverage finalize_channel(const Grid& grid,
+                                 std::vector<double> rssi_dbm,
+                                 double threshold_dbm,
+                                 double quality_span_db) {
+  LPPA_REQUIRE(rssi_dbm.size() == grid.cell_count(),
+               "rssi raster size must match the grid");
+  LPPA_REQUIRE(quality_span_db > 0.0, "quality span must be positive");
+  ChannelCoverage ch(grid.cell_count());
+  ch.rssi_dbm = std::move(rssi_dbm);
+  for (std::size_t i = 0; i < ch.rssi_dbm.size(); ++i) {
+    if (ch.rssi_dbm[i] <= threshold_dbm) {
+      ch.available.insert(i);
+      const double headroom = threshold_dbm - ch.rssi_dbm[i];
+      ch.quality[i] = std::clamp(headroom / quality_span_db, 0.0, 1.0);
+    }
+  }
+  return ch;
+}
+
+}  // namespace lppa::geo

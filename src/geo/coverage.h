@@ -1,0 +1,82 @@
+// CoverageMap / Dataset: the per-channel rasters every attack and defence
+// consumes.
+//
+// For each channel r the dataset stores
+//   rssi_dbm[cell]   — received PU signal strength,
+//   available        — the set C_r of cells where an SU may transmit
+//                      (rssi <= threshold; the FCC rule with the paper's
+//                      practical threshold of -81 dBm),
+//   quality[cell]    — q*_r(m,n): the channel quality statistic a
+//                      geo-location database would publish.  We use the
+//                      normalised headroom below the availability
+//                      threshold: deeper inside the white space => higher
+//                      quality; 0 where the channel is unavailable.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/cellset.h"
+#include "geo/grid.h"
+
+namespace lppa::geo {
+
+struct ChannelCoverage {
+  std::vector<double> rssi_dbm;  ///< per-cell PU signal strength
+  CellSet available;             ///< C_r: complement of the PU protection region
+  std::vector<double> quality;   ///< q*_r per cell, in [0,1], 0 if unavailable
+
+  explicit ChannelCoverage(std::size_t cells)
+      : rssi_dbm(cells, 0.0), available(cells), quality(cells, 0.0) {}
+};
+
+class Dataset {
+ public:
+  Dataset(Grid grid, double threshold_dbm);
+
+  const Grid& grid() const noexcept { return grid_; }
+  double threshold_dbm() const noexcept { return threshold_dbm_; }
+
+  void add_channel(ChannelCoverage channel);
+
+  std::size_t channel_count() const noexcept { return channels_.size(); }
+  const ChannelCoverage& channel(std::size_t r) const;
+
+  /// C_r as a CellSet (the attack intersects these).
+  const CellSet& availability(std::size_t r) const { return channel(r).available; }
+
+  /// q*_r(m,n).
+  double quality(std::size_t r, const Cell& cell) const;
+  double quality_at_index(std::size_t r, std::size_t cell_index) const;
+
+  /// AS(cell): indices of channels available in a cell.
+  std::vector<std::size_t> available_channels(const Cell& cell) const;
+
+  /// A reduced dataset keeping only the first k channels — the paper's
+  /// Fig. 4(a)/(b) sweeps the number of auctioned channels.
+  Dataset restricted_to(std::size_t k) const;
+
+  /// Snapshot serialisation: lets an experiment pin the exact coverage
+  /// world it ran on (the role the paper's downloaded TVFool extract
+  /// plays).  Stores geometry, the rssi raster (quantised to centi-dB,
+  /// far beyond physical precision) and the authoritative availability
+  /// mask; quality is reconstructed as headroom over the default 30 dB
+  /// span on the stored available cells.
+  Bytes serialize() const;
+  static Dataset deserialize(std::span<const std::uint8_t> wire);
+
+ private:
+  Grid grid_;
+  double threshold_dbm_;
+  std::vector<ChannelCoverage> channels_;
+};
+
+/// Builds availability + quality rasters from a raw rssi raster.
+/// quality = clamp((threshold - rssi) / quality_span_db, 0, 1) on available
+/// cells; 0 elsewhere.
+ChannelCoverage finalize_channel(const Grid& grid,
+                                 std::vector<double> rssi_dbm,
+                                 double threshold_dbm,
+                                 double quality_span_db = 30.0);
+
+}  // namespace lppa::geo

@@ -1,0 +1,49 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lppa::geo {
+
+double distance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Grid::Grid(int rows, int cols, double cell_size_m)
+    : rows_(rows), cols_(cols), cell_size_m_(cell_size_m) {
+  LPPA_REQUIRE(rows > 0 && cols > 0, "Grid dimensions must be positive");
+  LPPA_REQUIRE(cell_size_m > 0.0, "Grid cell size must be positive");
+}
+
+std::size_t Grid::index(const Cell& c) const {
+  LPPA_REQUIRE(in_bounds(c), "cell out of grid bounds");
+  return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(c.col);
+}
+
+Cell Grid::cell_at(std::size_t index) const {
+  LPPA_REQUIRE(index < cell_count(), "cell index out of range");
+  return Cell{static_cast<int>(index / static_cast<std::size_t>(cols_)),
+              static_cast<int>(index % static_cast<std::size_t>(cols_))};
+}
+
+Point Grid::center(const Cell& c) const {
+  LPPA_REQUIRE(in_bounds(c), "cell out of grid bounds");
+  return Point{(c.col + 0.5) * cell_size_m_, (c.row + 0.5) * cell_size_m_};
+}
+
+Cell Grid::cell_of(const Point& p) const noexcept {
+  int col = static_cast<int>(std::floor(p.x / cell_size_m_));
+  int row = static_cast<int>(std::floor(p.y / cell_size_m_));
+  col = std::clamp(col, 0, cols_ - 1);
+  row = std::clamp(row, 0, rows_ - 1);
+  return Cell{row, col};
+}
+
+double Grid::cell_distance_m(const Cell& a, const Cell& b) const {
+  return distance(center(a), center(b));
+}
+
+}  // namespace lppa::geo

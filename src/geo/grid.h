@@ -1,0 +1,72 @@
+// Grid geometry: the paper divides each 75 km x 75 km area into 100 x 100
+// cells and represents a cell by its (row, column) pair.  This class owns
+// the cell <-> index <-> metric-coordinate conversions used by the
+// coverage maps, the attacks and the metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace lppa::geo {
+
+/// A cell address (m = row, n = column in the paper's notation).
+struct Cell {
+  int row = 0;
+  int col = 0;
+  bool operator==(const Cell&) const = default;
+};
+
+/// A point in metres within the area, origin at the south-west corner.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance in metres.
+double distance(const Point& a, const Point& b) noexcept;
+
+class Grid {
+ public:
+  /// rows x cols cells, each cell_size_m metres on a side.
+  Grid(int rows, int cols, double cell_size_m);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  double cell_size_m() const noexcept { return cell_size_m_; }
+  std::size_t cell_count() const noexcept {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+  /// Extent of the area in metres (width == cols * cell size).
+  double width_m() const noexcept { return cols_ * cell_size_m_; }
+  double height_m() const noexcept { return rows_ * cell_size_m_; }
+
+  bool in_bounds(const Cell& c) const noexcept {
+    return c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_;
+  }
+
+  /// Row-major linear index of a cell.
+  std::size_t index(const Cell& c) const;
+  Cell cell_at(std::size_t index) const;
+
+  /// Centre of a cell in metres.
+  Point center(const Cell& c) const;
+
+  /// The cell containing a point (clamped to the boundary cells so that
+  /// jittered positions on the very edge stay in-universe).
+  Cell cell_of(const Point& p) const noexcept;
+
+  /// Distance between cell centres in metres — the metric behind the
+  /// "incorrectness" attack measure.
+  double cell_distance_m(const Cell& a, const Cell& b) const;
+
+  bool operator==(const Grid&) const = default;
+
+ private:
+  int rows_;
+  int cols_;
+  double cell_size_m_;
+};
+
+}  // namespace lppa::geo

@@ -1,0 +1,64 @@
+#include "geo/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace lppa::geo {
+
+double PathLossModel::median_rssi_dbm(double tx_power_dbm,
+                                      double distance_m) const {
+  const double d = std::max(distance_m, reference_distance_m);
+  const double pl =
+      reference_loss_db + 10.0 * exponent * std::log10(d / reference_distance_m);
+  return tx_power_dbm - pl;
+}
+
+std::vector<double> make_shadowing_field(const Grid& grid, double sigma_db,
+                                         int smooth_radius, Rng& rng) {
+  LPPA_REQUIRE(sigma_db >= 0.0, "shadowing sigma must be non-negative");
+  LPPA_REQUIRE(smooth_radius >= 0, "smoothing radius must be non-negative");
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  std::vector<double> field(grid.cell_count());
+  for (auto& v : field) v = rng.normal(0.0, 1.0);
+  if (sigma_db == 0.0) {
+    std::fill(field.begin(), field.end(), 0.0);
+    return field;
+  }
+
+  // Separable box blur (horizontal then vertical), edge-clamped.
+  if (smooth_radius > 0) {
+    std::vector<double> tmp(field.size());
+    auto blur_pass = [&](bool horizontal) {
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          double acc = 0.0;
+          int count = 0;
+          for (int k = -smooth_radius; k <= smooth_radius; ++k) {
+            const int rr = horizontal ? r : std::clamp(r + k, 0, rows - 1);
+            const int cc = horizontal ? std::clamp(c + k, 0, cols - 1) : c;
+            acc += field[static_cast<std::size_t>(rr) * cols + cc];
+            ++count;
+          }
+          tmp[static_cast<std::size_t>(r) * cols + c] = acc / count;
+        }
+      }
+      field.swap(tmp);
+    };
+    blur_pass(true);
+    blur_pass(false);
+  }
+
+  // Blurring shrank the variance (and the scale-up would amplify any
+  // residual sample mean), so centre then rescale to the requested sigma.
+  const double m = mean(field);
+  for (auto& v : field) v -= m;
+  const double sd = sample_stddev(field);
+  const double scale = (sd > 1e-12) ? sigma_db / sd : 0.0;
+  for (auto& v : field) v *= scale;
+  return field;
+}
+
+}  // namespace lppa::geo

@@ -1,0 +1,40 @@
+// Radio propagation: log-distance path loss with spatially smoothed
+// lognormal shadowing.
+//
+// This replaces the paper's FCC/TVFool measured coverage maps (see
+// DESIGN.md §2).  The received PU signal strength at distance d from a
+// transmitter with EIRP `tx_power_dbm` is
+//
+//   rssi(d) = tx_power_dbm - (pl0 + 10 * n * log10(max(d, d0) / d0)) - S
+//
+// where n is the terrain path-loss exponent and S a zero-mean Gaussian
+// shadowing field with standard deviation sigma, smoothed over a few cells
+// so coverage boundaries are ragged but spatially coherent — the property
+// that makes urban areas harder to attack in Fig. 4(c).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+
+namespace lppa::geo {
+
+struct PathLossModel {
+  double exponent = 3.0;        ///< n, terrain dependent (2.0 free space .. 4+ dense urban)
+  double reference_loss_db = 90.0;  ///< pl0 at d0 (VHF/UHF broadcast scale)
+  double reference_distance_m = 1000.0;  ///< d0
+  double shadowing_sigma_db = 6.0;       ///< lognormal shadowing std-dev
+  int shadowing_smooth_radius = 2;       ///< box-blur radius in cells
+
+  /// Median (shadowing-free) received power in dBm.
+  double median_rssi_dbm(double tx_power_dbm, double distance_m) const;
+};
+
+/// A per-cell shadowing field: iid Gaussian samples box-blurred
+/// `smooth_radius` cells and rescaled back to `sigma_db`.  One field is
+/// drawn per channel (each PU transmitter sees its own terrain realisation).
+std::vector<double> make_shadowing_field(const Grid& grid, double sigma_db,
+                                         int smooth_radius, Rng& rng);
+
+}  // namespace lppa::geo

@@ -1,0 +1,73 @@
+#include "geo/render.h"
+
+#include <algorithm>
+
+namespace lppa::geo {
+
+std::string render_ascii_map(const Grid& grid, const CellSet& set,
+                             const Cell* marked,
+                             const RenderOptions& options) {
+  LPPA_REQUIRE(set.universe_size() == grid.cell_count(),
+               "set universe must match the grid");
+  LPPA_REQUIRE(options.block >= 1, "block size must be positive");
+  const int block = options.block;
+  const int out_rows = (grid.rows() + block - 1) / block;
+  const int out_cols = (grid.cols() + block - 1) / block;
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(out_rows) * (out_cols + 1));
+  for (int br = out_rows - 1; br >= 0; --br) {  // row 0 at the bottom
+    for (int bc = 0; bc < out_cols; ++bc) {
+      char glyph = options.clear_char;
+      bool has_mark = false;
+      for (int r = br * block; r < std::min((br + 1) * block, grid.rows());
+           ++r) {
+        for (int c = bc * block; c < std::min((bc + 1) * block, grid.cols());
+             ++c) {
+          if (set.contains(grid.index({r, c}))) glyph = options.set_char;
+          if (marked && marked->row == r && marked->col == c) {
+            has_mark = true;
+          }
+        }
+      }
+      out.push_back(has_mark ? options.mark_char : glyph);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string render_ascii_field(const Grid& grid,
+                               const std::function<double(std::size_t)>& value,
+                               double lo, double hi, int block) {
+  LPPA_REQUIRE(hi > lo, "field range must be non-empty");
+  LPPA_REQUIRE(block >= 1, "block size must be positive");
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = sizeof(kRamp) - 2;  // last index of the ramp
+
+  const int out_rows = (grid.rows() + block - 1) / block;
+  const int out_cols = (grid.cols() + block - 1) / block;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(out_rows) * (out_cols + 1));
+  for (int br = out_rows - 1; br >= 0; --br) {
+    for (int bc = 0; bc < out_cols; ++bc) {
+      double acc = 0.0;
+      int count = 0;
+      for (int r = br * block; r < std::min((br + 1) * block, grid.rows());
+           ++r) {
+        for (int c = bc * block; c < std::min((bc + 1) * block, grid.cols());
+             ++c) {
+          acc += value(grid.index({r, c}));
+          ++count;
+        }
+      }
+      const double mean = acc / std::max(count, 1);
+      const double unit = std::clamp((mean - lo) / (hi - lo), 0.0, 1.0);
+      out.push_back(kRamp[static_cast<int>(unit * kLevels)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace lppa::geo

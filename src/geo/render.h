@@ -1,0 +1,38 @@
+// ASCII rendering of grid rasters — used by the examples to show
+// coverage maps and attack candidate sets in a terminal (the repo's
+// stand-in for the paper's Fig. 1(b) Google-Earth screenshots).
+//
+// Row 0 is drawn at the bottom so the picture matches the metric
+// coordinate system (y grows north).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/cellset.h"
+#include "geo/grid.h"
+
+namespace lppa::geo {
+
+struct RenderOptions {
+  /// Downsample: each output character covers block x block cells (a
+  /// block is "set" when any member cell is).  1 = full resolution.
+  int block = 1;
+  char set_char = '#';    ///< member cells
+  char clear_char = '.';  ///< non-member cells
+  char mark_char = 'X';   ///< marked cell (e.g. the victim's position)
+};
+
+/// Renders the member cells of `set` over the grid; `marked` (optional,
+/// pass nullptr for none) overrides the glyph at one cell.
+std::string render_ascii_map(const Grid& grid, const CellSet& set,
+                             const Cell* marked = nullptr,
+                             const RenderOptions& options = {});
+
+/// Renders a scalar raster (e.g. a quality field) with the glyph ramp
+/// " .:-=+*#%@" over [lo, hi].
+std::string render_ascii_field(const Grid& grid,
+                               const std::function<double(std::size_t)>& value,
+                               double lo, double hi, int block = 1);
+
+}  // namespace lppa::geo

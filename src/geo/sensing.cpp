@@ -1,0 +1,56 @@
+#include "geo/sensing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lppa::geo {
+
+EnergyDetector::EnergyDetector(const SensingConfig& config)
+    : config_(config) {
+  LPPA_REQUIRE(config_.measurement_sigma_db >= 0.0,
+               "measurement sigma must be non-negative");
+  LPPA_REQUIRE(config_.averaging >= 1, "averaging needs at least one sample");
+  LPPA_REQUIRE(config_.quality_span_db > 0.0, "quality span must be positive");
+}
+
+double EnergyDetector::effective_sigma() const noexcept {
+  return config_.measurement_sigma_db /
+         std::sqrt(static_cast<double>(config_.averaging));
+}
+
+double EnergyDetector::measure(const Dataset& dataset, std::size_t channel,
+                               std::size_t cell_index, Rng& rng) const {
+  const double truth = dataset.channel(channel).rssi_dbm.at(cell_index);
+  return truth + rng.normal(0.0, effective_sigma());
+}
+
+bool EnergyDetector::channel_occupied(const Dataset& dataset,
+                                      std::size_t channel,
+                                      std::size_t cell_index,
+                                      Rng& rng) const {
+  return measure(dataset, channel, cell_index, rng) >
+         config_.detection_threshold_dbm;
+}
+
+std::vector<EnergyDetector::SensedChannel> EnergyDetector::sense(
+    const Dataset& dataset, std::size_t cell_index, Rng& rng) const {
+  std::vector<SensedChannel> out;
+  for (std::size_t r = 0; r < dataset.channel_count(); ++r) {
+    const double measured = measure(dataset, r, cell_index, rng);
+    if (measured > config_.detection_threshold_dbm) continue;  // occupied
+    const double headroom = config_.detection_threshold_dbm - measured;
+    out.push_back(
+        {r, std::clamp(headroom / config_.quality_span_db, 0.0, 1.0)});
+  }
+  return out;
+}
+
+double EnergyDetector::occupied_probability(double rssi_dbm) const {
+  const double sigma = effective_sigma();
+  const double gap = config_.detection_threshold_dbm - rssi_dbm;
+  if (sigma == 0.0) return gap < 0.0 ? 1.0 : 0.0;
+  // P[rssi + noise > threshold] = Q(gap / sigma).
+  return 0.5 * std::erfc(gap / (sigma * std::sqrt(2.0)));
+}
+
+}  // namespace lppa::geo

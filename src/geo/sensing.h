@@ -1,0 +1,68 @@
+// Energy-detection spectrum sensing: the "through spectrum sensing" arm
+// of the paper's initial phase (§II-A), as the alternative to querying
+// the white-space database.
+//
+// The SU measures the PU signal on each channel; measurement noise makes
+// the detector fallible, so a sensing SU can (a) miss a protected
+// channel and bid on it — harmful interference, and a submission that
+// breaks the BCM attacker's "bids imply availability" assumption — or
+// (b) falsely detect occupancy and forgo an available channel.
+// bench/abl_sensing quantifies how those errors degrade the BCM/BPM
+// attacks even before any deliberate defence.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/coverage.h"
+
+namespace lppa::geo {
+
+struct SensingConfig {
+  /// The availability decision threshold; matched to the FCC rule the
+  /// dataset was built with (paper: -81 dBm practical threshold).
+  double detection_threshold_dbm = -81.0;
+  /// Std-dev of a single energy measurement in dB.
+  double measurement_sigma_db = 2.0;
+  /// Independent measurements averaged per channel (noise shrinks with
+  /// sqrt(averaging)).
+  int averaging = 4;
+  /// Quality span for the sensed-quality estimate (matches the dataset's
+  /// headroom convention).
+  double quality_span_db = 30.0;
+};
+
+class EnergyDetector {
+ public:
+  explicit EnergyDetector(const SensingConfig& config);
+
+  /// One sensing measurement of channel r at a cell: the true received
+  /// power plus averaged measurement noise, in dBm.
+  double measure(const Dataset& dataset, std::size_t channel,
+                 std::size_t cell_index, Rng& rng) const;
+
+  /// The SU's sensed verdict: channel considered occupied (unavailable)?
+  bool channel_occupied(const Dataset& dataset, std::size_t channel,
+                        std::size_t cell_index, Rng& rng) const;
+
+  /// Full sensed view of one cell: estimated-available channels with the
+  /// sensed quality (headroom below the threshold, clamped to [0,1]).
+  struct SensedChannel {
+    std::size_t channel = 0;
+    double quality = 0.0;
+  };
+  std::vector<SensedChannel> sense(const Dataset& dataset,
+                                   std::size_t cell_index, Rng& rng) const;
+
+  /// Closed-form probability that a channel with true received power
+  /// `rssi_dbm` is declared occupied (Gaussian measurement model).
+  double occupied_probability(double rssi_dbm) const;
+
+  const SensingConfig& config() const noexcept { return config_; }
+
+ private:
+  double effective_sigma() const noexcept;
+  SensingConfig config_;
+};
+
+}  // namespace lppa::geo

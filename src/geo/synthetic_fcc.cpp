@@ -1,0 +1,96 @@
+#include "geo/synthetic_fcc.h"
+
+#include <array>
+#include <limits>
+
+namespace lppa::geo {
+
+namespace {
+
+const std::array<TerrainPreset, 4> kPresets = {{
+    // Area 1: urban core — strong loss, heavy ragged shadowing.
+    {"area1-urban", 3.8, 9.0, 2, 50.0, 68.0, 0.40},
+    // Area 2: dense metro — extreme loss, small patchy coverage, so the
+    // complement (availability) is huge and BCM yields large sets, which
+    // matches the paper's remark that Area 2's BCM output is "quite large".
+    {"area2-dense-metro", 4.2, 10.0, 1, 48.0, 64.0, 0.30},
+    // Area 3: suburban — the defence-evaluation area (Fig. 5).
+    {"area3-suburban", 3.2, 7.0, 2, 48.0, 66.0, 0.50},
+    // Area 4: exurban/rural — clean propagation, crisp coverage edges; the
+    // attack-evaluation area (Fig. 4(a)(b)).
+    {"area4-rural", 2.8, 5.0, 3, 46.0, 66.0, 0.60},
+}};
+
+}  // namespace
+
+const TerrainPreset& area_preset(int area_id) {
+  LPPA_REQUIRE(area_id >= 1 && area_id <= static_cast<int>(kPresets.size()),
+               "area_id must be in [1, 4]");
+  return kPresets[static_cast<std::size_t>(area_id - 1)];
+}
+
+int area_preset_count() noexcept { return static_cast<int>(kPresets.size()); }
+
+Tower tower_for_channel(const TerrainPreset& preset,
+                        const SyntheticFccConfig& config, Rng& rng) {
+  const double width = config.cols * config.cell_size_m;
+  const double height = config.rows * config.cell_size_m;
+  const double sx = preset.tower_spread * width;
+  const double sy = preset.tower_spread * height;
+  Tower t;
+  t.position.x = rng.uniform(-sx, width + sx);
+  t.position.y = rng.uniform(-sy, height + sy);
+  t.tx_power_dbm = rng.uniform(preset.tx_power_min_dbm, preset.tx_power_max_dbm);
+  return t;
+}
+
+Dataset generate_dataset(const TerrainPreset& preset,
+                         const SyntheticFccConfig& config, std::uint64_t seed) {
+  LPPA_REQUIRE(config.num_channels > 0, "need at least one channel");
+  Grid grid(config.rows, config.cols, config.cell_size_m);
+  Dataset dataset(grid, config.threshold_dbm);
+
+  PathLossModel model;
+  model.exponent = preset.pathloss_exponent;
+  model.shadowing_sigma_db = preset.shadow_sigma_db;
+  model.shadowing_smooth_radius = preset.shadow_smooth_radius;
+
+  LPPA_REQUIRE(config.max_towers_per_channel >= 1,
+               "each channel needs at least one tower");
+  Rng rng(seed);
+  for (int r = 0; r < config.num_channels; ++r) {
+    // Independent streams per channel: tower geometry and shadow field.
+    Rng channel_rng = rng.fork();
+    const int towers =
+        1 + static_cast<int>(channel_rng.below(
+                static_cast<std::uint64_t>(config.max_towers_per_channel)));
+    std::vector<Tower> layout;
+    layout.reserve(static_cast<std::size_t>(towers));
+    for (int t = 0; t < towers; ++t) {
+      layout.push_back(tower_for_channel(preset, config, channel_rng));
+    }
+    const std::vector<double> shadow = make_shadowing_field(
+        grid, model.shadowing_sigma_db, model.shadowing_smooth_radius,
+        channel_rng);
+
+    // The protection contour follows the strongest transmitter of the
+    // channel's network at each cell.
+    std::vector<double> rssi(grid.cell_count(),
+                             -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < rssi.size(); ++i) {
+      const Point p = grid.center(grid.cell_at(i));
+      for (const Tower& tower : layout) {
+        const double d = distance(p, tower.position);
+        rssi[i] = std::max(
+            rssi[i], model.median_rssi_dbm(tower.tx_power_dbm, d));
+      }
+      rssi[i] += shadow[i];
+    }
+    dataset.add_channel(finalize_channel(grid, std::move(rssi),
+                                         config.threshold_dbm,
+                                         config.quality_span_db));
+  }
+  return dataset;
+}
+
+}  // namespace lppa::geo

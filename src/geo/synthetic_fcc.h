@@ -1,0 +1,67 @@
+// SyntheticFcc: generator producing FCC/TVFool-like per-channel coverage
+// datasets (the paper's experimental substrate, see DESIGN.md §2).
+//
+// Each channel gets one PU transmitter (a TV tower) placed in an extended
+// neighbourhood of the area, a random EIRP, and a terrain-dependent
+// path-loss + shadowing realisation.  Four presets model the paper's
+// Areas 1-4: denser terrain (higher exponent, stronger shadowing) shrinks
+// and roughens coverage, which is what differentiates the BCM/BPM attack
+// quality across areas in Fig. 4(c).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/coverage.h"
+#include "geo/pathloss.h"
+
+namespace lppa::geo {
+
+struct Tower {
+  Point position;        ///< metres; may lie outside the area proper
+  double tx_power_dbm;   ///< EIRP
+};
+
+struct TerrainPreset {
+  std::string name;
+  double pathloss_exponent;
+  double shadow_sigma_db;
+  int shadow_smooth_radius;
+  double tx_power_min_dbm;
+  double tx_power_max_dbm;
+  /// Towers are placed uniformly in the area square extended by this
+  /// fraction on every side.
+  double tower_spread;
+};
+
+/// The four evaluation areas of the paper (1 = densest urban .. 4 = rural).
+const TerrainPreset& area_preset(int area_id);
+
+/// Number of supported presets.
+int area_preset_count() noexcept;
+
+struct SyntheticFccConfig {
+  int rows = 100;
+  int cols = 100;
+  double cell_size_m = 750.0;      ///< 100 x 750 m = the paper's 75 km side
+  double threshold_dbm = -81.0;    ///< paper's practical availability rule
+  double quality_span_db = 30.0;   ///< headroom that saturates quality at 1
+  int num_channels = 129;          ///< LA has 129 channels on TVFool
+  /// Towers per channel drawn uniformly from [1, max_towers_per_channel]
+  /// (single-frequency networks / translator stations).  A cell is
+  /// protected when ANY tower's signal exceeds the threshold, so more
+  /// towers shrink availability.  Default 1 = one PU transmitter per
+  /// channel, the configuration all paper-reproduction benches use.
+  int max_towers_per_channel = 1;
+};
+
+/// Deterministically generates the dataset for (preset, config, seed).
+Dataset generate_dataset(const TerrainPreset& preset,
+                         const SyntheticFccConfig& config, std::uint64_t seed);
+
+/// The tower layout used for channel r under (preset, config, seed); split
+/// out so tests can verify determinism and geometry independently.
+Tower tower_for_channel(const TerrainPreset& preset,
+                        const SyntheticFccConfig& config, Rng& rng);
+
+}  // namespace lppa::geo

@@ -1,0 +1,45 @@
+#include "geo/whitespace_db.h"
+
+namespace lppa::geo {
+
+WhiteSpaceDatabase::WhiteSpaceDatabase(const Dataset& dataset)
+    : dataset_(&dataset) {}
+
+std::vector<WhiteSpaceDatabase::ChannelInfo> WhiteSpaceDatabase::query(
+    const Point& position) const {
+  return query(dataset_->grid().cell_of(position));
+}
+
+std::vector<WhiteSpaceDatabase::ChannelInfo> WhiteSpaceDatabase::query(
+    const Cell& cell) const {
+  ++queries_;
+  const std::size_t index = dataset_->grid().index(cell);
+  std::vector<ChannelInfo> out;
+  for (std::size_t r = 0; r < dataset_->channel_count(); ++r) {
+    if (dataset_->availability(r).contains(index)) {
+      out.push_back({r, dataset_->quality_at_index(r, index)});
+    }
+  }
+  return out;
+}
+
+double WhiteSpaceDatabase::quality(std::size_t channel,
+                                   const Cell& cell) const {
+  return dataset_->quality(channel, cell);
+}
+
+bool WhiteSpaceDatabase::available(std::size_t channel,
+                                   const Cell& cell) const {
+  return dataset_->availability(channel).contains(
+      dataset_->grid().index(cell));
+}
+
+std::size_t WhiteSpaceDatabase::channel_count() const noexcept {
+  return dataset_->channel_count();
+}
+
+const Grid& WhiteSpaceDatabase::grid() const noexcept {
+  return dataset_->grid();
+}
+
+}  // namespace lppa::geo

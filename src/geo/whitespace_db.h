@@ -1,0 +1,58 @@
+// WhiteSpaceDatabase: the geo-location database of database-driven CRNs
+// (paper §II-A "through spectrum sensing or database query", and the
+// attacker's assumed source of the per-cell quality statistics
+// q*_r(m,n) in §III-B).
+//
+// The database answers position queries with the channels available at
+// the containing cell and their quality statistics, and exposes the
+// full per-cell statistic table (public FCC-style data, which is exactly
+// why the BPM attacker has it too).  Query accounting lets experiments
+// report SU-side database load.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/coverage.h"
+
+namespace lppa::geo {
+
+class WhiteSpaceDatabase {
+ public:
+  /// The database serves a fixed published dataset snapshot; the caller
+  /// keeps `dataset` alive.
+  explicit WhiteSpaceDatabase(const Dataset& dataset);
+
+  struct ChannelInfo {
+    std::size_t channel = 0;
+    double quality = 0.0;  ///< q*_r at the queried cell
+
+    bool operator==(const ChannelInfo&) const = default;
+  };
+
+  /// Channels available at the cell containing `position`, with their
+  /// quality statistics.  Mirrors a TVWS database query.
+  std::vector<ChannelInfo> query(const Point& position) const;
+
+  /// Same, by cell address.
+  std::vector<ChannelInfo> query(const Cell& cell) const;
+
+  /// The full public statistic (what the BPM attacker downloads).
+  double quality(std::size_t channel, const Cell& cell) const;
+
+  /// True iff the channel may be used at the cell.
+  bool available(std::size_t channel, const Cell& cell) const;
+
+  std::size_t channel_count() const noexcept;
+  const Grid& grid() const noexcept;
+
+  /// Number of position queries served so far (TVWS databases meter
+  /// device queries; experiments report this as SU-side load).
+  std::size_t queries_served() const noexcept { return queries_; }
+
+ private:
+  const Dataset* dataset_;
+  mutable std::size_t queries_ = 0;
+};
+
+}  // namespace lppa::geo

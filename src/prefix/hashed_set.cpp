@@ -1,0 +1,90 @@
+#include "prefix/hashed_set.h"
+
+#include <algorithm>
+
+namespace lppa::prefix {
+
+namespace {
+
+std::vector<crypto::Digest> hash_prefixes(const crypto::SecretKey& key,
+                                          const std::vector<Prefix>& prefixes) {
+  std::vector<crypto::Digest> out;
+  out.reserve(prefixes.size());
+  for (const auto& p : prefixes) {
+    out.push_back(crypto::hmac_sha256_u64(key, numericalize(p)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+HashedPrefixSet HashedPrefixSet::of_value(const crypto::SecretKey& key,
+                                          std::uint64_t x, int width) {
+  HashedPrefixSet s;
+  s.digests_ = hash_prefixes(key, prefix_family(x, width));
+  return s;
+}
+
+HashedPrefixSet HashedPrefixSet::of_range(const crypto::SecretKey& key,
+                                          std::uint64_t a, std::uint64_t b,
+                                          int width) {
+  HashedPrefixSet s;
+  s.digests_ = hash_prefixes(key, range_prefixes(a, b, width));
+  return s;
+}
+
+HashedPrefixSet HashedPrefixSet::from_digests(
+    std::vector<crypto::Digest> digests) {
+  HashedPrefixSet s;
+  s.digests_ = std::move(digests);
+  std::sort(s.digests_.begin(), s.digests_.end());
+  return s;
+}
+
+bool HashedPrefixSet::intersects(const HashedPrefixSet& other) const noexcept {
+  // Linear merge over the two sorted vectors.
+  auto a = digests_.begin();
+  auto b = other.digests_.begin();
+  while (a != digests_.end() && b != other.digests_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+void HashedPrefixSet::pad_to(std::size_t target, Rng& rng) {
+  while (digests_.size() < target) {
+    crypto::Digest d;
+    for (auto& byte : d.bytes) byte = static_cast<std::uint8_t>(rng.below(256));
+    digests_.push_back(d);
+  }
+  std::sort(digests_.begin(), digests_.end());
+}
+
+void HashedPrefixSet::serialize(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(digests_.size()));
+  for (const auto& d : digests_) w.raw(std::span<const std::uint8_t>(d.bytes));
+}
+
+HashedPrefixSet HashedPrefixSet::deserialize(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<crypto::Digest> digests(n);
+  for (auto& d : digests) {
+    const Bytes raw = r.raw(crypto::Digest::kSize);
+    std::copy(raw.begin(), raw.end(), d.bytes.begin());
+  }
+  return from_digests(std::move(digests));
+}
+
+bool box_match(const HashedPrefixSet& x_family, const HashedPrefixSet& y_family,
+               const HashedPrefixSet& x_range, const HashedPrefixSet& y_range)
+    noexcept {
+  return x_family.intersects(x_range) && y_family.intersects(y_range);
+}
+
+}  // namespace lppa::prefix

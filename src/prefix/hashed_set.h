@@ -1,0 +1,65 @@
+// HashedPrefixSet: the masked form of a prefix family / range cover.
+//
+// Each numericalised prefix is pushed through HMAC under the scheme key;
+// the auctioneer only ever asks "do two sets intersect?".  Digests are
+// kept sorted so intersection is a linear merge, and the set can be padded
+// with uniformly random digests up to the worst-case cardinality 2w-2 to
+// hide how many real prefixes a range produced (paper §IV-C.2, fix (v)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/hmac.h"
+#include "prefix/prefix.h"
+
+namespace lppa::prefix {
+
+class HashedPrefixSet {
+ public:
+  HashedPrefixSet() = default;
+
+  /// H_g(G(x)): the hashed prefix family of a value.
+  static HashedPrefixSet of_value(const crypto::SecretKey& key,
+                                  std::uint64_t x, int width);
+
+  /// H_g(Q([a,b])): the hashed minimal cover of a range.
+  static HashedPrefixSet of_range(const crypto::SecretKey& key,
+                                  std::uint64_t a, std::uint64_t b, int width);
+
+  /// Builds from raw digests (deserialisation path).
+  static HashedPrefixSet from_digests(std::vector<crypto::Digest> digests);
+
+  /// True iff the two masked sets share a digest.  This is the only
+  /// operation the untrusted auctioneer performs.
+  bool intersects(const HashedPrefixSet& other) const noexcept;
+
+  /// Pads with uniform random digests up to `target` elements.  Random
+  /// 32-byte strings collide with real HMAC outputs with probability
+  /// ~2^-256, so padding never flips a membership answer.
+  void pad_to(std::size_t target, Rng& rng);
+
+  std::size_t size() const noexcept { return digests_.size(); }
+  std::span<const crypto::Digest> digests() const noexcept { return digests_; }
+
+  /// Wire encoding: u32 count, then 32-byte digests.
+  void serialize(ByteWriter& w) const;
+  static HashedPrefixSet deserialize(ByteReader& r);
+  std::size_t wire_size() const noexcept { return 4 + 32 * digests_.size(); }
+
+  bool operator==(const HashedPrefixSet&) const = default;
+
+ private:
+  std::vector<crypto::Digest> digests_;  // sorted ascending
+};
+
+/// Conjunctive 2-D check used by the location protocol: point (x,y) is in
+/// the box iff both axes intersect.
+bool box_match(const HashedPrefixSet& x_family, const HashedPrefixSet& y_family,
+               const HashedPrefixSet& x_range, const HashedPrefixSet& y_range)
+    noexcept;
+
+}  // namespace lppa::prefix

@@ -1,0 +1,92 @@
+#include "prefix/prefix.h"
+
+#include <algorithm>
+
+namespace lppa::prefix {
+
+void check_value_width(std::uint64_t v, int width) {
+  LPPA_REQUIRE(width >= 1 && width <= kMaxWidth,
+               "prefix width must be in [1, 62]");
+  LPPA_REQUIRE(width == 64 || (v >> width) == 0,
+               "value does not fit the declared bit width");
+}
+
+std::string Prefix::pattern() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = len - 1; i >= 0; --i) {
+    out.push_back(((bits >> i) & 1) ? '1' : '0');
+  }
+  out.append(static_cast<std::size_t>(width - len), '*');
+  return out;
+}
+
+std::vector<Prefix> prefix_family(std::uint64_t x, int width) {
+  check_value_width(x, width);
+  std::vector<Prefix> family;
+  family.reserve(static_cast<std::size_t>(width) + 1);
+  for (int len = width; len >= 0; --len) {
+    family.push_back(Prefix{x >> (width - len), len, width});
+  }
+  return family;
+}
+
+namespace {
+
+// Recursive minimal cover: the prefix {bits,len} spans [lo,hi]; emit it if
+// fully inside [a,b], recurse into halves if it straddles the boundary.
+void cover(std::uint64_t a, std::uint64_t b, std::uint64_t bits, int len,
+           int width, std::vector<Prefix>& out) {
+  const Prefix p{bits, len, width};
+  const std::uint64_t lo = p.range_lo();
+  const std::uint64_t hi = p.range_hi();
+  if (lo > b || hi < a) return;  // disjoint
+  if (lo >= a && hi <= b) {      // contained: emit
+    out.push_back(p);
+    return;
+  }
+  // len == width implies lo == hi, which is either disjoint or contained,
+  // so reaching here guarantees room to split.
+  cover(a, b, bits << 1, len + 1, width, out);
+  cover(a, b, (bits << 1) | 1, len + 1, width, out);
+}
+
+}  // namespace
+
+std::vector<Prefix> range_prefixes(std::uint64_t a, std::uint64_t b, int width) {
+  check_value_width(a, width);
+  check_value_width(b, width);
+  LPPA_REQUIRE(a <= b, "range_prefixes requires a <= b");
+  std::vector<Prefix> out;
+  cover(a, b, 0, 0, width, out);
+  return out;
+}
+
+std::uint64_t numericalize(const Prefix& p) {
+  // t1..ts followed by wildcards -> (w+1)-bit t1..ts 1 0..0.
+  const int tail = p.width - p.len;
+  return (p.bits << (tail + 1)) | (std::uint64_t{1} << tail);
+}
+
+bool member_of_range(std::uint64_t x, std::uint64_t a, std::uint64_t b,
+                     int width) {
+  const auto family = prefix_family(x, width);
+  const auto cover_set = range_prefixes(a, b, width);
+  std::vector<std::uint64_t> fam_nums;
+  fam_nums.reserve(family.size());
+  for (const auto& p : family) fam_nums.push_back(numericalize(p));
+  std::sort(fam_nums.begin(), fam_nums.end());
+  for (const auto& p : cover_set) {
+    if (std::binary_search(fam_nums.begin(), fam_nums.end(), numericalize(p))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t max_range_prefixes(int width) {
+  LPPA_REQUIRE(width >= 1, "width must be positive");
+  return static_cast<std::size_t>(std::max(1, 2 * width - 2));
+}
+
+}  // namespace lppa::prefix

@@ -1,0 +1,53 @@
+#include "proto/bus.h"
+
+namespace lppa::proto {
+
+std::string Address::label() const {
+  switch (kind) {
+    case Kind::kSecondaryUser:
+      return "su" + std::to_string(index);
+    case Kind::kAuctioneer:
+      return "auctioneer";
+    case Kind::kTtp:
+      return "ttp";
+  }
+  return "?";
+}
+
+void MessageBus::send(const Address& from, const Address& to, Bytes message) {
+  auto& stats = stats_[{from, to}];
+  ++stats.messages;
+  stats.bytes += message.size();
+  queues_[to].push_back(std::move(message));
+}
+
+std::optional<Bytes> MessageBus::receive(const Address& to) {
+  auto it = queues_.find(to);
+  if (it == queues_.end() || it->second.empty()) return std::nullopt;
+  Bytes front = std::move(it->second.front());
+  it->second.pop_front();
+  return front;
+}
+
+std::size_t MessageBus::pending(const Address& to) const {
+  auto it = queues_.find(to);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+LinkStats MessageBus::link(const Address& from, const Address& to) const {
+  auto it = stats_.find({from, to});
+  return it == stats_.end() ? LinkStats{} : it->second;
+}
+
+LinkStats MessageBus::total_into(Address::Kind to_kind) const {
+  LinkStats total;
+  for (const auto& [link, stats] : stats_) {
+    if (link.second.kind == to_kind) {
+      total.messages += stats.messages;
+      total.bytes += stats.bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace lppa::proto

@@ -1,0 +1,67 @@
+// MessageBus: a synchronous store-and-forward byte transport between the
+// protocol parties, with per-link volume accounting.
+//
+// The wire harness (proto/session.h) runs the whole auction through this
+// bus so that (a) every protocol message provably round-trips through
+// its byte encoding and (b) the Theorem 4 communication-cost accounting
+// is measured on real link traffic rather than struct sizes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace lppa::proto {
+
+/// A protocol endpoint: one of N secondary users, the auctioneer, or the
+/// TTP.
+struct Address {
+  enum class Kind : std::uint8_t { kSecondaryUser, kAuctioneer, kTtp };
+  Kind kind = Kind::kAuctioneer;
+  std::size_t index = 0;  ///< SU index; 0 for auctioneer/TTP
+
+  static Address su(std::size_t index) {
+    return {Kind::kSecondaryUser, index};
+  }
+  static Address auctioneer() { return {Kind::kAuctioneer, 0}; }
+  static Address ttp() { return {Kind::kTtp, 0}; }
+
+  auto operator<=>(const Address&) const = default;
+  std::string label() const;
+};
+
+/// Aggregate traffic of one directed link.
+struct LinkStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+};
+
+class MessageBus {
+ public:
+  /// Enqueues a message; counted against the (from, to) link.
+  void send(const Address& from, const Address& to, Bytes message);
+
+  /// Pops the oldest message addressed to `to`, or nullopt.
+  std::optional<Bytes> receive(const Address& to);
+
+  /// Messages currently queued for an endpoint.
+  std::size_t pending(const Address& to) const;
+
+  /// Traffic of one directed link so far.
+  LinkStats link(const Address& from, const Address& to) const;
+
+  /// Total traffic into an endpoint kind (e.g. everything the auctioneer
+  /// received from all SUs).
+  LinkStats total_into(Address::Kind to_kind) const;
+
+ private:
+  std::map<Address, std::deque<Bytes>> queues_;
+  std::map<std::pair<Address, Address>, LinkStats> stats_;
+};
+
+}  // namespace lppa::proto

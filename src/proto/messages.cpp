@@ -1,0 +1,101 @@
+#include "proto/messages.h"
+
+namespace lppa::proto {
+
+Bytes Envelope::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(sender);
+  w.bytes(payload);
+  return w.take();
+}
+
+Envelope Envelope::deserialize(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  Envelope e;
+  const std::uint8_t raw_type = r.u8();
+  LPPA_PROTOCOL_CHECK(
+      raw_type >= static_cast<std::uint8_t>(MessageType::kLocationSubmission) &&
+          raw_type <= static_cast<std::uint8_t>(MessageType::kWinnerAnnouncement),
+      "unknown message type");
+  e.type = static_cast<MessageType>(raw_type);
+  e.sender = r.u64();
+  e.payload = r.bytes();
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after Envelope");
+  return e;
+}
+
+Bytes WinnerAnnouncement::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(awards.size()));
+  for (const auto& a : awards) {
+    w.u64(a.user);
+    w.u64(a.channel);
+    w.u64(a.charge);
+    w.u8(a.valid ? 1 : 0);
+  }
+  return w.take();
+}
+
+WinnerAnnouncement WinnerAnnouncement::deserialize(
+    std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  WinnerAnnouncement wa;
+  const std::uint32_t n = r.u32();
+  wa.awards.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auction::Award a;
+    a.user = r.u64();
+    a.channel = r.u64();
+    a.charge = r.u64();
+    const std::uint8_t valid = r.u8();
+    LPPA_PROTOCOL_CHECK(valid <= 1, "invalid Award validity flag");
+    a.valid = valid != 0;
+    wa.awards.push_back(a);
+  }
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after WinnerAnnouncement");
+  return wa;
+}
+
+Bytes serialize_charge_queries(const std::vector<core::ChargeQuery>& queries) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(queries.size()));
+  for (const auto& q : queries) q.serialize(w);
+  return w.take();
+}
+
+std::vector<core::ChargeQuery> deserialize_charge_queries(
+    std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  const std::uint32_t n = r.u32();
+  std::vector<core::ChargeQuery> queries;
+  queries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    queries.push_back(core::ChargeQuery::deserialize(r));
+  }
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after charge query batch");
+  return queries;
+}
+
+Bytes serialize_charge_results(
+    const std::vector<core::ChargeResult>& results) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(results.size()));
+  for (const auto& res : results) res.serialize(w);
+  return w.take();
+}
+
+std::vector<core::ChargeResult> deserialize_charge_results(
+    std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  const std::uint32_t n = r.u32();
+  std::vector<core::ChargeResult> results;
+  results.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    results.push_back(core::ChargeResult::deserialize(r));
+  }
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after charge result batch");
+  return results;
+}
+
+}  // namespace lppa::proto

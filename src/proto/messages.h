@@ -1,0 +1,53 @@
+// Typed message envelopes for the wire protocol.
+//
+// Every blob on the MessageBus is an Envelope: a one-byte type tag, the
+// sender's claimed SU index (meaningful for submissions), and the typed
+// payload produced by the core serialisers.  A corrupted or mistyped
+// envelope surfaces as LppaError(kProtocol) at the receiver — never as
+// undefined behaviour — which the fuzz tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/ppbs_location.h"
+#include "core/ttp.h"
+
+namespace lppa::proto {
+
+enum class MessageType : std::uint8_t {
+  kLocationSubmission = 1,
+  kBidSubmission = 2,
+  kChargeQueryBatch = 3,
+  kChargeResultBatch = 4,
+  kWinnerAnnouncement = 5,
+};
+
+struct Envelope {
+  MessageType type = MessageType::kLocationSubmission;
+  std::uint64_t sender = 0;  ///< SU index for submissions, else 0
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Envelope deserialize(std::span<const std::uint8_t> wire);
+};
+
+/// The published outcome: winners, their channels, validated charges.
+struct WinnerAnnouncement {
+  std::vector<auction::Award> awards;
+
+  Bytes serialize() const;
+  static WinnerAnnouncement deserialize(std::span<const std::uint8_t> wire);
+};
+
+/// Batch wrappers around the core charge messages.
+Bytes serialize_charge_queries(const std::vector<core::ChargeQuery>& queries);
+std::vector<core::ChargeQuery> deserialize_charge_queries(
+    std::span<const std::uint8_t> wire);
+
+Bytes serialize_charge_results(const std::vector<core::ChargeResult>& results);
+std::vector<core::ChargeResult> deserialize_charge_results(
+    std::span<const std::uint8_t> wire);
+
+}  // namespace lppa::proto

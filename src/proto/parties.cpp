@@ -1,0 +1,180 @@
+#include "proto/parties.h"
+
+namespace lppa::proto {
+
+// ------------------------------------------------------------- SuClient
+
+SuClient::SuClient(std::size_t user_index, const core::LppaConfig& config,
+                   const core::SuKeyBundle& keys)
+    : user_index_(user_index),
+      config_(config),
+      location_protocol_(keys.g0, config.coord_width, config.lambda,
+                         config.pad_location_ranges),
+      submitter_(config.bid, keys.gb_master, keys.gc) {}
+
+Bytes SuClient::location_envelope(const auction::SuLocation& location,
+                                  Rng& rng) const {
+  Envelope e;
+  e.type = MessageType::kLocationSubmission;
+  e.sender = user_index_;
+  e.payload = location_protocol_.submit(location, rng).serialize();
+  return e.serialize();
+}
+
+Bytes SuClient::bid_envelope(const auction::BidVector& bids, Rng& rng) const {
+  LPPA_REQUIRE(bids.size() == config_.num_channels,
+               "bid vector must cover every auctioned channel");
+  Envelope e;
+  e.type = MessageType::kBidSubmission;
+  e.sender = user_index_;
+  e.payload = submitter_.submit(bids, rng).serialize();
+  return e.serialize();
+}
+
+// ----------------------------------------------------- AuctioneerSession
+
+AuctioneerSession::AuctioneerSession(const core::LppaConfig& config,
+                                     std::size_t num_users)
+    : config_(config),
+      num_users_(num_users),
+      locations_(num_users),
+      bids_(num_users) {
+  LPPA_REQUIRE(num_users > 0, "auction requires at least one user");
+}
+
+void AuctioneerSession::ingest(const Bytes& envelope_bytes) {
+  const Envelope e = Envelope::deserialize(envelope_bytes);
+  LPPA_PROTOCOL_CHECK(e.sender < num_users_, "submission from unknown user");
+  switch (e.type) {
+    case MessageType::kLocationSubmission: {
+      LPPA_PROTOCOL_CHECK(!locations_[e.sender].has_value(),
+                          "duplicate location submission");
+      locations_[e.sender] = core::LocationSubmission::deserialize(e.payload);
+      break;
+    }
+    case MessageType::kBidSubmission: {
+      LPPA_PROTOCOL_CHECK(!bids_[e.sender].has_value(),
+                          "duplicate bid submission");
+      auto submission = core::BidSubmission::deserialize(e.payload);
+      LPPA_PROTOCOL_CHECK(submission.channels.size() == config_.num_channels,
+                          "bid submission does not cover every channel");
+      bids_[e.sender] = std::move(submission);
+      break;
+    }
+    default:
+      LPPA_PROTOCOL_CHECK(false, "unexpected message type for auctioneer");
+  }
+}
+
+bool AuctioneerSession::ready() const noexcept {
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    if (!locations_[u].has_value() || !bids_[u].has_value()) return false;
+  }
+  return true;
+}
+
+void AuctioneerSession::run_allocation(Rng& rng) {
+  LPPA_REQUIRE(ready(), "submissions still missing");
+  LPPA_REQUIRE(!allocated_, "allocation already ran");
+
+  std::vector<core::LocationSubmission> locations;
+  locations.reserve(num_users_);
+  for (const auto& loc : locations_) locations.push_back(*loc);
+  conflicts_ = core::PpbsLocation::build_conflict_graph(locations);
+
+  bid_store_.clear();
+  bid_store_.reserve(num_users_);
+  for (const auto& bid : bids_) bid_store_.push_back(*bid);
+  core::EncryptedBidTable table(bid_store_, config_.num_channels);
+  awards_ = auction::greedy_allocate(table, *conflicts_, rng);
+  allocated_ = true;
+}
+
+std::vector<Bytes> AuctioneerSession::charge_query_envelopes() const {
+  LPPA_REQUIRE(allocated_, "allocation has not run yet");
+  std::vector<Bytes> batches;
+  std::vector<core::ChargeQuery> pending;
+  auto flush = [&] {
+    if (pending.empty()) return;
+    Envelope e;
+    e.type = MessageType::kChargeQueryBatch;
+    e.payload = serialize_charge_queries(pending);
+    batches.push_back(e.serialize());
+    pending.clear();
+  };
+  for (const auto& award : awards_) {
+    const auto& entry = bid_store_[award.user].channels[award.channel];
+    core::ChargeQuery query{award.user, award.channel, entry.sealed,
+                            entry.value_family, std::nullopt, std::nullopt};
+    if (config_.charging_rule == core::ChargingRule::kSecondPrice) {
+      std::optional<auction::UserId> second;
+      for (auction::UserId u = 0; u < bid_store_.size(); ++u) {
+        if (u == award.user) continue;
+        if (!second ||
+            !core::encrypted_ge(bid_store_[*second].channels[award.channel],
+                                bid_store_[u].channels[award.channel])) {
+          second = u;
+        }
+      }
+      if (second) {
+        const auto& runner_up = bid_store_[*second].channels[award.channel];
+        query.runner_up_sealed = runner_up.sealed;
+        query.runner_up_family = runner_up.value_family;
+      }
+    }
+    pending.push_back(std::move(query));
+    if (pending.size() >= config_.ttp_batch_size) flush();
+  }
+  flush();
+  return batches;
+}
+
+void AuctioneerSession::ingest_charge_results(const Bytes& envelope_bytes) {
+  const Envelope e = Envelope::deserialize(envelope_bytes);
+  LPPA_PROTOCOL_CHECK(e.type == MessageType::kChargeResultBatch,
+                      "expected a charge-result batch");
+  for (const auto& res : deserialize_charge_results(e.payload)) {
+    bool matched = false;
+    for (auto& award : awards_) {
+      if (award.user == res.user && award.channel == res.channel) {
+        award.valid = res.valid && !res.manipulated;
+        award.charge = res.manipulated ? 0 : res.charge;
+        matched = true;
+      }
+    }
+    LPPA_PROTOCOL_CHECK(matched, "charge result for an unknown award");
+    ++results_ingested_;
+  }
+}
+
+Bytes AuctioneerSession::winner_announcement() const {
+  LPPA_REQUIRE(results_ingested_ >= awards_.size(),
+               "charge results still outstanding");
+  Envelope e;
+  e.type = MessageType::kWinnerAnnouncement;
+  WinnerAnnouncement wa;
+  wa.awards = awards_;
+  e.payload = wa.serialize();
+  return e.serialize();
+}
+
+const auction::ConflictGraph& AuctioneerSession::conflicts() const {
+  LPPA_REQUIRE(conflicts_.has_value(), "allocation has not run yet");
+  return *conflicts_;
+}
+
+// ------------------------------------------------------------ TtpService
+
+Bytes TtpService::handle(const Bytes& envelope_bytes) {
+  const Envelope e = Envelope::deserialize(envelope_bytes);
+  LPPA_PROTOCOL_CHECK(e.type == MessageType::kChargeQueryBatch,
+                      "TTP expects charge-query batches");
+  const auto queries = deserialize_charge_queries(e.payload);
+  const auto results = ttp_->process_batch(queries);
+  Envelope out;
+  out.type = MessageType::kChargeResultBatch;
+  out.payload = serialize_charge_results(results);
+  return out.serialize();
+}
+
+}  // namespace lppa::proto

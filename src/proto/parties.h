@@ -1,0 +1,100 @@
+// The three protocol roles as wire-level state machines.
+//
+// Each party only ever consumes and produces Envelope bytes; the session
+// driver (proto/session.h) moves those bytes over a MessageBus.  The
+// information separation of the paper is structural here: SuClient holds
+// the TTP-issued keys, AuctioneerSession holds none, TtpService wraps
+// the TrustedThirdParty.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "auction/allocate.h"
+#include "core/encrypted_bid_table.h"
+#include "core/lppa_auction.h"
+#include "proto/messages.h"
+
+namespace lppa::proto {
+
+/// A secondary user: masks its location and bids under the TTP-issued
+/// keys and emits submission envelopes.
+class SuClient {
+ public:
+  SuClient(std::size_t user_index, const core::LppaConfig& config,
+           const core::SuKeyBundle& keys);
+
+  std::size_t user_index() const noexcept { return user_index_; }
+
+  /// The PPBS location submission as a wire envelope.
+  Bytes location_envelope(const auction::SuLocation& location, Rng& rng) const;
+
+  /// The PPBS (advanced) bid submission as a wire envelope.
+  Bytes bid_envelope(const auction::BidVector& bids, Rng& rng) const;
+
+ private:
+  std::size_t user_index_;
+  core::LppaConfig config_;
+  core::PpbsLocation location_protocol_;
+  core::BidSubmitter submitter_;
+};
+
+/// The auctioneer: ingests submissions, reconstructs the conflict graph,
+/// allocates in the masked domain, emits charge-query batches, ingests
+/// the TTP's results and publishes the winner announcement.
+class AuctioneerSession {
+ public:
+  AuctioneerSession(const core::LppaConfig& config, std::size_t num_users);
+
+  /// Feeds one envelope from an SU.  Throws LppaError(kProtocol) on
+  /// malformed, duplicate, mistyped or out-of-range submissions.
+  void ingest(const Bytes& envelope_bytes);
+
+  /// True once every user's location and bid submission has arrived.
+  bool ready() const noexcept;
+
+  /// Runs conflict-graph construction + greedy allocation (Algorithm 3).
+  /// Requires ready().
+  void run_allocation(Rng& rng);
+
+  /// Charge-query batches for the TTP (respects ttp_batch_size).
+  /// Requires run_allocation() to have happened.
+  std::vector<Bytes> charge_query_envelopes() const;
+
+  /// Feeds one charge-result envelope back from the TTP.
+  void ingest_charge_results(const Bytes& envelope_bytes);
+
+  /// The published outcome; requires all charge results ingested.
+  Bytes winner_announcement() const;
+  const std::vector<auction::Award>& awards() const noexcept {
+    return awards_;
+  }
+
+  const auction::ConflictGraph& conflicts() const;
+
+ private:
+  core::LppaConfig config_;
+  std::size_t num_users_;
+  std::vector<std::optional<core::LocationSubmission>> locations_;
+  std::vector<std::optional<core::BidSubmission>> bids_;
+  std::vector<core::BidSubmission> bid_store_;  ///< materialised at allocation
+  std::optional<auction::ConflictGraph> conflicts_;
+  std::vector<auction::Award> awards_;
+  std::size_t results_ingested_ = 0;
+  bool allocated_ = false;
+};
+
+/// The periodically-available TTP endpoint.
+class TtpService {
+ public:
+  explicit TtpService(core::TrustedThirdParty& ttp) : ttp_(&ttp) {}
+
+  /// Decrypts/validates one charge-query batch envelope, returns the
+  /// result batch envelope.
+  Bytes handle(const Bytes& envelope_bytes);
+
+ private:
+  core::TrustedThirdParty* ttp_;
+};
+
+}  // namespace lppa::proto

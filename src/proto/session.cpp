@@ -1,0 +1,68 @@
+#include "proto/session.h"
+
+namespace lppa::proto {
+
+WireAuctionResult run_wire_auction(
+    const core::LppaConfig& config, core::TrustedThirdParty& ttp,
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<auction::BidVector>& bids, MessageBus& bus, Rng& rng) {
+  LPPA_REQUIRE(locations.size() == bids.size(),
+               "one location per bid vector required");
+  LPPA_REQUIRE(!bids.empty(), "auction requires at least one bidder");
+
+  const std::size_t n = bids.size();
+  const Address auctioneer = Address::auctioneer();
+  const Address ttp_addr = Address::ttp();
+
+  // --- SU side: mask and transmit (same RNG discipline as LppaAuction) ---
+  const core::SuKeyBundle keys = ttp.su_keys();
+  Rng su_master = rng.fork();
+  for (std::size_t u = 0; u < n; ++u) {
+    Rng su_rng = su_master.fork();
+    const SuClient client(u, config, keys);
+    bus.send(Address::su(u), auctioneer,
+             client.location_envelope(locations[u], su_rng));
+    bus.send(Address::su(u), auctioneer,
+             client.bid_envelope(bids[u], su_rng));
+  }
+
+  // --- Auctioneer: drain the queue, allocate, query the TTP --------------
+  AuctioneerSession session(config, n);
+  while (auto message = bus.receive(auctioneer)) {
+    session.ingest(*message);
+  }
+  LPPA_PROTOCOL_CHECK(session.ready(), "missing submissions on the bus");
+  session.run_allocation(rng);
+
+  WireAuctionResult result;
+  TtpService service(ttp);
+  for (const auto& query_envelope : session.charge_query_envelopes()) {
+    bus.send(auctioneer, ttp_addr, query_envelope);
+    const auto delivered = bus.receive(ttp_addr);
+    LPPA_PROTOCOL_CHECK(delivered.has_value(), "charge query lost on the bus");
+    bus.send(ttp_addr, auctioneer, service.handle(*delivered));
+    const auto response = bus.receive(auctioneer);
+    LPPA_PROTOCOL_CHECK(response.has_value(), "charge result lost on the bus");
+    session.ingest_charge_results(*response);
+    ++result.ttp_batches;
+  }
+
+  // --- Publication ---------------------------------------------------------
+  const Bytes announcement = session.winner_announcement();
+  const Envelope e = Envelope::deserialize(announcement);
+  result.awards = WinnerAnnouncement::deserialize(e.payload).awards;
+
+  result.submission_traffic = bus.total_into(Address::Kind::kAuctioneer);
+  // Subtract the TTP->auctioneer leg to isolate SU submissions.
+  const LinkStats ttp_to_auctioneer = bus.link(ttp_addr, auctioneer);
+  result.submission_traffic.messages -= ttp_to_auctioneer.messages;
+  result.submission_traffic.bytes -= ttp_to_auctioneer.bytes;
+
+  const LinkStats to_ttp = bus.link(auctioneer, ttp_addr);
+  result.charging_traffic.messages =
+      to_ttp.messages + ttp_to_auctioneer.messages;
+  result.charging_traffic.bytes = to_ttp.bytes + ttp_to_auctioneer.bytes;
+  return result;
+}
+
+}  // namespace lppa::proto

@@ -1,0 +1,34 @@
+// Wire-level auction session: the complete LPPA round with every message
+// travelling through a MessageBus as bytes.
+//
+// run_wire_auction follows exactly the RNG discipline of
+// core::LppaAuction::run (one fork for all SU-side randomness, then the
+// caller's stream for allocation), so under identical seeds both paths
+// produce identical awards — a property the integration tests assert.
+#pragma once
+
+#include "core/lppa_auction.h"
+#include "proto/bus.h"
+#include "proto/parties.h"
+
+namespace lppa::proto {
+
+struct WireAuctionResult {
+  std::vector<auction::Award> awards;
+  /// Total SU -> auctioneer submission traffic.
+  LinkStats submission_traffic;
+  /// Auctioneer <-> TTP charging traffic (both directions summed).
+  LinkStats charging_traffic;
+  /// Number of charge-query batches the TTP served.
+  std::size_t ttp_batches = 0;
+};
+
+/// Runs one full auction over the bus.  `ttp` provides the keys and the
+/// charging service (it outlives the call); `bus` accumulates traffic
+/// stats across calls if reused.
+WireAuctionResult run_wire_auction(
+    const core::LppaConfig& config, core::TrustedThirdParty& ttp,
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<auction::BidVector>& bids, MessageBus& bus, Rng& rng);
+
+}  // namespace lppa::proto

@@ -1,0 +1,115 @@
+#include "sim/cloaking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "auction/plain_auction.h"
+#include "core/bcm.h"
+#include "core/bpm.h"
+
+namespace lppa::sim {
+
+namespace {
+
+/// The cloak block (top-left cell) containing a cell.
+geo::Cell block_of(const geo::Cell& cell, std::size_t cloak_cells) {
+  const int c = static_cast<int>(cloak_cells);
+  return geo::Cell{(cell.row / c) * c, (cell.col / c) * c};
+}
+
+/// Minimum distance between two integer intervals [a, a+len) and
+/// [b, b+len) in cell units.
+int interval_gap(int a, int b, int len) {
+  if (a < b) return std::max(0, b - (a + len));
+  return std::max(0, a - (b + len));
+}
+
+}  // namespace
+
+bool cloaked_conflict(const geo::Grid& grid, const geo::Cell& a,
+                      const geo::Cell& b, std::size_t cloak_cells,
+                      std::uint64_t lambda_m) {
+  // Two users can interfere iff their coordinates can come within 2λ on
+  // both axes; with block-granular knowledge the auctioneer must assume
+  // the closest possible positions.
+  const int len = static_cast<int>(cloak_cells);
+  const double cell = grid.cell_size_m();
+  const double min_dx = interval_gap(a.col, b.col, len) * cell;
+  const double min_dy = interval_gap(a.row, b.row, len) * cell;
+  return min_dx <= 2.0 * static_cast<double>(lambda_m) &&
+         min_dy <= 2.0 * static_cast<double>(lambda_m);
+}
+
+CloakingPoint run_cloaking_point(const Scenario& scenario,
+                                 std::size_t cloak_cells,
+                                 std::uint64_t seed) {
+  LPPA_REQUIRE(cloak_cells >= 1, "cloak block must be at least one cell");
+  const geo::Dataset& dataset = scenario.dataset();
+  const geo::Grid& grid = dataset.grid();
+
+  CloakingPoint point;
+  point.cloak_cells = cloak_cells;
+
+  // --- privacy: the attacker clips BCM/BPM to the cloak block ------------
+  const core::BcmAttack bcm(dataset);
+  const core::BpmAttack bpm(dataset);
+  std::vector<core::AttackMetrics> metrics;
+  for (const auto& su : scenario.users()) {
+    const geo::Cell block = block_of(su.cell, cloak_cells);
+    CellSet cloak(grid.cell_count());
+    for (int dr = 0; dr < static_cast<int>(cloak_cells); ++dr) {
+      for (int dc = 0; dc < static_cast<int>(cloak_cells); ++dc) {
+        const geo::Cell c{block.row + dr, block.col + dc};
+        if (grid.in_bounds(c)) cloak.insert(grid.index(c));
+      }
+    }
+    CellSet possible = bcm.run(su.bids);
+    possible &= cloak;
+    core::BpmOptions opts;
+    opts.keep_fraction = 0.5;
+    const auto ranked = bpm.run(possible, su.bids, opts);
+    metrics.push_back(core::evaluate_attack(
+        core::LocationEstimate::uniform_over(ranked.cells), grid, su.cell));
+  }
+  point.privacy = core::aggregate(metrics);
+
+  // --- performance: conservative conflict graph destroys reuse ------------
+  const auto locations = scenario.locations();
+  const auto bids = scenario.bids();
+  const std::uint64_t lambda = scenario.config().lambda_m;
+
+  const auto exact =
+      auction::ConflictGraph::from_locations(locations, lambda);
+  auction::ConflictGraph conservative(locations.size());
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    const geo::Cell bi = block_of(scenario.users()[i].cell, cloak_cells);
+    for (std::size_t j = i + 1; j < locations.size(); ++j) {
+      const geo::Cell bj = block_of(scenario.users()[j].cell, cloak_cells);
+      if (cloaked_conflict(grid, bi, bj, cloak_cells, lambda)) {
+        conservative.add_conflict(i, j);
+      }
+    }
+  }
+  point.conflict_inflation =
+      exact.edge_count() == 0
+          ? static_cast<double>(conservative.edge_count())
+          : static_cast<double>(conservative.edge_count()) /
+                static_cast<double>(exact.edge_count());
+
+  auto revenue_with = [&](const auction::ConflictGraph& g,
+                          std::uint64_t rng_seed) {
+    auction::BidMatrix table(bids, dataset.channel_count());
+    Rng rng(rng_seed);
+    auto awards = auction::greedy_allocate(table, g, rng);
+    auction::Money total = 0;
+    for (const auto& a : awards) total += bids[a.user][a.channel];
+    return static_cast<double>(total);
+  };
+  const double exact_revenue = revenue_with(exact, seed);
+  const double cloaked_revenue = revenue_with(conservative, seed);
+  point.revenue_ratio =
+      exact_revenue > 0.0 ? cloaked_revenue / exact_revenue : 0.0;
+  return point;
+}
+
+}  // namespace lppa::sim

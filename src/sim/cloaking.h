@@ -1,0 +1,45 @@
+// Location-cloaking baseline defence, for comparison against LPPA.
+//
+// The obvious alternative to cryptographic masking is spatial cloaking:
+// each SU reports only the cloak block (of `cloak_cells` x `cloak_cells`
+// grid cells) containing it, with plaintext bids.  Two consequences:
+//
+//   * privacy is capped — the auctioneer still sees the bid vector, so
+//     BCM/BPM run at full strength and the cloak only clips their
+//     output to the block;
+//   * the auctioneer must build the conflict graph conservatively
+//     (any two blocks that COULD contain interfering users conflict),
+//     which destroys spatial reuse as blocks grow.
+//
+// LPPA dominates this baseline: it gets the conflict graph exactly right
+// (no reuse loss from location hiding) while denying the attacker the
+// bid values entirely.  bench/abl_cloaking quantifies both sides.
+#pragma once
+
+#include "core/attack_metrics.h"
+#include "sim/scenario.h"
+
+namespace lppa::sim {
+
+struct CloakingPoint {
+  std::size_t cloak_cells = 1;  ///< cloak block side, in grid cells
+  /// Attack quality: cloak block ∩ BCM, refined by BPM at 50 %.
+  core::AggregateMetrics privacy;
+  /// Revenue of the auction under the conservative conflict graph,
+  /// relative to the exact-location auction on the same world.
+  double revenue_ratio = 0.0;
+  /// Conflict-edge inflation: conservative edges / exact edges.
+  double conflict_inflation = 0.0;
+};
+
+/// The conservative conflict predicate between two cloak blocks: true
+/// iff some pair of positions inside the blocks could interfere.
+bool cloaked_conflict(const geo::Grid& grid, const geo::Cell& a,
+                      const geo::Cell& b, std::size_t cloak_cells,
+                      std::uint64_t lambda_m);
+
+/// Evaluates the cloaking defence at one block size.
+CloakingPoint run_cloaking_point(const Scenario& scenario,
+                                 std::size_t cloak_cells, std::uint64_t seed);
+
+}  // namespace lppa::sim

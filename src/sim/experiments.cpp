@@ -1,0 +1,299 @@
+#include "sim/experiments.h"
+
+#include <algorithm>
+
+#include "core/theorems.h"
+
+namespace lppa::sim {
+
+using core::AggregateMetrics;
+using core::AttackMetrics;
+using core::BcmAttack;
+using core::BpmAttack;
+using core::LocationEstimate;
+
+AttackPoint run_attack_point(const Scenario& scenario,
+                             std::size_t num_channels, double bpm_fraction,
+                             std::size_t bpm_cell_cap) {
+  const geo::Dataset dataset = scenario.dataset().restricted_to(num_channels);
+  const BcmAttack bcm(dataset);
+  const BpmAttack bpm(dataset);
+
+  std::vector<AttackMetrics> bcm_metrics;
+  std::vector<AttackMetrics> bpm_metrics;
+  bcm_metrics.reserve(scenario.users().size());
+  bpm_metrics.reserve(scenario.users().size());
+
+  for (const auto& su : scenario.users()) {
+    auction::BidVector bids(su.bids.begin(),
+                            su.bids.begin() +
+                                static_cast<std::ptrdiff_t>(num_channels));
+    const CellSet possible = bcm.run(bids);
+    bcm_metrics.push_back(core::evaluate_attack(
+        LocationEstimate::uniform_over(possible), dataset.grid(), su.cell));
+
+    core::BpmOptions opts;
+    opts.keep_fraction = bpm_fraction;
+    opts.max_cells = bpm_cell_cap;
+    const core::BpmResult ranked = bpm.run(possible, bids, opts);
+    bpm_metrics.push_back(core::evaluate_attack(
+        LocationEstimate::uniform_over(ranked.cells), dataset.grid(),
+        su.cell));
+  }
+
+  AttackPoint point;
+  point.num_channels = num_channels;
+  point.bpm_fraction = bpm_fraction;
+  point.bpm_cell_cap = bpm_cell_cap;
+  point.bcm = core::aggregate(bcm_metrics);
+  point.bpm = core::aggregate(bpm_metrics);
+  return point;
+}
+
+std::vector<core::BidSubmission> make_submissions(
+    const Scenario& scenario, const core::PpbsBidConfig& config,
+    const core::SuKeyBundle& keys, std::uint64_t seed) {
+  const core::BidSubmitter submitter(config, keys.gb_master, keys.gc);
+  Rng rng(seed);
+  std::vector<core::BidSubmission> out;
+  out.reserve(scenario.users().size());
+  for (const auto& su : scenario.users()) {
+    Rng su_rng = rng.fork();
+    out.push_back(submitter.submit(su.bids, su_rng));
+  }
+  return out;
+}
+
+DefensePoint run_defense_point(const Scenario& scenario,
+                               const DefenseOptions& options,
+                               std::uint64_t seed) {
+  DefensePoint point;
+  point.options = options;
+  const geo::Dataset& dataset = scenario.dataset();
+
+  // --- baselines without LPPA (Fig. 5's reference curves) ---------------
+  const BcmAttack bcm(dataset);
+  const BpmAttack bpm(dataset);
+  std::vector<AttackMetrics> plain_bcm;
+  std::vector<AttackMetrics> plain_bpm;
+  for (const auto& su : scenario.users()) {
+    const CellSet possible = bcm.run(su.bids);
+    plain_bcm.push_back(core::evaluate_attack(
+        LocationEstimate::uniform_over(possible), dataset.grid(), su.cell));
+    core::BpmOptions opts;
+    opts.keep_fraction = 0.5;
+    opts.max_cells = options.bpm_cell_cap;
+    const auto ranked = bpm.run(possible, su.bids, opts);
+    plain_bpm.push_back(core::evaluate_attack(
+        LocationEstimate::uniform_over(ranked.cells), dataset.grid(),
+        su.cell));
+  }
+  point.plain_bcm = core::aggregate(plain_bcm);
+  point.plain_bpm = core::aggregate(plain_bpm);
+
+  // --- the LPPA round as seen by the curious auctioneer ------------------
+  const auto policy = core::ZeroDisguisePolicy::linear(
+      scenario.config().bmax, options.replace_prob);
+  const auto config = core::PpbsBidConfig::advanced(
+      scenario.config().bmax, options.rd, options.cr, policy);
+  const core::TrustedThirdParty ttp(config, seed ^ 0x747470ULL);
+  const auto submissions =
+      make_submissions(scenario, config, ttp.su_keys(), seed);
+
+  const core::LppaAdversary adversary(dataset);
+  const auto estimates = adversary.attack(submissions, options.top_fraction);
+
+  std::vector<AttackMetrics> lppa_metrics;
+  lppa_metrics.reserve(estimates.size());
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    lppa_metrics.push_back(core::evaluate_attack(
+        estimates[i], dataset.grid(), scenario.users()[i].cell));
+  }
+  point.lppa = core::aggregate(lppa_metrics);
+  return point;
+}
+
+DefenseSweepResult run_defense_sweep(const Scenario& scenario,
+                                     const std::vector<double>& replace_probs,
+                                     const std::vector<double>& top_fractions,
+                                     const DefenseOptions& base,
+                                     std::uint64_t seed) {
+  DefenseSweepResult result;
+  const geo::Dataset& dataset = scenario.dataset();
+
+  // Baselines (the "without LPPA" reference of Fig. 5), computed once.
+  {
+    const core::BcmAttack bcm(dataset);
+    const core::BpmAttack bpm(dataset);
+    std::vector<core::AttackMetrics> plain_bcm, plain_bpm;
+    for (const auto& su : scenario.users()) {
+      const CellSet possible = bcm.run(su.bids);
+      plain_bcm.push_back(core::evaluate_attack(
+          LocationEstimate::uniform_over(possible), dataset.grid(), su.cell));
+      core::BpmOptions opts;
+      opts.keep_fraction = 0.5;
+      opts.max_cells = base.bpm_cell_cap;
+      const auto ranked = bpm.run(possible, su.bids, opts);
+      plain_bpm.push_back(core::evaluate_attack(
+          LocationEstimate::uniform_over(ranked.cells), dataset.grid(),
+          su.cell));
+    }
+    result.plain_bcm = core::aggregate(plain_bcm);
+    result.plain_bpm = core::aggregate(plain_bpm);
+  }
+
+  const core::LppaAdversary adversary(dataset);
+  for (double replace : replace_probs) {
+    const auto policy = core::ZeroDisguisePolicy::linear(
+        scenario.config().bmax, replace);
+    const auto config = core::PpbsBidConfig::advanced(
+        scenario.config().bmax, base.rd, base.cr, policy);
+    const core::TrustedThirdParty ttp(config, seed ^ 0x747470ULL);
+    const auto submissions =
+        make_submissions(scenario, config, ttp.su_keys(), seed);
+    const auto ranks = adversary.rank_columns(submissions);
+
+    for (double fraction : top_fractions) {
+      const auto estimates =
+          adversary.attack_from_ranks(ranks, submissions.size(), fraction);
+      std::vector<core::AttackMetrics> metrics;
+      metrics.reserve(estimates.size());
+      for (std::size_t i = 0; i < estimates.size(); ++i) {
+        metrics.push_back(core::evaluate_attack(
+            estimates[i], dataset.grid(), scenario.users()[i].cell));
+      }
+      result.points.push_back(
+          DefenseSweepPoint{replace, fraction, core::aggregate(metrics)});
+    }
+  }
+  return result;
+}
+
+DefenseSweepResult run_defense_sweep_repeated(
+    Scenario& scenario, std::size_t repetitions,
+    const std::vector<double>& replace_probs,
+    const std::vector<double>& top_fractions, const DefenseOptions& base,
+    std::uint64_t seed) {
+  LPPA_REQUIRE(repetitions >= 1, "need at least one repetition");
+  std::vector<DefenseSweepResult> runs;
+  runs.reserve(repetitions);
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    scenario.resample_users(seed + 7919 * rep);
+    runs.push_back(run_defense_sweep(scenario, replace_probs, top_fractions,
+                                     base, seed + rep));
+  }
+
+  DefenseSweepResult merged = runs.front();
+  std::vector<core::AggregateMetrics> bcm_runs, bpm_runs;
+  for (const auto& run : runs) {
+    bcm_runs.push_back(run.plain_bcm);
+    bpm_runs.push_back(run.plain_bpm);
+  }
+  merged.plain_bcm = core::average_aggregates(bcm_runs);
+  merged.plain_bpm = core::average_aggregates(bpm_runs);
+  for (std::size_t p = 0; p < merged.points.size(); ++p) {
+    std::vector<core::AggregateMetrics> point_runs;
+    for (const auto& run : runs) point_runs.push_back(run.points[p].lppa);
+    merged.points[p].lppa = core::average_aggregates(point_runs);
+  }
+  return merged;
+}
+
+PerformancePoint run_performance_point(Scenario& scenario,
+                                       double replace_prob, auction::Money rd,
+                                       std::uint64_t cr, std::size_t rounds,
+                                       std::uint64_t seed) {
+  LPPA_REQUIRE(rounds > 0, "need at least one auction round");
+  PerformancePoint point;
+  point.replace_prob = replace_prob;
+  point.num_users = scenario.users().size();
+
+  const std::size_t k = scenario.dataset().channel_count();
+  const auction::Money bmax = scenario.config().bmax;
+  const std::uint64_t lambda = scenario.config().lambda_m;
+
+  double plain_sum = 0.0, lppa_sum = 0.0;
+  double plain_sat = 0.0, lppa_sat = 0.0;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    scenario.resample_users(seed + 1000 * round);
+    const auto locations = scenario.locations();
+    const auto bids = scenario.bids();
+    const std::size_t interested = auction::count_interested(bids);
+
+    // Plain baseline and LPPA run under identical allocation randomness:
+    // LppaAuction consumes exactly one fork() of its rng for SU-side
+    // masking before allocating, so discard one fork here to align the
+    // two allocation streams channel-draw for channel-draw.
+    Rng plain_rng(seed + 7 * round);
+    Rng lppa_rng(seed + 7 * round);
+    plain_rng.fork();
+
+    const auction::PlainAuction plain(k, lambda);
+    const auto plain_outcome = plain.run(locations, bids, plain_rng);
+    plain_sum += static_cast<double>(plain_outcome.winning_bid_sum());
+    plain_sat += plain_outcome.user_satisfaction(interested);
+
+    core::LppaConfig cfg;
+    cfg.num_channels = k;
+    cfg.lambda = lambda;
+    cfg.coord_width = scenario.coord_width();
+    cfg.bid = core::PpbsBidConfig::advanced(
+        bmax, rd, cr,
+        core::ZeroDisguisePolicy::linear(bmax, replace_prob));
+    core::LppaAuction lppa(cfg, seed ^ (0xabcdULL + round));
+    const auto lppa_outcome = lppa.run(locations, bids, lppa_rng);
+    lppa_sum += static_cast<double>(lppa_outcome.outcome.winning_bid_sum());
+    lppa_sat += lppa_outcome.outcome.user_satisfaction(interested);
+  }
+
+  const auto n = static_cast<double>(rounds);
+  point.plain_bid_sum = plain_sum / n;
+  point.lppa_bid_sum = lppa_sum / n;
+  point.bid_sum_ratio =
+      (plain_sum > 0.0) ? lppa_sum / plain_sum : 0.0;
+  point.plain_satisfaction = plain_sat / n;
+  point.lppa_satisfaction = lppa_sat / n;
+  point.satisfaction_ratio =
+      (plain_sat > 0.0) ? lppa_sat / plain_sat : 0.0;
+  return point;
+}
+
+CommCostRow measure_comm_cost(std::size_t users, std::size_t channels,
+                              auction::Money bmax, auction::Money rd,
+                              std::uint64_t cr, std::uint64_t seed) {
+  const auto config = core::PpbsBidConfig::advanced(
+      bmax, rd, cr, core::ZeroDisguisePolicy::none(bmax));
+  const core::TrustedThirdParty ttp(config, seed);
+  const auto keys = ttp.su_keys();
+  const core::BidSubmitter submitter(config, keys.gb_master, keys.gc);
+
+  const int w = config.enc.scaled_width();
+  Rng rng(seed + 1);
+  std::size_t digests = 0;
+  std::size_t wire_bytes = 0;
+  for (std::size_t u = 0; u < users; ++u) {
+    auction::BidVector bids(channels);
+    for (auto& b : bids) {
+      b = static_cast<auction::Money>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bmax)));
+    }
+    const auto submission = submitter.submit(bids, rng);
+    for (const auto& ch : submission.channels) {
+      digests += ch.value_family.size() + ch.range_set.size();
+    }
+    wire_bytes += submission.wire_size();
+  }
+
+  CommCostRow row;
+  row.width = w;
+  row.channels = channels;
+  row.users = users;
+  row.predicted_bits = core::theorems::thm4_comm_bits(
+      core::theorems::hmac_length_ratio(w), channels, users, w);
+  row.measured_digest_bits = static_cast<double>(digests) * 256.0;
+  row.measured_wire_bits = static_cast<double>(wire_bytes) * 8.0;
+  return row;
+}
+
+}  // namespace lppa::sim

@@ -1,0 +1,130 @@
+// Experiment drivers shared by the bench binaries and the integration
+// tests.  Each function reproduces one measurement family from the
+// paper's §VI; the bench binaries only choose parameter grids and print
+// tables.
+#pragma once
+
+#include <vector>
+
+#include "core/adversary.h"
+#include "core/attack_metrics.h"
+#include "core/bcm.h"
+#include "core/bpm.h"
+#include "core/lppa_auction.h"
+#include "sim/scenario.h"
+
+namespace lppa::sim {
+
+// ---------------------------------------------------------------- attacks
+
+/// One point of the Fig. 4 sweeps: BCM + BPM over every user of a
+/// scenario, with the dataset restricted to `num_channels` channels.
+struct AttackPoint {
+  std::size_t num_channels = 0;
+  double bpm_fraction = 1.0;      ///< fraction of BCM cells BPM keeps
+  std::size_t bpm_cell_cap = 0;   ///< hard cap (0 = none)
+  core::AggregateMetrics bcm;     ///< metrics of the BCM stage
+  core::AggregateMetrics bpm;     ///< metrics of the BPM stage
+};
+
+AttackPoint run_attack_point(const Scenario& scenario,
+                             std::size_t num_channels, double bpm_fraction,
+                             std::size_t bpm_cell_cap);
+
+// ---------------------------------------------------------------- defence
+
+/// Parameters of one Fig. 5(a)-(d) point.
+struct DefenseOptions {
+  double replace_prob = 0.5;  ///< 1 - p_0, the zero-replace probability
+  double top_fraction = 0.5;  ///< attacker's per-column top percentage
+  auction::Money rd = 3;      ///< offset
+  std::uint64_t cr = 4;       ///< range-mapping factor
+  std::size_t bpm_cell_cap = 250;
+};
+
+/// One Fig. 5(a)-(d) point: the LPPA-protected adversary metrics next to
+/// the unprotected BCM and BPM baselines on the same user population.
+struct DefensePoint {
+  DefenseOptions options;
+  core::AggregateMetrics lppa;       ///< top-x% ranking attack vs LPPA
+  core::AggregateMetrics plain_bcm;  ///< BCM without LPPA
+  core::AggregateMetrics plain_bpm;  ///< BPM without LPPA
+};
+
+DefensePoint run_defense_point(const Scenario& scenario,
+                               const DefenseOptions& options,
+                               std::uint64_t seed);
+
+/// The whole Fig. 5(a)-(d) grid in one pass: submissions and column
+/// rankings are built once per replace_prob and every top_fraction is
+/// evaluated against them.  Baselines are computed once.
+struct DefenseSweepPoint {
+  double replace_prob = 0.0;
+  double top_fraction = 0.0;
+  core::AggregateMetrics lppa;
+};
+
+struct DefenseSweepResult {
+  core::AggregateMetrics plain_bcm;  ///< BCM without LPPA
+  core::AggregateMetrics plain_bpm;  ///< BPM without LPPA (50 % keep)
+  std::vector<DefenseSweepPoint> points;
+};
+
+DefenseSweepResult run_defense_sweep(const Scenario& scenario,
+                                     const std::vector<double>& replace_probs,
+                                     const std::vector<double>& top_fractions,
+                                     const DefenseOptions& base,
+                                     std::uint64_t seed);
+
+/// Repetition-averaged variant: resamples the user population
+/// `repetitions` times (same coverage world) and averages every metric —
+/// the smoothing the paper's Fig. 5 curves imply.
+DefenseSweepResult run_defense_sweep_repeated(
+    Scenario& scenario, std::size_t repetitions,
+    const std::vector<double>& replace_probs,
+    const std::vector<double>& top_fractions, const DefenseOptions& base,
+    std::uint64_t seed);
+
+/// Builds the masked bid submissions an auctioneer would hold for this
+/// scenario (PPBS only; no allocation) — the adversary's input.
+std::vector<core::BidSubmission> make_submissions(
+    const Scenario& scenario, const core::PpbsBidConfig& config,
+    const core::SuKeyBundle& keys, std::uint64_t seed);
+
+// ------------------------------------------------------------ performance
+
+/// One Fig. 5(e)/(f) point: plain vs LPPA auction performance, averaged
+/// over `rounds` resampled user populations.
+struct PerformancePoint {
+  double replace_prob = 0.5;
+  std::size_t num_users = 0;
+  double plain_bid_sum = 0.0;
+  double lppa_bid_sum = 0.0;
+  double bid_sum_ratio = 0.0;  ///< lppa / plain ("reduction" = 1 - ratio)
+  double plain_satisfaction = 0.0;
+  double lppa_satisfaction = 0.0;
+  double satisfaction_ratio = 0.0;
+};
+
+PerformancePoint run_performance_point(Scenario& scenario,
+                                       double replace_prob, auction::Money rd,
+                                       std::uint64_t cr, std::size_t rounds,
+                                       std::uint64_t seed);
+
+// -------------------------------------------------------- communication
+
+/// Theorem 4 check: predicted vs measured bid-submission volume.
+struct CommCostRow {
+  int width = 0;            ///< scaled bid width w
+  std::size_t channels = 0;
+  std::size_t users = 0;
+  double predicted_bits = 0.0;    ///< h*k*N*(3w-1)(w+1)
+  double measured_digest_bits = 0.0;  ///< 256 bits per transmitted digest
+  double measured_wire_bits = 0.0;    ///< full wire size incl. framing
+};
+
+CommCostRow measure_comm_cost(std::size_t users, std::size_t channels,
+                              auction::Money bmax, auction::Money rd,
+                              std::uint64_t cr, std::uint64_t seed);
+
+}  // namespace lppa::sim

@@ -1,0 +1,117 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace lppa::sim {
+
+auction::Money quantize_bid(double q, double beta, auction::Money bmax,
+                            double noise_frac, Rng& rng) {
+  LPPA_REQUIRE(q >= 0.0 && q <= 1.0, "quality must be in [0,1]");
+  LPPA_REQUIRE(beta >= 0.0, "urgency must be non-negative");
+  if (q <= 0.0) return 0;
+  const double eta = rng.uniform(-noise_frac, noise_frac);
+  const double value = q * beta * static_cast<double>(bmax) * (1.0 + eta);
+  const double rounded = std::round(std::clamp(
+      value, 0.0, static_cast<double>(bmax)));
+  return static_cast<auction::Money>(rounded);
+}
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      dataset_(geo::generate_dataset(geo::area_preset(config.area_id),
+                                     config.fcc, config.seed)) {
+  LPPA_REQUIRE(config_.num_users > 0, "scenario requires users");
+  LPPA_REQUIRE(config_.beta_min > 0.0 && config_.beta_min <= config_.beta_max,
+               "invalid urgency range");
+  Rng rng(config_.seed ^ 0x757365727321ULL);  // users stream
+  generate_users(rng);
+}
+
+void Scenario::resample_users(std::uint64_t seed) {
+  Rng rng(seed ^ 0x757365727321ULL);
+  generate_users(rng);
+}
+
+void Scenario::generate_users(Rng& rng) {
+  const geo::Grid& grid = dataset_.grid();
+  users_.clear();
+  users_.reserve(config_.num_users);
+  for (std::size_t i = 0; i < config_.num_users; ++i) {
+    SuRecord su;
+    const std::size_t cell_index = rng.below(grid.cell_count());
+    su.cell = grid.cell_at(cell_index);
+
+    // Uniform position inside the cell, quantised to integer metres.
+    const geo::Point center = grid.center(su.cell);
+    const double half = grid.cell_size_m() / 2.0;
+    const double x = center.x + rng.uniform(-half, half);
+    const double y = center.y + rng.uniform(-half, half);
+    su.loc.x = static_cast<std::uint64_t>(std::max(0.0, std::round(x)));
+    su.loc.y = static_cast<std::uint64_t>(std::max(0.0, std::round(y)));
+
+    generate_bids(su, cell_index, rng);
+    users_.push_back(std::move(su));
+  }
+}
+
+void Scenario::generate_bids(SuRecord& su, std::size_t cell_index, Rng& rng) {
+  su.beta = rng.uniform(config_.beta_min, config_.beta_max);
+  su.bids.assign(dataset_.channel_count(), 0);
+  if (config_.initial_phase == InitialPhase::kDatabaseQuery) {
+    // The SU asks the white-space database which channels are usable at
+    // its position and what their published quality statistics are...
+    const auto available = db_.query(dataset_.grid().cell_at(cell_index));
+    for (const auto& info : available) {
+      // ...then evaluates each by sensing: the statistic plus
+      // measurement discrepancy (paper §III-B), clamped to [0,1].
+      const double q_sensed = std::clamp(
+          info.quality + rng.normal(0.0, config_.quality_noise_sd), 0.0,
+          1.0);
+      su.bids[info.channel] = quantize_bid(q_sensed, su.beta, config_.bmax,
+                                           config_.noise_frac, rng);
+    }
+  } else {
+    // Pure spectrum sensing: both the availability verdict and the
+    // quality estimate come from noisy energy detection — the SU can bid
+    // on a protected channel (interference) or miss an available one.
+    const geo::EnergyDetector detector(config_.sensing);
+    for (const auto& sensed : detector.sense(dataset_, cell_index, rng)) {
+      su.bids[sensed.channel] = quantize_bid(
+          sensed.quality, su.beta, config_.bmax, config_.noise_frac, rng);
+    }
+  }
+}
+
+void Scenario::rebid(std::uint64_t seed) {
+  Rng rng(seed ^ 0x726562696421ULL);
+  for (auto& su : users_) {
+    generate_bids(su, dataset_.grid().index(su.cell), rng);
+  }
+}
+
+std::vector<auction::SuLocation> Scenario::locations() const {
+  std::vector<auction::SuLocation> out;
+  out.reserve(users_.size());
+  for (const auto& su : users_) out.push_back(su.loc);
+  return out;
+}
+
+std::vector<auction::BidVector> Scenario::bids() const {
+  std::vector<auction::BidVector> out;
+  out.reserve(users_.size());
+  for (const auto& su : users_) out.push_back(su.bids);
+  return out;
+}
+
+int Scenario::coord_width() const {
+  const geo::Grid& grid = dataset_.grid();
+  const double max_extent = std::max(grid.width_m(), grid.height_m());
+  const std::uint64_t max_coord =
+      static_cast<std::uint64_t>(std::ceil(max_extent)) + 2 * config_.lambda_m;
+  return bit_width_for_value(max_coord);
+}
+
+}  // namespace lppa::sim

@@ -1,0 +1,101 @@
+// Scenario: one experimental world — a synthetic FCC coverage dataset plus
+// a population of secondary users with positions and truthful bids.
+//
+// Bid model (paper §VI-A): b_j^i = q_j * beta_i + eta, where q_j is the
+// channel quality at the user's position, beta_i the user's transmission
+// urgency, and |eta| <= noise_frac * q_j * beta_i.  Bids are quantised to
+// integers in [0, bmax]; channels unavailable at the user's cell bid 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/bid.h"
+#include "auction/conflict.h"
+#include "geo/sensing.h"
+#include "geo/synthetic_fcc.h"
+#include "geo/whitespace_db.h"
+
+namespace lppa::sim {
+
+/// How SUs learn channel availability in the initial phase (§II-A):
+/// query the white-space database (exact availability, statistic-based
+/// quality plus sensing refinement noise) or energy-detection sensing
+/// (fallible availability AND quality).
+enum class InitialPhase {
+  kDatabaseQuery,
+  kSpectrumSensing,
+};
+
+struct ScenarioConfig {
+  int area_id = 4;                 ///< terrain preset (1..4)
+  geo::SyntheticFccConfig fcc;     ///< grid / channels / threshold
+  std::size_t num_users = 100;
+  InitialPhase initial_phase = InitialPhase::kDatabaseQuery;
+  geo::SensingConfig sensing;      ///< used when sensing is selected
+  auction::Money bmax = 15;        ///< bid quantisation ceiling
+  double beta_min = 0.5;           ///< urgency range
+  double beta_max = 1.0;
+  double noise_frac = 0.2;         ///< the paper's 20 % bid noise
+  /// Spectrum-sensing discrepancy (paper §III-B): the SU's perceived
+  /// quality is the database statistic plus N(0, sd) noise, clamped to
+  /// [0,1].  This is what makes BPM fallible — without it the bid vector
+  /// identifies the cell almost perfectly.
+  double quality_noise_sd = 0.12;
+  std::uint64_t lambda_m = 1000;   ///< interference half-side, metres
+  std::uint64_t seed = 1;          ///< dataset + population seed
+};
+
+struct SuRecord {
+  geo::Cell cell;             ///< true cell (attack ground truth)
+  auction::SuLocation loc;    ///< integer coordinates in metres (PPBS input)
+  auction::BidVector bids;    ///< truthful bids, one per channel
+  double beta = 1.0;          ///< urgency drawn for this user
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  // The white-space database holds a pointer into this object.
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  const ScenarioConfig& config() const noexcept { return config_; }
+  const geo::Dataset& dataset() const noexcept { return dataset_; }
+  /// The TVWS database the SUs query in the initial phase; its query
+  /// counter reflects population (re)generation.
+  const geo::WhiteSpaceDatabase& database() const noexcept { return db_; }
+  const std::vector<SuRecord>& users() const noexcept { return users_; }
+
+  std::vector<auction::SuLocation> locations() const;
+  std::vector<auction::BidVector> bids() const;
+
+  /// Bits needed for PPBS coordinates: every loc + 2*lambda must fit.
+  int coord_width() const;
+
+  /// Redraws the user population (new auction round) without rebuilding
+  /// the coverage dataset.
+  void resample_users(std::uint64_t seed);
+
+  /// Redraws urgencies and bids while keeping every user's position —
+  /// the repeated-participation setting of §V-C.3 where an SU's position
+  /// is fixed for the lease duration but its bids vary round to round.
+  void rebid(std::uint64_t seed);
+
+ private:
+  void generate_users(Rng& rng);
+  void generate_bids(SuRecord& su, std::size_t cell_index, Rng& rng);
+
+  ScenarioConfig config_;
+  geo::Dataset dataset_;
+  geo::WhiteSpaceDatabase db_{dataset_};
+  std::vector<SuRecord> users_;
+};
+
+/// Truthful bid for quality q and urgency beta: round(q*beta*bmax*(1+eta)),
+/// clamped to [0, bmax]; exposed for unit tests.
+auction::Money quantize_bid(double q, double beta, auction::Money bmax,
+                            double noise_frac, Rng& rng);
+
+}  // namespace lppa::sim

@@ -1,0 +1,118 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sealed_box.h"
+
+namespace lppa::crypto {
+namespace {
+
+std::array<std::uint8_t, 16> block_from_hex(std::string_view hex) {
+  const Bytes raw = from_hex(hex);
+  std::array<std::uint8_t, 16> out{};
+  std::copy(raw.begin(), raw.end(), out.begin());
+  return out;
+}
+
+// FIPS 197 Appendix C.1.
+TEST(Aes128, Fips197AppendixC1) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Aes128 aes(key);
+  const auto ct = aes.encrypt_block(
+      block_from_hex("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// FIPS 197 Appendix B worked example.
+TEST(Aes128, Fips197AppendixB) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Aes128 aes(key);
+  const auto ct = aes.encrypt_block(
+      block_from_hex("3243f6a8885a308d313198a2e0370734"));
+  EXPECT_EQ(to_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, RejectsWrongKeyLength) {
+  EXPECT_THROW(Aes128(Bytes(15)), LppaError);
+  EXPECT_THROW(Aes128(Bytes(32)), LppaError);
+}
+
+// NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, counter block
+// f0f1f2f3f4f5f6f7f8f9fafb || fcfdfeff.
+TEST(Aes128Ctr, Sp80038aF51) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes nonce = from_hex("f0f1f2f3f4f5f6f7f8f9fafb");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes ct = aes128_ctr_xor(key, nonce, 0xfcfdfeff, pt);
+  EXPECT_EQ(to_hex(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(Aes128Ctr, IsItsOwnInverse) {
+  Rng rng(1);
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes nonce(12, 0x42);
+  Bytes msg(333);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+  const Bytes ct = aes128_ctr_xor(key, nonce, 7, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(aes128_ctr_xor(key, nonce, 7, ct), msg);
+}
+
+TEST(Aes128Ctr, NonBlockMultipleLengths) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes nonce(12, 1);
+  for (std::size_t len : {1u, 15u, 16u, 17u, 100u}) {
+    const Bytes msg(len, 0x5a);
+    const Bytes ct = aes128_ctr_xor(key, nonce, 0, msg);
+    ASSERT_EQ(ct.size(), len);
+    EXPECT_EQ(aes128_ctr_xor(key, nonce, 0, ct), msg);
+  }
+}
+
+TEST(Aes128Ctr, RejectsBadNonce) {
+  const Bytes key(16), nonce(11);
+  EXPECT_THROW(aes128_ctr_xor(key, nonce, 0, Bytes(4)), LppaError);
+}
+
+// ------------------------------------------------------- cipher agility
+
+struct CipherAgilityTest : ::testing::Test {
+  Rng rng{99};
+  SecretKey gc = SecretKey::generate(rng);
+  Bytes msg = {'s', 'e', 'c', 'r', 'e', 't'};
+};
+
+TEST_F(CipherAgilityTest, AesBoxRoundTrips) {
+  const SealedBox box(gc, SealedCipher::kAes128Ctr);
+  const auto sealed = box.seal(msg, rng);
+  const auto opened = box.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST_F(CipherAgilityTest, CiphersDoNotInteroperate) {
+  const SealedBox chacha(gc, SealedCipher::kChaCha20);
+  const SealedBox aes(gc, SealedCipher::kAes128Ctr);
+  const auto sealed = chacha.seal(msg, rng);
+  EXPECT_FALSE(aes.open(sealed).has_value());
+  const auto sealed_aes = aes.seal(msg, rng);
+  EXPECT_FALSE(chacha.open(sealed_aes).has_value());
+}
+
+TEST_F(CipherAgilityTest, AesBoxDetectsTampering) {
+  const SealedBox box(gc, SealedCipher::kAes128Ctr);
+  auto sealed = box.seal(msg, rng);
+  sealed.ciphertext[0] ^= 1;
+  EXPECT_FALSE(box.open(sealed).has_value());
+}
+
+}  // namespace
+}  // namespace lppa::crypto

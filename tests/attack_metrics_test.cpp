@@ -1,0 +1,154 @@
+#include "core/attack_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lppa::core {
+namespace {
+
+geo::Grid grid() { return geo::Grid(10, 10, 100.0); }
+
+TEST(LocationEstimate, UniformOverCellSet) {
+  CellSet s(100);
+  s.insert(3);
+  s.insert(42);
+  const auto e = LocationEstimate::uniform_over(s);
+  EXPECT_EQ(e.cells, (std::vector<std::size_t>{3, 42}));
+  EXPECT_TRUE(e.weights.empty());
+}
+
+TEST(EvaluateAttack, EmptyEstimateFails) {
+  const auto m = evaluate_attack(LocationEstimate{}, grid(), {0, 0});
+  EXPECT_TRUE(m.failed);
+  EXPECT_EQ(m.possible_cells, 0u);
+  EXPECT_EQ(m.uncertainty_nats, 0.0);
+  EXPECT_EQ(m.incorrectness_m, 0.0);
+}
+
+TEST(EvaluateAttack, SingletonCorrectGuess) {
+  const geo::Grid g = grid();
+  LocationEstimate e;
+  e.cells = {g.index({4, 7})};
+  const auto m = evaluate_attack(e, g, {4, 7});
+  EXPECT_FALSE(m.failed);
+  EXPECT_EQ(m.possible_cells, 1u);
+  EXPECT_EQ(m.uncertainty_nats, 0.0);
+  EXPECT_EQ(m.incorrectness_m, 0.0);
+}
+
+TEST(EvaluateAttack, SingletonWrongGuess) {
+  const geo::Grid g = grid();
+  LocationEstimate e;
+  e.cells = {g.index({0, 0})};
+  const auto m = evaluate_attack(e, g, {0, 4});
+  EXPECT_TRUE(m.failed);
+  EXPECT_DOUBLE_EQ(m.incorrectness_m, 400.0);
+}
+
+TEST(EvaluateAttack, UniformEntropyIsLogN) {
+  const geo::Grid g = grid();
+  LocationEstimate e;
+  for (std::size_t i = 0; i < 8; ++i) e.cells.push_back(i);
+  const auto m = evaluate_attack(e, g, {0, 0});
+  EXPECT_NEAR(m.uncertainty_nats, std::log(8.0), 1e-12);
+  EXPECT_FALSE(m.failed);
+}
+
+TEST(EvaluateAttack, WeightedPosterior) {
+  const geo::Grid g = grid();
+  LocationEstimate e;
+  e.cells = {g.index({0, 0}), g.index({0, 2})};
+  e.weights = {3.0, 1.0};  // P = {0.75, 0.25}
+  const auto m = evaluate_attack(e, g, {0, 0});
+  EXPECT_FALSE(m.failed);
+  // incorrectness = 0.75*0 + 0.25*200.
+  EXPECT_DOUBLE_EQ(m.incorrectness_m, 50.0);
+  EXPECT_NEAR(m.uncertainty_nats,
+              -(0.75 * std::log(0.75) + 0.25 * std::log(0.25)), 1e-12);
+}
+
+TEST(EvaluateAttack, RejectsMalformedWeights) {
+  const geo::Grid g = grid();
+  LocationEstimate e;
+  e.cells = {0, 1};
+  e.weights = {1.0};  // length mismatch
+  EXPECT_THROW(evaluate_attack(e, g, {0, 0}), LppaError);
+  e.weights = {1.0, -1.0};
+  EXPECT_THROW(evaluate_attack(e, g, {0, 0}), LppaError);
+  e.weights = {0.0, 0.0};
+  EXPECT_THROW(evaluate_attack(e, g, {0, 0}), LppaError);
+}
+
+TEST(Aggregate, EmptyInput) {
+  const auto agg = aggregate({});
+  EXPECT_EQ(agg.samples, 0u);
+  EXPECT_EQ(agg.failure_rate, 0.0);
+}
+
+TEST(Aggregate, MeansAndFailureRate) {
+  std::vector<AttackMetrics> ms(4);
+  ms[0] = {std::log(4.0), 100.0, false, 4};
+  ms[1] = {std::log(2.0), 200.0, false, 2};
+  ms[2] = {0.0, 0.0, true, 0};
+  ms[3] = {0.0, 300.0, true, 1};
+  const auto agg = aggregate(ms);
+  EXPECT_EQ(agg.samples, 4u);
+  EXPECT_EQ(agg.successes, 2u);
+  EXPECT_DOUBLE_EQ(agg.failure_rate, 0.5);
+  EXPECT_NEAR(agg.mean_uncertainty_nats,
+              (std::log(4.0) + std::log(2.0)) / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.mean_incorrectness_m, 150.0);
+  EXPECT_DOUBLE_EQ(agg.mean_possible_cells, 1.75);
+  // Success-conditioned means only cover the first two entries.
+  EXPECT_NEAR(agg.success_uncertainty_nats,
+              (std::log(4.0) + std::log(2.0)) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.success_incorrectness_m, 150.0);
+  EXPECT_DOUBLE_EQ(agg.success_possible_cells, 3.0);
+}
+
+TEST(AverageAggregates, EqualWeightPerRunWeightedSuccesses) {
+  AggregateMetrics a;
+  a.mean_possible_cells = 10.0;
+  a.failure_rate = 0.2;
+  a.samples = 4;
+  a.successes = 1;
+  a.success_possible_cells = 8.0;
+  AggregateMetrics b;
+  b.mean_possible_cells = 30.0;
+  b.failure_rate = 0.6;
+  b.samples = 4;
+  b.successes = 3;
+  b.success_possible_cells = 4.0;
+  const auto avg = average_aggregates({a, b});
+  EXPECT_DOUBLE_EQ(avg.mean_possible_cells, 20.0);
+  EXPECT_DOUBLE_EQ(avg.failure_rate, 0.4);
+  EXPECT_EQ(avg.samples, 8u);
+  EXPECT_EQ(avg.successes, 4u);
+  // Success-conditioned: (1*8 + 3*4) / 4 = 5.
+  EXPECT_DOUBLE_EQ(avg.success_possible_cells, 5.0);
+}
+
+TEST(AverageAggregates, EmptyAndSingleton) {
+  EXPECT_EQ(average_aggregates({}).samples, 0u);
+  AggregateMetrics a;
+  a.mean_incorrectness_m = 7.0;
+  a.successes = 2;
+  a.success_incorrectness_m = 3.0;
+  const auto avg = average_aggregates({a});
+  EXPECT_DOUBLE_EQ(avg.mean_incorrectness_m, 7.0);
+  EXPECT_DOUBLE_EQ(avg.success_incorrectness_m, 3.0);
+}
+
+TEST(Aggregate, AllFailedLeavesSuccessFieldsZero) {
+  std::vector<AttackMetrics> ms(2);
+  ms[0].failed = true;
+  ms[1].failed = true;
+  const auto agg = aggregate(ms);
+  EXPECT_EQ(agg.successes, 0u);
+  EXPECT_EQ(agg.success_possible_cells, 0.0);
+  EXPECT_DOUBLE_EQ(agg.failure_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace lppa::core

@@ -1,0 +1,143 @@
+#include "core/bcm.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/synthetic_fcc.h"
+
+namespace lppa::core {
+namespace {
+
+// A 2x2 world with hand-placed availability:
+//   channel 0 available in cells {0, 1}
+//   channel 1 available in cells {1, 3}
+//   channel 2 available in cells {0, 1, 2, 3}
+geo::Dataset tiny_dataset() {
+  const geo::Grid g(2, 2, 100.0);
+  geo::Dataset ds(g, -81.0);
+  auto raster = [&](std::initializer_list<std::size_t> free_cells) {
+    std::vector<double> rssi(4, -50.0);  // covered by default
+    for (std::size_t i : free_cells) rssi[i] = -120.0;
+    return finalize_channel(g, std::move(rssi), -81.0);
+  };
+  ds.add_channel(raster({0, 1}));
+  ds.add_channel(raster({1, 3}));
+  ds.add_channel(raster({0, 1, 2, 3}));
+  return ds;
+}
+
+TEST(BcmAttack, NoPositiveBidsLeavesFullMap) {
+  const auto ds = tiny_dataset();
+  const BcmAttack bcm(ds);
+  EXPECT_EQ(bcm.run({0, 0, 0}).count(), 4u);
+}
+
+TEST(BcmAttack, SingleChannelGivesItsAvailability) {
+  const auto ds = tiny_dataset();
+  const BcmAttack bcm(ds);
+  const CellSet p = bcm.run({5, 0, 0});
+  EXPECT_EQ(p, ds.availability(0));
+}
+
+TEST(BcmAttack, IntersectionNarrowsTheSet) {
+  const auto ds = tiny_dataset();
+  const BcmAttack bcm(ds);
+  const CellSet p = bcm.run({5, 3, 0});
+  EXPECT_EQ(p.count(), 1u);
+  EXPECT_TRUE(p.contains(1));
+}
+
+TEST(BcmAttack, UninformativeChannelDoesNotNarrow) {
+  const auto ds = tiny_dataset();
+  const BcmAttack bcm(ds);
+  EXPECT_EQ(bcm.run({5, 3, 0}), bcm.run({5, 3, 9}));
+}
+
+TEST(BcmAttack, BidValueIrrelevantOnlySupportMatters) {
+  const auto ds = tiny_dataset();
+  const BcmAttack bcm(ds);
+  EXPECT_EQ(bcm.run({1, 1, 0}), bcm.run({15, 9, 0}));
+}
+
+TEST(BcmAttack, RunWithChannelsMatchesBidPath) {
+  const auto ds = tiny_dataset();
+  const BcmAttack bcm(ds);
+  EXPECT_EQ(bcm.run_with_channels({0, 1}), bcm.run({7, 2, 0}));
+}
+
+TEST(BcmAttack, ContradictoryChannelsYieldEmptySet) {
+  const geo::Grid g(2, 2, 100.0);
+  geo::Dataset ds(g, -81.0);
+  auto raster = [&](std::initializer_list<std::size_t> free_cells) {
+    std::vector<double> rssi(4, -50.0);
+    for (std::size_t i : free_cells) rssi[i] = -120.0;
+    return finalize_channel(g, std::move(rssi), -81.0);
+  };
+  ds.add_channel(raster({0}));
+  ds.add_channel(raster({3}));
+  const BcmAttack bcm(ds);
+  EXPECT_TRUE(bcm.run_with_channels({0, 1}).empty());
+}
+
+TEST(BcmAttack, RejectsOversizedBidVector) {
+  const auto ds = tiny_dataset();
+  const BcmAttack bcm(ds);
+  EXPECT_THROW(bcm.run({1, 1, 1, 1}), LppaError);
+}
+
+TEST(BcmAttack, ConsistentSkipsEmptyingChannels) {
+  const geo::Grid g(2, 2, 100.0);
+  geo::Dataset ds(g, -81.0);
+  auto raster = [&](std::initializer_list<std::size_t> free_cells) {
+    std::vector<double> rssi(4, -50.0);
+    for (std::size_t i : free_cells) rssi[i] = -120.0;
+    return finalize_channel(g, std::move(rssi), -81.0);
+  };
+  ds.add_channel(raster({0, 1}));  // channel 0
+  ds.add_channel(raster({2, 3}));  // channel 1: disjoint from 0
+  ds.add_channel(raster({0}));     // channel 2
+  const BcmAttack bcm(ds);
+  // Strict intersection of {0,1} is empty; the consistent variant keeps
+  // the first channel and skips the contradicting one.
+  EXPECT_TRUE(bcm.run_with_channels({0, 1}).empty());
+  const CellSet kept = bcm.run_consistent({0, 1});
+  EXPECT_EQ(kept, ds.availability(0));
+  // Order matters: trusting channel 1 first keeps channel 1's region.
+  EXPECT_EQ(bcm.run_consistent({1, 0}), ds.availability(1));
+  // Consistent channels still narrow normally.
+  EXPECT_EQ(bcm.run_consistent({0, 2}).count(), 1u);
+}
+
+TEST(BcmAttack, ConsistentEqualsStrictWhenChannelsAgree) {
+  const auto ds = tiny_dataset();
+  const BcmAttack bcm(ds);
+  EXPECT_EQ(bcm.run_consistent({0, 1}), bcm.run_with_channels({0, 1}));
+  EXPECT_EQ(bcm.run_consistent({}), bcm.run_with_channels({}));
+}
+
+TEST(BcmAttack, TruthfulBidderAlwaysInsideResult) {
+  // Property: when bids come from true availability, the victim's cell is
+  // always in the BCM output (the attack never "fails" on honest input).
+  const auto cfg = [] {
+    geo::SyntheticFccConfig c;
+    c.rows = 30;
+    c.cols = 30;
+    c.num_channels = 15;
+    return c;
+  }();
+  const auto ds = geo::generate_dataset(geo::area_preset(4), cfg, 5);
+  const BcmAttack bcm(ds);
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t cell = rng.below(ds.grid().cell_count());
+    auction::BidVector bids(ds.channel_count(), 0);
+    for (std::size_t r = 0; r < ds.channel_count(); ++r) {
+      if (ds.availability(r).contains(cell) && rng.bernoulli(0.7)) {
+        bids[r] = 1 + rng.below(15);
+      }
+    }
+    EXPECT_TRUE(bcm.run(bids).contains(cell));
+  }
+}
+
+}  // namespace
+}  // namespace lppa::core

@@ -1,0 +1,85 @@
+#include "auction/bid_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::auction {
+namespace {
+
+BidMatrix make_matrix() {
+  // users x channels:
+  //   u0: 5 0 9
+  //   u1: 7 2 9
+  //   u2: 1 8 0
+  return BidMatrix({{5, 0, 9}, {7, 2, 9}, {1, 8, 0}}, 3);
+}
+
+TEST(BidMatrix, Dimensions) {
+  const BidMatrix m = make_matrix();
+  EXPECT_EQ(m.num_users(), 3u);
+  EXPECT_EQ(m.num_channels(), 3u);
+}
+
+TEST(BidMatrix, RejectsBadShapes) {
+  EXPECT_THROW(BidMatrix({}, 3), LppaError);
+  EXPECT_THROW(BidMatrix({{1, 2}}, 3), LppaError);
+  EXPECT_THROW(BidMatrix({{1, 2, 3}}, 0), LppaError);
+}
+
+TEST(BidMatrix, ArgmaxPicksLargest) {
+  const BidMatrix m = make_matrix();
+  EXPECT_EQ(m.argmax_in_column(0), UserId{1});
+  EXPECT_EQ(m.argmax_in_column(1), UserId{2});
+}
+
+TEST(BidMatrix, ArgmaxTieKeepsFirstUser) {
+  const BidMatrix m = make_matrix();
+  EXPECT_EQ(m.argmax_in_column(2), UserId{0});  // u0 and u1 both bid 9
+}
+
+TEST(BidMatrix, RemoveEntryChangesArgmax) {
+  BidMatrix m = make_matrix();
+  m.remove(1, 0);
+  EXPECT_FALSE(m.has(1, 0));
+  EXPECT_EQ(m.argmax_in_column(0), UserId{0});
+}
+
+TEST(BidMatrix, RemoveUserClearsRow) {
+  BidMatrix m = make_matrix();
+  m.remove_user(0);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_FALSE(m.has(0, r));
+  EXPECT_EQ(m.argmax_in_column(2), UserId{1});
+}
+
+TEST(BidMatrix, EmptyColumnYieldsNullopt) {
+  BidMatrix m = make_matrix();
+  m.remove(0, 2);
+  m.remove(1, 2);
+  m.remove(2, 2);
+  EXPECT_EQ(m.argmax_in_column(2), std::nullopt);
+}
+
+TEST(BidMatrix, EmptyAfterRemovingEveryone) {
+  BidMatrix m = make_matrix();
+  EXPECT_FALSE(m.empty());
+  for (UserId u = 0; u < 3; ++u) m.remove_user(u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(BidMatrix, BidAccessor) {
+  BidMatrix m = make_matrix();
+  EXPECT_EQ(m.bid(2, 1), 8u);
+  m.remove(2, 1);
+  EXPECT_THROW(m.bid(2, 1), LppaError);
+  EXPECT_THROW(m.bid(3, 0), LppaError);
+}
+
+TEST(BidMatrix, ZerosAreLegitimateEntries) {
+  // A zero bid is present (channel column still considers it) until
+  // removed — mirroring the paper where zeros stay in the table.
+  const BidMatrix m = make_matrix();
+  EXPECT_TRUE(m.has(0, 1));
+  EXPECT_EQ(m.bid(0, 1), 0u);
+}
+
+}  // namespace
+}  // namespace lppa::auction

@@ -1,0 +1,165 @@
+#include "core/bpm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bcm.h"
+
+namespace lppa::core {
+namespace {
+
+// 2x2 world, three channels, hand-dialled quality (q = headroom/30dB):
+//   quality[channel][cell]
+//     ch0: 0.7  0.5  0.9  0.4
+//     ch1: 1.0  1.0  0.9  0.8
+//     ch2: 0.5  0.6  0.3  0.2
+geo::Dataset quality_dataset() {
+  const geo::Grid g(2, 2, 100.0);
+  geo::Dataset ds(g, -81.0);
+  auto channel = [&](std::initializer_list<double> qualities) {
+    std::vector<double> rssi;
+    for (double q : qualities) rssi.push_back(-81.0 - 30.0 * q);
+    return finalize_channel(g, std::move(rssi), -81.0, 30.0);
+  };
+  ds.add_channel(channel({0.7, 0.5, 0.9, 0.4}));
+  ds.add_channel(channel({1.0, 1.0, 0.9, 0.8}));
+  ds.add_channel(channel({0.5, 0.6, 0.3, 0.2}));
+  return ds;
+}
+
+CellSet all_cells() { return CellSet::full(4); }
+
+TEST(BpmAttack, ExactQualityBidsPinpointTheCell) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  // Bids proportional to cell 0's qualities: {7, 10, 5} -> q̂ exactly
+  // matches cell 0, so dq(cell 0) == 0 and it ranks first.
+  BpmOptions opts;
+  opts.keep_fraction = 0.25;  // keep 1 of 4
+  const auto result = bpm.run(all_cells(), {7, 10, 5}, opts);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0], 0u);
+  EXPECT_NEAR(result.dq[0], 0.0, 1e-12);
+}
+
+TEST(BpmAttack, ResultsSortedByDqAscending) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  BpmOptions opts;
+  opts.keep_fraction = 1.0;
+  const auto result = bpm.run(all_cells(), {7, 10, 5}, opts);
+  ASSERT_EQ(result.cells.size(), 4u);
+  for (std::size_t i = 1; i < result.dq.size(); ++i) {
+    EXPECT_LE(result.dq[i - 1], result.dq[i]);
+  }
+  EXPECT_EQ(result.cells[0], 0u);
+}
+
+TEST(BpmAttack, KeepFractionRoundsUp) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  BpmOptions opts;
+  opts.keep_fraction = 0.3;  // ceil(0.3 * 4) = 2
+  const auto result = bpm.run(all_cells(), {7, 10, 5}, opts);
+  EXPECT_EQ(result.cells.size(), 2u);
+}
+
+TEST(BpmAttack, MaxCellsCapApplies) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  BpmOptions opts;
+  opts.keep_fraction = 1.0;
+  opts.max_cells = 2;
+  const auto result = bpm.run(all_cells(), {7, 10, 5}, opts);
+  EXPECT_EQ(result.cells.size(), 2u);
+}
+
+TEST(BpmAttack, AllZeroBidsYieldNothing) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  const auto result = bpm.run(all_cells(), {0, 0, 0}, BpmOptions{});
+  EXPECT_TRUE(result.cells.empty());
+}
+
+TEST(BpmAttack, SkipsCellsWhereReferenceChannelIsDead) {
+  // Reference channel (max bid) is ch1; kill it in cell 2 and that cell
+  // becomes unscorable.
+  const geo::Grid g(2, 2, 100.0);
+  geo::Dataset ds(g, -81.0);
+  auto channel = [&](std::initializer_list<double> qualities) {
+    std::vector<double> rssi;
+    for (double q : qualities) {
+      rssi.push_back(q <= 0.0 ? -50.0 : -81.0 - 30.0 * q);
+    }
+    return finalize_channel(g, std::move(rssi), -81.0, 30.0);
+  };
+  ds.add_channel(channel({0.7, 0.5, 0.9, 0.4}));
+  ds.add_channel(channel({1.0, 1.0, 0.0, 0.8}));  // dead in cell 2
+  const BpmAttack bpm(ds);
+  BpmOptions opts;
+  opts.keep_fraction = 1.0;
+  const auto result = bpm.run(CellSet::full(4), {7, 10}, opts);
+  EXPECT_EQ(result.cells.size(), 3u);
+  for (std::size_t c : result.cells) EXPECT_NE(c, 2u);
+}
+
+TEST(BpmAttack, RestrictedPossibleSetIsRespected) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  CellSet possible(4);
+  possible.insert(2);
+  possible.insert(3);
+  BpmOptions opts;
+  opts.keep_fraction = 1.0;
+  const auto result = bpm.run(possible, {7, 10, 5}, opts);
+  for (std::size_t c : result.cells) {
+    EXPECT_TRUE(c == 2u || c == 3u);
+  }
+}
+
+TEST(BpmAttack, InvalidOptionsRejected) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  BpmOptions opts;
+  opts.keep_fraction = 0.0;
+  EXPECT_THROW(bpm.run(all_cells(), {1, 1, 1}, opts), LppaError);
+  opts.keep_fraction = 1.1;
+  EXPECT_THROW(bpm.run(all_cells(), {1, 1, 1}, opts), LppaError);
+}
+
+TEST(BpmAttack, GlobalVariantEqualsFullMapRun) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  BpmOptions opts;
+  opts.keep_fraction = 0.5;
+  const auto via_full_set = bpm.run(all_cells(), {7, 10, 5}, opts);
+  const auto global = bpm.run_global({7, 10, 5}, opts);
+  EXPECT_EQ(global.cells, via_full_set.cells);
+  EXPECT_EQ(global.dq, via_full_set.dq);
+}
+
+TEST(BpmAttack, GlobalVariantStillFindsTheCellWithoutBcm) {
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  BpmOptions opts;
+  opts.keep_fraction = 0.25;
+  const auto result = bpm.run_global({7, 10, 5}, opts);
+  ASSERT_FALSE(result.cells.empty());
+  EXPECT_EQ(result.cells[0], 0u);  // exact-quality bids -> cell 0 first
+}
+
+TEST(BpmAttack, NoisyBidsStillRankTrueCellHighly) {
+  // 20% noise on the bids must keep the true cell within the top half.
+  const auto ds = quality_dataset();
+  const BpmAttack bpm(ds);
+  BpmOptions opts;
+  opts.keep_fraction = 0.5;
+  // True cell 2 qualities {0.9, 0.9, 0.3}; bids with mild distortion.
+  const auto result = bpm.run(all_cells(), {9, 10, 3}, opts);
+  ASSERT_FALSE(result.cells.empty());
+  bool found = false;
+  for (std::size_t c : result.cells) found |= (c == 2u);
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lppa::core

@@ -1,0 +1,113 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa {
+namespace {
+
+TEST(ByteWriter, FixedWidthLittleEndian) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  const Bytes& b = w.data();
+  ASSERT_EQ(b.size(), 1u + 2 + 4 + 8);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0x34);  // u16 low byte first
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0xef);  // u32 low byte first
+  EXPECT_EQ(b[6], 0xde);
+  EXPECT_EQ(b[7], 0x08);  // u64 low byte first
+  EXPECT_EQ(b[14], 0x01);
+}
+
+TEST(ByteRoundTrip, AllScalarWidths) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0);
+  w.u64(~0ULL);
+  ByteReader r(std::span<const std::uint8_t>(w.data()));
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u64(), ~0ULL);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteRoundTrip, LengthPrefixedBytes) {
+  ByteWriter w;
+  const Bytes payload = {1, 2, 3, 4, 5};
+  w.bytes(payload);
+  w.bytes(Bytes{});  // empty payload round-trips too
+  ByteReader r(std::span<const std::uint8_t>(w.data()));
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteRoundTrip, RawBytes) {
+  ByteWriter w;
+  const Bytes payload = {9, 8, 7};
+  w.raw(payload);
+  ByteReader r(std::span<const std::uint8_t>(w.data()));
+  EXPECT_EQ(r.raw(3), payload);
+}
+
+TEST(ByteReader, TruncationThrowsProtocolError) {
+  const Bytes b = {1, 2};
+  ByteReader r(b);
+  EXPECT_EQ(r.u16(), 0x0201);
+  try {
+    (void)r.u8();
+    FAIL() << "expected LppaError";
+  } catch (const LppaError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kProtocol);
+  }
+}
+
+TEST(ByteReader, LengthPrefixLongerThanBufferThrows) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(1);
+  ByteReader r(std::span<const std::uint8_t>(w.data()));
+  EXPECT_THROW(r.bytes(), LppaError);
+}
+
+TEST(ByteReader, RemainingTracksPosition) {
+  const Bytes b = {1, 2, 3, 4};
+  ByteReader r(b);
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+  r.raw(2);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Hex, EncodesLowercase) {
+  const Bytes b = {0x00, 0xff, 0xa5};
+  EXPECT_EQ(to_hex(b), "00ffa5");
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes b = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x11};
+  EXPECT_EQ(from_hex(to_hex(b)), b);
+}
+
+TEST(Hex, AcceptsUppercase) {
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_THROW(from_hex("abc"), LppaError); }
+
+TEST(Hex, RejectsNonHexCharacters) { EXPECT_THROW(from_hex("zz"), LppaError); }
+
+TEST(Hex, EmptyStringYieldsEmptyBytes) {
+  EXPECT_TRUE(from_hex("").empty());
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+}  // namespace
+}  // namespace lppa

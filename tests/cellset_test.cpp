@@ -1,0 +1,146 @@
+#include "common/cellset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lppa {
+namespace {
+
+TEST(CellSet, StartsEmpty) {
+  CellSet s(100);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(s.contains(i));
+}
+
+TEST(CellSet, FullContainsEverything) {
+  CellSet s = CellSet::full(130);  // non-multiple of 64 exercises the tail
+  EXPECT_EQ(s.count(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_TRUE(s.contains(i));
+}
+
+TEST(CellSet, InsertEraseContains) {
+  CellSet s(64);
+  s.insert(0);
+  s.insert(63);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_EQ(s.count(), 2u);
+  s.erase(0);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.count(), 1u);
+  s.erase(0);  // erasing an absent element is a no-op
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(CellSet, OutOfRangeThrows) {
+  CellSet s(10);
+  EXPECT_THROW(s.contains(10), LppaError);
+  EXPECT_THROW(s.insert(10), LppaError);
+  EXPECT_THROW(s.erase(10), LppaError);
+}
+
+TEST(CellSet, EmptyUniverseRejected) {
+  EXPECT_THROW(CellSet s(0), LppaError);
+}
+
+TEST(CellSet, IntersectionAndUnion) {
+  CellSet a(20), b(20);
+  a.insert(1);
+  a.insert(2);
+  a.insert(3);
+  b.insert(2);
+  b.insert(3);
+  b.insert(4);
+  const CellSet i = a & b;
+  EXPECT_EQ(i.count(), 2u);
+  EXPECT_TRUE(i.contains(2));
+  EXPECT_TRUE(i.contains(3));
+  const CellSet u = a | b;
+  EXPECT_EQ(u.count(), 4u);
+}
+
+TEST(CellSet, Difference) {
+  CellSet a(20), b(20);
+  a.insert(1);
+  a.insert(2);
+  b.insert(2);
+  const CellSet d = a - b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.contains(1));
+}
+
+TEST(CellSet, ComplementRoundTrip) {
+  CellSet a(70);
+  a.insert(5);
+  a.insert(69);
+  const CellSet c = a.complement();
+  EXPECT_EQ(c.count(), 68u);
+  EXPECT_FALSE(c.contains(5));
+  EXPECT_FALSE(c.contains(69));
+  EXPECT_EQ(c.complement(), a);
+}
+
+TEST(CellSet, ComplementTailBitsStayClear) {
+  // Universe of 70 bits: complement must not set the 58 spare tail bits,
+  // which would corrupt count().
+  CellSet empty(70);
+  EXPECT_EQ(empty.complement().count(), 70u);
+}
+
+TEST(CellSet, MixedUniverseSizesRejected) {
+  CellSet a(10), b(11);
+  EXPECT_THROW(a &= b, LppaError);
+  EXPECT_THROW(a |= b, LppaError);
+  EXPECT_THROW(a -= b, LppaError);
+}
+
+TEST(CellSet, ToIndicesAscending) {
+  CellSet s(200);
+  s.insert(150);
+  s.insert(3);
+  s.insert(64);
+  EXPECT_EQ(s.to_indices(), (std::vector<std::size_t>{3, 64, 150}));
+}
+
+TEST(CellSet, ForEachVisitsExactlyMembers) {
+  CellSet s(100);
+  s.insert(0);
+  s.insert(64);
+  s.insert(99);
+  std::vector<std::size_t> seen;
+  s.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 64, 99}));
+}
+
+// Algebraic-identity property sweep over random sets.
+class CellSetAlgebra : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CellSetAlgebra, DeMorganAndFriendsHold) {
+  const std::size_t universe = GetParam();
+  Rng rng(universe * 7919 + 1);
+  for (int round = 0; round < 10; ++round) {
+    CellSet a(universe), b(universe);
+    for (std::size_t i = 0; i < universe; ++i) {
+      if (rng.bernoulli(0.3)) a.insert(i);
+      if (rng.bernoulli(0.5)) b.insert(i);
+    }
+    // De Morgan: ~(a & b) == ~a | ~b
+    EXPECT_EQ((a & b).complement(), a.complement() | b.complement());
+    // a - b == a & ~b
+    EXPECT_EQ(a - b, a & b.complement());
+    // Idempotence and absorption.
+    EXPECT_EQ(a & a, a);
+    EXPECT_EQ(a | a, a);
+    EXPECT_EQ(a & (a | b), a);
+    // Inclusion-exclusion on counts.
+    EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UniverseSizes, CellSetAlgebra,
+                         ::testing::Values(1, 63, 64, 65, 128, 1000, 10000));
+
+}  // namespace
+}  // namespace lppa

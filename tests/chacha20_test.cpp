@@ -1,0 +1,140 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lppa::crypto {
+namespace {
+
+SecretKey rfc_key() {
+  Bytes key_bytes(32);
+  for (std::size_t i = 0; i < 32; ++i) key_bytes[i] = static_cast<std::uint8_t>(i);
+  return SecretKey::from_bytes(key_bytes);
+}
+
+// RFC 8439 §2.3.2: key 00..1f, nonce 000000090000004a00000000, counter 1.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const Nonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const auto block = chacha20_block(rfc_key(), nonce, 1);
+  EXPECT_EQ(to_hex(block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 §2.4.2: the "sunscreen" plaintext under counter 1.
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  const Nonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  const Bytes pt(plaintext.begin(), plaintext.end());
+  const Bytes ct = chacha20_xor(rfc_key(), nonce, 1, pt);
+  EXPECT_EQ(to_hex(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+// RFC 8439 Appendix A.1 test vector #1: all-zero key and nonce,
+// counter 0.
+TEST(ChaCha20, Rfc8439AppendixA1Vector1) {
+  const SecretKey key = SecretKey::from_bytes(Bytes(32, 0));
+  const Nonce nonce{};
+  const auto block = chacha20_block(key, nonce, 0);
+  EXPECT_EQ(to_hex(block),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+            "da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586");
+}
+
+// RFC 8439 Appendix A.1 test vector #2: same key/nonce, counter 1.
+TEST(ChaCha20, Rfc8439AppendixA1Vector2) {
+  const SecretKey key = SecretKey::from_bytes(Bytes(32, 0));
+  const Nonce nonce{};
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex(block),
+            "9f07e7be5551387a98ba977c732d080dcb0f29a048e3656912c6533e32ee7aed"
+            "29b721769ce64e43d57133b074d839d531ed1f28510afb45ace10a1f4b794d6f");
+}
+
+// RFC 8439 Appendix A.1 test vector #4: key with one bit set.
+TEST(ChaCha20, Rfc8439AppendixA1Vector4) {
+  Bytes key_bytes(32, 0);
+  key_bytes[1] = 0xff;
+  const SecretKey key = SecretKey::from_bytes(key_bytes);
+  const Nonce nonce{};
+  const auto block = chacha20_block(key, nonce, 2);
+  EXPECT_EQ(to_hex(block),
+            "72d54dfbf12ec44b362692df94137f328fea8da73990265ec1bbbea1ae9af0ca"
+            "13b25aa26cb4a648cb9b9d1be65b2c0924a66c54d545ec1b7374f4872e99f096");
+}
+
+TEST(ChaCha20, XorIsItsOwnInverse) {
+  lppa::Rng rng(1);
+  const SecretKey key = SecretKey::generate(rng);
+  const Nonce nonce = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  Bytes msg(300);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+  const Bytes ct = chacha20_xor(key, nonce, 0, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(chacha20_xor(key, nonce, 0, ct), msg);
+}
+
+TEST(ChaCha20, EmptyMessage) {
+  lppa::Rng rng(2);
+  const SecretKey key = SecretKey::generate(rng);
+  const Nonce nonce{};
+  EXPECT_TRUE(chacha20_xor(key, nonce, 0, Bytes{}).empty());
+}
+
+TEST(ChaCha20, CounterAdvancesPerBlock) {
+  lppa::Rng rng(3);
+  const SecretKey key = SecretKey::generate(rng);
+  const Nonce nonce{};
+  // Encrypting 128 zero bytes from counter 0 equals the concatenation of
+  // blocks 0 and 1.
+  const Bytes zeros(128, 0);
+  const Bytes stream = chacha20_xor(key, nonce, 0, zeros);
+  const auto b0 = chacha20_block(key, nonce, 0);
+  const auto b1 = chacha20_block(key, nonce, 1);
+  Bytes expected(b0.begin(), b0.end());
+  expected.insert(expected.end(), b1.begin(), b1.end());
+  EXPECT_EQ(stream, expected);
+}
+
+TEST(ChaCha20, DifferentNoncesDifferentStreams) {
+  lppa::Rng rng(4);
+  const SecretKey key = SecretKey::generate(rng);
+  Nonce n1{}, n2{};
+  n2[11] = 1;
+  const Bytes zeros(64, 0);
+  EXPECT_NE(chacha20_xor(key, n1, 0, zeros), chacha20_xor(key, n2, 0, zeros));
+}
+
+TEST(ChaCha20, DifferentKeysDifferentStreams) {
+  lppa::Rng rng(5);
+  const SecretKey k1 = SecretKey::generate(rng);
+  const SecretKey k2 = SecretKey::generate(rng);
+  const Nonce nonce{};
+  const Bytes zeros(64, 0);
+  EXPECT_NE(chacha20_xor(k1, nonce, 0, zeros),
+            chacha20_xor(k2, nonce, 0, zeros));
+}
+
+TEST(ChaCha20, NonBlockMultipleLengths) {
+  lppa::Rng rng(6);
+  const SecretKey key = SecretKey::generate(rng);
+  const Nonce nonce = {9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9};
+  for (std::size_t len : {1u, 63u, 64u, 65u, 100u, 200u}) {
+    Bytes msg(len, 0x42);
+    const Bytes ct = chacha20_xor(key, nonce, 7, msg);
+    ASSERT_EQ(ct.size(), len);
+    EXPECT_EQ(chacha20_xor(key, nonce, 7, ct), msg) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace lppa::crypto

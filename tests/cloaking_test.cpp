@@ -1,0 +1,114 @@
+#include "sim/cloaking.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::sim {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.area_id = 3;
+  cfg.fcc.rows = 30;
+  cfg.fcc.cols = 30;
+  cfg.fcc.num_channels = 10;
+  cfg.num_users = 20;
+  cfg.lambda_m = 2000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(CloakedConflict, DegeneratesToCellPredicateAtSizeOne) {
+  const geo::Grid grid(30, 30, 750.0);
+  // Two cells 2 apart (1500 m gap between closest edges... with size-1
+  // blocks the gap is (2-1)*750 = 750 m) and lambda 1000 -> 2λ = 2000:
+  // conflict.
+  EXPECT_TRUE(cloaked_conflict(grid, {0, 0}, {0, 2}, 1, 1000));
+  // 5 cells apart: gap (5-1)*750 = 3000 m > 2000: no conflict.
+  EXPECT_FALSE(cloaked_conflict(grid, {0, 0}, {0, 5}, 1, 1000));
+}
+
+TEST(CloakedConflict, SameBlockAlwaysConflicts) {
+  const geo::Grid grid(30, 30, 750.0);
+  EXPECT_TRUE(cloaked_conflict(grid, {10, 10}, {10, 10}, 5, 1));
+}
+
+TEST(CloakedConflict, RequiresBothAxes) {
+  const geo::Grid grid(30, 30, 750.0);
+  // Adjacent on x, far on y.
+  EXPECT_FALSE(cloaked_conflict(grid, {0, 0}, {20, 1}, 1, 1000));
+}
+
+TEST(CloakedConflict, LargerBlocksConflictMore) {
+  const geo::Grid grid(30, 30, 750.0);
+  const geo::Cell a{0, 0}, b{0, 5};
+  // Small blocks: gap too large.  Big blocks: edges almost touch.
+  EXPECT_FALSE(cloaked_conflict(grid, a, b, 1, 1000));
+  EXPECT_TRUE(cloaked_conflict(grid, a, b, 5, 1000));
+}
+
+TEST(CloakedConflict, ConservativenessCoversTruth) {
+  // Property: if the true positions conflict, the blocks must conflict.
+  const ScenarioConfig cfg = small_config();
+  const Scenario s(cfg);
+  const auto& grid = s.dataset().grid();
+  const auto& users = s.users();
+  for (std::size_t cloak : {1u, 3u, 5u}) {
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      for (std::size_t j = i + 1; j < users.size(); ++j) {
+        if (auction::locations_conflict(users[i].loc, users[j].loc,
+                                        cfg.lambda_m)) {
+          const geo::Cell bi{(users[i].cell.row / static_cast<int>(cloak)) *
+                                 static_cast<int>(cloak),
+                             (users[i].cell.col / static_cast<int>(cloak)) *
+                                 static_cast<int>(cloak)};
+          const geo::Cell bj{(users[j].cell.row / static_cast<int>(cloak)) *
+                                 static_cast<int>(cloak),
+                             (users[j].cell.col / static_cast<int>(cloak)) *
+                                 static_cast<int>(cloak)};
+          EXPECT_TRUE(cloaked_conflict(grid, bi, bj, cloak, cfg.lambda_m))
+              << "cloak " << cloak << " users " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(RunCloakingPoint, RejectsZeroCloak) {
+  const Scenario s(small_config());
+  EXPECT_THROW(run_cloaking_point(s, 0, 1), LppaError);
+}
+
+TEST(RunCloakingPoint, LargerCloaksGiveMorePrivacyLessReuse) {
+  const Scenario s(small_config());
+  const auto tiny = run_cloaking_point(s, 1, 5);
+  const auto big = run_cloaking_point(s, 10, 5);
+  EXPECT_GE(big.privacy.mean_possible_cells,
+            tiny.privacy.mean_possible_cells);
+  EXPECT_GE(big.conflict_inflation, tiny.conflict_inflation);
+  EXPECT_LE(big.revenue_ratio, tiny.revenue_ratio + 0.05);
+}
+
+TEST(RunCloakingPoint, NoCloakMatchesExactAuction) {
+  const Scenario s(small_config());
+  const auto point = run_cloaking_point(s, 1, 5);
+  // A 1x1 "cloak" is slightly conservative (cell granularity) but the
+  // revenue must be essentially the exact auction's.
+  EXPECT_GT(point.revenue_ratio, 0.9);
+}
+
+TEST(RunCloakingPoint, PrivacyCappedByCloakArea) {
+  const Scenario s(small_config());
+  const auto point = run_cloaking_point(s, 5, 5);
+  EXPECT_LE(point.privacy.mean_possible_cells, 25.0);
+}
+
+TEST(RunCloakingPoint, Deterministic) {
+  const Scenario s(small_config());
+  const auto a = run_cloaking_point(s, 5, 9);
+  const auto b = run_cloaking_point(s, 5, 9);
+  EXPECT_EQ(a.revenue_ratio, b.revenue_ratio);
+  EXPECT_EQ(a.privacy.mean_possible_cells, b.privacy.mean_possible_cells);
+}
+
+}  // namespace
+}  // namespace lppa::sim

@@ -1,0 +1,135 @@
+#include "geo/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::geo {
+namespace {
+
+Grid tiny_grid() { return Grid(2, 3, 100.0); }
+
+TEST(FinalizeChannel, ThresholdSplitsAvailability) {
+  const Grid g = tiny_grid();
+  // rssi: first three cells covered (above threshold), last three free.
+  const std::vector<double> rssi = {-50, -70, -80.9, -81, -100, -130};
+  const auto ch = finalize_channel(g, rssi, -81.0, 30.0);
+  EXPECT_FALSE(ch.available.contains(0));
+  EXPECT_FALSE(ch.available.contains(1));
+  EXPECT_FALSE(ch.available.contains(2));
+  EXPECT_TRUE(ch.available.contains(3));  // exactly at threshold: available
+  EXPECT_TRUE(ch.available.contains(4));
+  EXPECT_TRUE(ch.available.contains(5));
+}
+
+TEST(FinalizeChannel, QualityIsNormalisedHeadroom) {
+  const Grid g = tiny_grid();
+  const std::vector<double> rssi = {-81, -96, -111, -150, -50, -81.0001};
+  const auto ch = finalize_channel(g, rssi, -81.0, 30.0);
+  EXPECT_DOUBLE_EQ(ch.quality[0], 0.0);  // zero headroom
+  EXPECT_DOUBLE_EQ(ch.quality[1], 0.5);  // 15 dB of 30
+  EXPECT_DOUBLE_EQ(ch.quality[2], 1.0);  // full span
+  EXPECT_DOUBLE_EQ(ch.quality[3], 1.0);  // clamped above the span
+  EXPECT_DOUBLE_EQ(ch.quality[4], 0.0);  // unavailable -> 0
+  EXPECT_GT(ch.quality[5], 0.0);
+}
+
+TEST(FinalizeChannel, RejectsMismatchedRaster) {
+  EXPECT_THROW(finalize_channel(tiny_grid(), std::vector<double>(5), -81.0),
+               LppaError);
+  EXPECT_THROW(
+      finalize_channel(tiny_grid(), std::vector<double>(6), -81.0, 0.0),
+      LppaError);
+}
+
+Dataset make_dataset() {
+  const Grid g = tiny_grid();
+  Dataset ds(g, -81.0);
+  // Channel 0: available in cells 3..5.
+  ds.add_channel(finalize_channel(g, {-50, -60, -70, -90, -100, -110}, -81.0));
+  // Channel 1: available everywhere.
+  ds.add_channel(
+      finalize_channel(g, {-90, -95, -100, -105, -110, -115}, -81.0));
+  // Channel 2: available nowhere.
+  ds.add_channel(finalize_channel(g, {-10, -20, -30, -40, -50, -60}, -81.0));
+  return ds;
+}
+
+TEST(Dataset, ChannelAccessors) {
+  const Dataset ds = make_dataset();
+  EXPECT_EQ(ds.channel_count(), 3u);
+  EXPECT_EQ(ds.availability(0).count(), 3u);
+  EXPECT_EQ(ds.availability(1).count(), 6u);
+  EXPECT_EQ(ds.availability(2).count(), 0u);
+  EXPECT_THROW(ds.channel(3), LppaError);
+}
+
+TEST(Dataset, QualityLookups) {
+  const Dataset ds = make_dataset();
+  EXPECT_EQ(ds.quality(2, {0, 0}), 0.0);
+  EXPECT_GT(ds.quality(1, {0, 0}), 0.0);
+  EXPECT_EQ(ds.quality(0, {0, 0}), 0.0);              // covered cell
+  EXPECT_GT(ds.quality_at_index(0, 4), 0.0);          // free cell
+  EXPECT_THROW(ds.quality_at_index(0, 6), LppaError);  // out of range
+}
+
+TEST(Dataset, AvailableChannelsPerCell) {
+  const Dataset ds = make_dataset();
+  EXPECT_EQ(ds.available_channels({0, 0}), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(ds.available_channels({1, 1}), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Dataset, RestrictedToKeepsPrefixOfChannels) {
+  const Dataset ds = make_dataset();
+  const Dataset head = ds.restricted_to(2);
+  EXPECT_EQ(head.channel_count(), 2u);
+  EXPECT_EQ(head.availability(0), ds.availability(0));
+  EXPECT_EQ(head.availability(1), ds.availability(1));
+  EXPECT_THROW(ds.restricted_to(4), LppaError);
+}
+
+TEST(Dataset, RejectsForeignRaster) {
+  Dataset ds(tiny_grid(), -81.0);
+  ChannelCoverage wrong(5);
+  EXPECT_THROW(ds.add_channel(wrong), LppaError);
+}
+
+TEST(Dataset, SerializeRoundTripPreservesEverything) {
+  const Dataset ds = make_dataset();
+  const Bytes wire = ds.serialize();
+  const Dataset restored = Dataset::deserialize(wire);
+  EXPECT_EQ(restored.grid(), ds.grid());
+  EXPECT_DOUBLE_EQ(restored.threshold_dbm(), ds.threshold_dbm());
+  ASSERT_EQ(restored.channel_count(), ds.channel_count());
+  for (std::size_t r = 0; r < ds.channel_count(); ++r) {
+    EXPECT_EQ(restored.availability(r), ds.availability(r)) << r;
+    // rssi quantised to centi-dB: inputs here are exact centi-dB values.
+    EXPECT_EQ(restored.channel(r).rssi_dbm, ds.channel(r).rssi_dbm) << r;
+    EXPECT_EQ(restored.channel(r).quality, ds.channel(r).quality) << r;
+  }
+}
+
+TEST(Dataset, DeserializeRejectsCorruption) {
+  const Dataset ds = make_dataset();
+  Bytes wire = ds.serialize();
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_THROW(Dataset::deserialize(truncated), LppaError);
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_THROW(Dataset::deserialize(padded), LppaError);
+  Bytes zero_rows = wire;
+  zero_rows[0] = zero_rows[1] = zero_rows[2] = zero_rows[3] = 0;
+  EXPECT_THROW(Dataset::deserialize(zero_rows), LppaError);
+}
+
+TEST(Dataset, QualityPositiveImpliesAvailable) {
+  const Dataset ds = make_dataset();
+  for (std::size_t r = 0; r < ds.channel_count(); ++r) {
+    for (std::size_t i = 0; i < ds.grid().cell_count(); ++i) {
+      if (ds.quality_at_index(r, i) > 0.0) {
+        EXPECT_TRUE(ds.availability(r).contains(i));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lppa::geo

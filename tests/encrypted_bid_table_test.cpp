@@ -1,0 +1,112 @@
+#include "core/encrypted_bid_table.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/bid_matrix.h"
+#include "crypto/sealed_box.h"
+
+namespace lppa::core {
+namespace {
+
+struct EncryptedTableTest : ::testing::Test {
+  Rng rng{31337};
+  crypto::SecretKey gb = crypto::SecretKey::generate(rng);
+  crypto::SecretKey gc = crypto::SecretKey::generate(rng);
+  PpbsBidConfig cfg = PpbsBidConfig::advanced(15, 3, 4,
+                                              ZeroDisguisePolicy::none(15));
+  BidSubmitter submitter{cfg, gb, gc};
+
+  std::vector<BidSubmission> make(const std::vector<auction::BidVector>& bids) {
+    std::vector<BidSubmission> subs;
+    for (const auto& bv : bids) subs.push_back(submitter.submit(bv, rng));
+    return subs;
+  }
+};
+
+TEST_F(EncryptedTableTest, ShapeValidation) {
+  const auto subs = make({{1, 2}, {3, 4}});
+  EXPECT_NO_THROW(EncryptedBidTable(subs, 2));
+  EXPECT_THROW(EncryptedBidTable(subs, 3), LppaError);
+  const std::vector<BidSubmission> empty;
+  EXPECT_THROW(EncryptedBidTable(empty, 2), LppaError);
+}
+
+TEST_F(EncryptedTableTest, ArgmaxMatchesPlaintext) {
+  const std::vector<auction::BidVector> bids = {
+      {5, 0, 9}, {7, 2, 9}, {1, 8, 0}};
+  const auto subs = make(bids);
+  EncryptedBidTable table(subs, 3);
+  EXPECT_EQ(table.argmax_in_column(0), auction::UserId{1});
+  EXPECT_EQ(table.argmax_in_column(1), auction::UserId{2});
+}
+
+TEST_F(EncryptedTableTest, RemoveSemanticsMatchBidMatrix) {
+  const std::vector<auction::BidVector> bids = {{5, 1}, {9, 2}, {3, 8}};
+  const auto subs = make(bids);
+  EncryptedBidTable table(subs, 2);
+  table.remove(1, 0);
+  EXPECT_FALSE(table.has(1, 0));
+  EXPECT_TRUE(table.has(1, 1));
+  EXPECT_EQ(table.argmax_in_column(0), auction::UserId{0});
+  table.remove_user(0);
+  EXPECT_EQ(table.argmax_in_column(0), auction::UserId{2});
+  EXPECT_FALSE(table.empty());
+  table.remove_user(1);
+  table.remove_user(2);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST_F(EncryptedTableTest, EmptyColumnReturnsNullopt) {
+  const auto subs = make({{4}});
+  EncryptedBidTable table(subs, 1);
+  table.remove(0, 0);
+  EXPECT_EQ(table.argmax_in_column(0), std::nullopt);
+}
+
+TEST_F(EncryptedTableTest, EntryAccessorReturnsSubmission) {
+  const auto subs = make({{4, 6}});
+  EncryptedBidTable table(subs, 2);
+  EXPECT_EQ(&table.entry(0, 1), &subs[0].channels[1]);
+  EXPECT_THROW(table.entry(1, 0), LppaError);
+  EXPECT_THROW(table.entry(0, 2), LppaError);
+}
+
+TEST_F(EncryptedTableTest, FullAllocationParityWithPlaintext) {
+  // The same allocation randomness over (a) true bids in a BidMatrix and
+  // (b) masked bids in an EncryptedBidTable must award identically when
+  // no zero-disguise is active, because the masked encoding is
+  // order-preserving within each column.
+  // Ties would let the two tables pick different (equally-priced) winners
+  // whose conflict neighbourhoods differ, so give every column distinct
+  // bids: then the award sequences must agree exactly.
+  Rng world(7);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<auction::SuLocation> locs;
+    const std::size_t n = 12, k = 4;
+    std::vector<auction::BidVector> bids(n, auction::BidVector(k));
+    for (std::size_t r = 0; r < k; ++r) {
+      std::vector<auction::Money> column(n);
+      for (std::size_t u = 0; u < n; ++u) column[u] = u;  // distinct 0..n-1
+      world.shuffle(column);
+      for (std::size_t u = 0; u < n; ++u) bids[u][r] = column[u];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      locs.push_back({world.below(400), world.below(400)});
+    }
+    const auto g = auction::ConflictGraph::from_locations(locs, 60);
+
+    auction::BidMatrix plain(bids, k);
+    Rng rng_plain(round + 100);
+    const auto plain_awards = auction::greedy_allocate(plain, g, rng_plain);
+
+    const auto subs = make(bids);
+    EncryptedBidTable masked(subs, k);
+    Rng rng_masked(round + 100);
+    const auto masked_awards = auction::greedy_allocate(masked, g, rng_masked);
+
+    EXPECT_EQ(plain_awards, masked_awards) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace lppa::core

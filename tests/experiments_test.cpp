@@ -1,0 +1,171 @@
+#include "sim/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include "core/theorems.h"
+
+namespace lppa::sim {
+namespace {
+
+ScenarioConfig small_config(std::size_t users = 20) {
+  ScenarioConfig cfg;
+  cfg.area_id = 4;
+  cfg.fcc.rows = 25;
+  cfg.fcc.cols = 25;
+  cfg.fcc.num_channels = 8;
+  cfg.num_users = users;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(RunAttackPoint, BcmNeverFailsOnTruthfulBids) {
+  const Scenario s(small_config());
+  const auto point = run_attack_point(s, 8, 0.5, 0);
+  EXPECT_DOUBLE_EQ(point.bcm.failure_rate, 0.0);
+  EXPECT_EQ(point.bcm.samples, 20u);
+}
+
+TEST(RunAttackPoint, BpmShrinksTheCandidateSet) {
+  const Scenario s(small_config());
+  const auto point = run_attack_point(s, 8, 0.25, 0);
+  EXPECT_LT(point.bpm.mean_possible_cells, point.bcm.mean_possible_cells);
+  EXPECT_LE(point.bpm.mean_uncertainty_nats, point.bcm.mean_uncertainty_nats);
+}
+
+TEST(RunAttackPoint, MoreChannelsSharpenBcm) {
+  const Scenario s(small_config());
+  const auto few = run_attack_point(s, 2, 1.0, 0);
+  const auto many = run_attack_point(s, 8, 1.0, 0);
+  EXPECT_LE(many.bcm.mean_possible_cells, few.bcm.mean_possible_cells);
+}
+
+TEST(RunAttackPoint, CellCapBindsTheOutput) {
+  const Scenario s(small_config());
+  const auto point = run_attack_point(s, 8, 1.0, 5);
+  EXPECT_LE(point.bpm.mean_possible_cells, 5.0);
+}
+
+TEST(RunDefensePoint, ProducesAllThreeViews) {
+  const Scenario s(small_config());
+  DefenseOptions opts;
+  opts.replace_prob = 0.5;
+  opts.top_fraction = 0.5;
+  const auto point = run_defense_point(s, opts, 31);
+  EXPECT_EQ(point.plain_bcm.samples, 20u);
+  EXPECT_EQ(point.plain_bpm.samples, 20u);
+  EXPECT_EQ(point.lppa.samples, 20u);
+  // Unprotected BCM on truthful bids never fails; the LPPA-side attack
+  // has a strictly harder job.
+  EXPECT_DOUBLE_EQ(point.plain_bcm.failure_rate, 0.0);
+  EXPECT_GE(point.lppa.failure_rate, point.plain_bcm.failure_rate);
+}
+
+TEST(RunDefensePoint, DeterministicPerSeed) {
+  const Scenario s(small_config());
+  DefenseOptions opts;
+  const auto a = run_defense_point(s, opts, 7);
+  const auto b = run_defense_point(s, opts, 7);
+  EXPECT_EQ(a.lppa.failure_rate, b.lppa.failure_rate);
+  EXPECT_EQ(a.lppa.mean_possible_cells, b.lppa.mean_possible_cells);
+}
+
+TEST(MakeSubmissions, OnePerUser) {
+  const Scenario s(small_config());
+  const auto cfg = core::PpbsBidConfig::advanced(
+      s.config().bmax, 3, 4, core::ZeroDisguisePolicy::none(s.config().bmax));
+  const core::TrustedThirdParty ttp(cfg, 3);
+  const auto subs = make_submissions(s, cfg, ttp.su_keys(), 5);
+  ASSERT_EQ(subs.size(), 20u);
+  for (const auto& sub : subs) EXPECT_EQ(sub.channels.size(), 8u);
+}
+
+TEST(RunPerformancePoint, RatiosAreSane) {
+  Scenario s(small_config(15));
+  const auto point = run_performance_point(s, 0.3, 3, 4, 2, 13);
+  EXPECT_EQ(point.num_users, 15u);
+  EXPECT_GE(point.bid_sum_ratio, 0.0);
+  EXPECT_LE(point.bid_sum_ratio, 1.2);  // small-sample tie noise tolerated
+  EXPECT_GE(point.plain_satisfaction, 0.0);
+  EXPECT_LE(point.plain_satisfaction, 1.0);
+  EXPECT_GE(point.lppa_satisfaction, 0.0);
+  EXPECT_LE(point.lppa_satisfaction, 1.0);
+}
+
+TEST(RunPerformancePoint, ZeroReplaceProbPreservesPerformance) {
+  Scenario s(small_config(40));
+  const auto point = run_performance_point(s, 0.0, 3, 4, 4, 17);
+  // Without disguise the only differences are tie-breaks among equal
+  // bids (the masked table breaks ties by random cr-slot, the plain one
+  // keeps the first user), which can flip individual awards.
+  EXPECT_NEAR(point.bid_sum_ratio, 1.0, 0.1);
+  EXPECT_NEAR(point.satisfaction_ratio, 1.0, 0.15);
+}
+
+TEST(RunPerformancePoint, FullDisguiseHurtsRevenue) {
+  Scenario s(small_config(25));
+  const auto none = run_performance_point(s, 0.0, 3, 4, 3, 19);
+  const auto full = run_performance_point(s, 1.0, 3, 4, 3, 19);
+  EXPECT_LT(full.bid_sum_ratio, none.bid_sum_ratio);
+}
+
+TEST(MeasureCommCost, DigestVolumeMatchesTheorem4Exactly) {
+  // Our instantiation transmits exactly (w+1) + (2w-2) digests of 256
+  // bits per (user, channel): the measured digest volume must equal the
+  // Theorem 4 prediction with h = 256/(w+1) to the bit.
+  const auto row = measure_comm_cost(5, 4, 15, 3, 4, 23);
+  EXPECT_DOUBLE_EQ(row.measured_digest_bits, row.predicted_bits);
+  EXPECT_GT(row.measured_wire_bits, row.measured_digest_bits);  // framing
+}
+
+TEST(MeasureCommCost, ScalesLinearly) {
+  const auto base = measure_comm_cost(4, 3, 15, 3, 4, 29);
+  const auto double_users = measure_comm_cost(8, 3, 15, 3, 4, 29);
+  EXPECT_DOUBLE_EQ(double_users.predicted_bits, 2 * base.predicted_bits);
+  EXPECT_DOUBLE_EQ(double_users.measured_digest_bits,
+                   2 * base.measured_digest_bits);
+}
+
+TEST(RunDefenseSweepRepeated, AveragesAcrossResamples) {
+  Scenario s(small_config());
+  DefenseOptions opts;
+  const std::vector<double> replaces = {0.3};
+  const std::vector<double> fractions = {0.5};
+  const auto repeated =
+      run_defense_sweep_repeated(s, 3, replaces, fractions, opts, 11);
+  ASSERT_EQ(repeated.points.size(), 1u);
+  // Three repetitions of 20 users each.
+  EXPECT_EQ(repeated.points[0].lppa.samples, 60u);
+  EXPECT_EQ(repeated.plain_bcm.samples, 60u);
+  EXPECT_GE(repeated.points[0].lppa.failure_rate, 0.0);
+  EXPECT_LE(repeated.points[0].lppa.failure_rate, 1.0);
+}
+
+TEST(RunDefenseSweepRepeated, OneRepetitionMatchesSingleSweep) {
+  Scenario s1(small_config()), s2(small_config());
+  DefenseOptions opts;
+  const std::vector<double> replaces = {0.5};
+  const std::vector<double> fractions = {0.5};
+  s2.resample_users(21 + 7919 * 0);  // mirror the repetition reseed
+  const auto single = run_defense_sweep(s2, replaces, fractions, opts, 21);
+  const auto repeated =
+      run_defense_sweep_repeated(s1, 1, replaces, fractions, opts, 21);
+  EXPECT_EQ(repeated.points[0].lppa.failure_rate,
+            single.points[0].lppa.failure_rate);
+  EXPECT_EQ(repeated.points[0].lppa.mean_possible_cells,
+            single.points[0].lppa.mean_possible_cells);
+}
+
+TEST(RunDefenseSweepRepeated, RejectsZeroRepetitions) {
+  Scenario s(small_config());
+  EXPECT_THROW(
+      run_defense_sweep_repeated(s, 0, {0.5}, {0.5}, DefenseOptions{}, 1),
+      LppaError);
+}
+
+TEST(RunPerformancePoint, RequiresRounds) {
+  Scenario s(small_config(5));
+  EXPECT_THROW(run_performance_point(s, 0.5, 3, 4, 0, 1), LppaError);
+}
+
+}  // namespace
+}  // namespace lppa::sim

@@ -1,0 +1,89 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lppa::geo {
+namespace {
+
+TEST(Grid, RejectsDegenerateDimensions) {
+  EXPECT_THROW(Grid(0, 10, 1.0), LppaError);
+  EXPECT_THROW(Grid(10, 0, 1.0), LppaError);
+  EXPECT_THROW(Grid(10, 10, 0.0), LppaError);
+  EXPECT_THROW(Grid(10, 10, -1.0), LppaError);
+}
+
+TEST(Grid, BasicGeometry) {
+  const Grid g(100, 100, 750.0);  // the paper's 75 km x 75 km area
+  EXPECT_EQ(g.cell_count(), 10000u);
+  EXPECT_DOUBLE_EQ(g.width_m(), 75000.0);
+  EXPECT_DOUBLE_EQ(g.height_m(), 75000.0);
+}
+
+TEST(Grid, IndexCellRoundTrip) {
+  const Grid g(7, 13, 10.0);
+  for (std::size_t i = 0; i < g.cell_count(); ++i) {
+    EXPECT_EQ(g.index(g.cell_at(i)), i);
+  }
+}
+
+TEST(Grid, IndexIsRowMajor) {
+  const Grid g(10, 20, 1.0);
+  EXPECT_EQ(g.index({0, 0}), 0u);
+  EXPECT_EQ(g.index({0, 19}), 19u);
+  EXPECT_EQ(g.index({1, 0}), 20u);
+  EXPECT_EQ(g.index({9, 19}), 199u);
+}
+
+TEST(Grid, BoundsChecking) {
+  const Grid g(5, 5, 1.0);
+  EXPECT_TRUE(g.in_bounds({0, 0}));
+  EXPECT_TRUE(g.in_bounds({4, 4}));
+  EXPECT_FALSE(g.in_bounds({5, 0}));
+  EXPECT_FALSE(g.in_bounds({0, -1}));
+  EXPECT_THROW(g.index({5, 0}), LppaError);
+  EXPECT_THROW(g.cell_at(25), LppaError);
+  EXPECT_THROW(g.center({-1, 0}), LppaError);
+}
+
+TEST(Grid, CenterIsCellMidpoint) {
+  const Grid g(10, 10, 100.0);
+  const Point p = g.center({2, 3});
+  EXPECT_DOUBLE_EQ(p.x, 350.0);  // col 3 -> [300,400)
+  EXPECT_DOUBLE_EQ(p.y, 250.0);  // row 2 -> [200,300)
+}
+
+TEST(Grid, CellOfInvertsCenter) {
+  const Grid g(20, 30, 50.0);
+  for (int r = 0; r < 20; ++r) {
+    for (int c = 0; c < 30; ++c) {
+      EXPECT_EQ(g.cell_of(g.center({r, c})), (Cell{r, c}));
+    }
+  }
+}
+
+TEST(Grid, CellOfClampsOutOfBoundsPoints) {
+  const Grid g(10, 10, 10.0);
+  EXPECT_EQ(g.cell_of({-5.0, -5.0}), (Cell{0, 0}));
+  EXPECT_EQ(g.cell_of({1e6, 1e6}), (Cell{9, 9}));
+  EXPECT_EQ(g.cell_of({100.0, 0.0}), (Cell{0, 9}));  // exactly on the edge
+}
+
+TEST(Grid, CellDistance) {
+  const Grid g(10, 10, 100.0);
+  EXPECT_DOUBLE_EQ(g.cell_distance_m({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(g.cell_distance_m({0, 0}, {0, 3}), 300.0);
+  EXPECT_DOUBLE_EQ(g.cell_distance_m({0, 0}, {3, 4}), 500.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(g.cell_distance_m({2, 7}, {8, 1}),
+                   g.cell_distance_m({8, 1}, {2, 7}));
+}
+
+TEST(PointDistance, Euclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace lppa::geo

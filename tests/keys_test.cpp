@@ -1,0 +1,86 @@
+#include "crypto/keys.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lppa::crypto {
+namespace {
+
+TEST(SecretKey, GenerateIsDeterministicPerRngState) {
+  lppa::Rng a(42), b(42);
+  EXPECT_EQ(SecretKey::generate(a), SecretKey::generate(b));
+}
+
+TEST(SecretKey, ConsecutiveGenerationsDiffer) {
+  lppa::Rng rng(42);
+  const SecretKey k1 = SecretKey::generate(rng);
+  const SecretKey k2 = SecretKey::generate(rng);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(SecretKey, GeneratedBytesAreNotRawRngOutput) {
+  // The key must be whitened: its first 8 bytes must not equal the next
+  // raw RNG word of an identically-seeded generator.
+  lppa::Rng rng(7);
+  lppa::Rng probe(7);
+  const std::uint64_t raw = probe.next();
+  const SecretKey key = SecretKey::generate(rng);
+  std::uint64_t head = 0;
+  for (int i = 0; i < 8; ++i) {
+    head |= static_cast<std::uint64_t>(key.bytes()[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  EXPECT_NE(head, raw);
+}
+
+TEST(SecretKey, FromBytesRoundTrip) {
+  Bytes raw(32);
+  for (std::size_t i = 0; i < raw.size(); ++i) raw[i] = static_cast<std::uint8_t>(i * 3);
+  const SecretKey key = SecretKey::from_bytes(raw);
+  EXPECT_TRUE(std::equal(raw.begin(), raw.end(), key.bytes().begin()));
+}
+
+TEST(SecretKey, FromBytesRejectsWrongLength) {
+  EXPECT_THROW(SecretKey::from_bytes(Bytes(31)), LppaError);
+  EXPECT_THROW(SecretKey::from_bytes(Bytes(33)), LppaError);
+  EXPECT_THROW(SecretKey::from_bytes(Bytes{}), LppaError);
+}
+
+TEST(SecretKey, DeriveIsDeterministic) {
+  lppa::Rng rng(1);
+  const SecretKey master = SecretKey::generate(rng);
+  EXPECT_EQ(master.derive("gb", 5), master.derive("gb", 5));
+}
+
+TEST(SecretKey, DeriveSeparatesIndices) {
+  lppa::Rng rng(2);
+  const SecretKey master = SecretKey::generate(rng);
+  std::set<std::string> seen;
+  for (std::uint64_t r = 0; r < 200; ++r) {
+    const SecretKey sub = master.derive("gb", r);
+    const std::string hex =
+        to_hex(std::span<const std::uint8_t>(sub.bytes()));
+    EXPECT_TRUE(seen.insert(hex).second) << "collision at index " << r;
+  }
+}
+
+TEST(SecretKey, DeriveSeparatesLabels) {
+  lppa::Rng rng(3);
+  const SecretKey master = SecretKey::generate(rng);
+  EXPECT_NE(master.derive("enc", 0), master.derive("mac", 0));
+  EXPECT_NE(master.derive("gb", 0), master.derive("g0", 0));
+}
+
+TEST(SecretKey, DeriveDiffersFromMaster) {
+  lppa::Rng rng(4);
+  const SecretKey master = SecretKey::generate(rng);
+  EXPECT_NE(master.derive("x", 0), master);
+}
+
+TEST(SecretKey, DefaultConstructedIsAllZero) {
+  const SecretKey key;
+  for (const auto b : key.bytes()) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace lppa::crypto

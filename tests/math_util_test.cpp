@@ -1,0 +1,106 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace lppa {
+namespace {
+
+TEST(LogFactorial, SmallValuesExact) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(Binomial, MatchesPascalTriangle) {
+  EXPECT_NEAR(binomial(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(binomial(5, 0), 1.0, 1e-9);
+  EXPECT_NEAR(binomial(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(binomial(10, 5), 252.0, 1e-6);
+  EXPECT_NEAR(binomial(52, 5), 2598960.0, 1.0);
+}
+
+TEST(Binomial, OutOfRangeKIsZero) {
+  EXPECT_EQ(binomial(3, 4), 0.0);
+  EXPECT_EQ(std::isinf(log_binomial(3, 4)), true);
+  EXPECT_LT(log_binomial(3, 4), 0.0);
+}
+
+TEST(Binomial, RecurrenceHolds) {
+  for (std::uint64_t n = 1; n <= 30; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_NEAR(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k),
+                  binomial(n, k) * 1e-9)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LogAddExp, BasicIdentities) {
+  EXPECT_NEAR(log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(log_add_exp(ninf, 1.5), 1.5);
+  EXPECT_EQ(log_add_exp(1.5, ninf), 1.5);
+}
+
+TEST(LogAddExp, StableForLargeMagnitudes) {
+  // Without the max-trick this would overflow.
+  EXPECT_NEAR(log_add_exp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(log_add_exp(-1000.0, -1001.0),
+              -1000.0 + std::log1p(std::exp(-1.0)), 1e-9);
+}
+
+TEST(Ipow, MatchesStdPow) {
+  EXPECT_EQ(ipow(2.0, 0), 1.0);
+  EXPECT_EQ(ipow(2.0, 10), 1024.0);
+  EXPECT_NEAR(ipow(0.5, 20), std::pow(0.5, 20), 1e-15);
+  EXPECT_EQ(ipow(0.0, 0), 1.0);  // 0^0 == 1 convention used by theorems
+  EXPECT_EQ(ipow(0.0, 3), 0.0);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  EXPECT_NEAR(entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  EXPECT_EQ(entropy({1.0}), 0.0);
+  EXPECT_EQ(entropy({1.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(Entropy, NormalisesInternally) {
+  EXPECT_NEAR(entropy({2.0, 2.0}), std::log(2.0), 1e-12);
+}
+
+TEST(Entropy, EmptyOrZeroInputIsZero) {
+  EXPECT_EQ(entropy({}), 0.0);
+  EXPECT_EQ(entropy({0.0, 0.0}), 0.0);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_NEAR(mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+}
+
+TEST(SampleStddev, Basics) {
+  EXPECT_EQ(sample_stddev({}), 0.0);
+  EXPECT_EQ(sample_stddev({5.0}), 0.0);
+  EXPECT_NEAR(sample_stddev({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(sample_stddev({1, 2, 3, 4, 5}), std::sqrt(2.5), 1e-12);
+}
+
+TEST(BitWidth, Boundaries) {
+  EXPECT_EQ(bit_width_for_value(0), 1);
+  EXPECT_EQ(bit_width_for_value(1), 1);
+  EXPECT_EQ(bit_width_for_value(2), 2);
+  EXPECT_EQ(bit_width_for_value(3), 2);
+  EXPECT_EQ(bit_width_for_value(4), 3);
+  EXPECT_EQ(bit_width_for_value(255), 8);
+  EXPECT_EQ(bit_width_for_value(256), 9);
+  EXPECT_EQ(bit_width_for_value(~0ULL), 64);
+}
+
+}  // namespace
+}  // namespace lppa

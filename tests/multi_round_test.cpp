@@ -1,0 +1,115 @@
+#include "sim/multi_round.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::sim {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.area_id = 3;
+  cfg.fcc.rows = 30;
+  cfg.fcc.cols = 30;
+  cfg.fcc.num_channels = 12;
+  cfg.num_users = 20;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(ScenarioRebid, KeepsPositionsChangesBids) {
+  Scenario s(small_config());
+  const auto before = s.users();
+  s.rebid(123);
+  bool any_bid_changed = false;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(s.users()[i].cell, before[i].cell);
+    EXPECT_EQ(s.users()[i].loc, before[i].loc);
+    if (s.users()[i].bids != before[i].bids) any_bid_changed = true;
+  }
+  EXPECT_TRUE(any_bid_changed);
+}
+
+TEST(ScenarioRebid, DeterministicPerSeed) {
+  Scenario a(small_config()), b(small_config());
+  a.rebid(9);
+  b.rebid(9);
+  for (std::size_t i = 0; i < a.users().size(); ++i) {
+    EXPECT_EQ(a.users()[i].bids, b.users()[i].bids);
+  }
+}
+
+TEST(ScenarioRebid, BidsStillRespectAvailability) {
+  Scenario s(small_config());
+  s.rebid(55);
+  for (const auto& su : s.users()) {
+    const std::size_t cell = s.dataset().grid().index(su.cell);
+    for (std::size_t r = 0; r < su.bids.size(); ++r) {
+      if (!s.dataset().availability(r).contains(cell)) {
+        EXPECT_EQ(su.bids[r], 0u);
+      }
+    }
+  }
+}
+
+TEST(MultiRound, RequiresAtLeastOneRound) {
+  Scenario s(small_config());
+  MultiRoundConfig cfg;
+  cfg.rounds = 0;
+  EXPECT_THROW(run_multi_round(s, cfg, 1), LppaError);
+}
+
+TEST(MultiRound, OneRoundIsMixingInvariant) {
+  // With a single round there is nothing to link: mixing on and off must
+  // produce identical knowledge.
+  Scenario s1(small_config()), s2(small_config());
+  MultiRoundConfig with_mix, without_mix;
+  with_mix.rounds = without_mix.rounds = 1;
+  with_mix.mix_ids = true;
+  without_mix.mix_ids = false;
+  const auto a = run_multi_round(s1, with_mix, 42);
+  const auto b = run_multi_round(s2, without_mix, 42);
+  EXPECT_EQ(a.metrics.failure_rate, b.metrics.failure_rate);
+  EXPECT_EQ(a.mean_channels_used, b.mean_channels_used);
+}
+
+TEST(MultiRound, LinkingSharpensTheAttack) {
+  // Without mixing, 8 linked rounds must not attack WORSE than a single
+  // round (majority voting filters disguise noise).
+  Scenario s1(small_config()), s2(small_config());
+  MultiRoundConfig single, linked;
+  single.rounds = 1;
+  single.mix_ids = false;
+  linked.rounds = 8;
+  linked.mix_ids = false;
+  const auto one = run_multi_round(s1, single, 7);
+  const auto many = run_multi_round(s2, linked, 7);
+  EXPECT_LE(many.metrics.failure_rate, one.metrics.failure_rate);
+}
+
+TEST(MultiRound, MixingCapsTheAttacker) {
+  // With mixing, many rounds must not help much: failure rate stays in
+  // the neighbourhood of the single-round level rather than collapsing.
+  Scenario s1(small_config()), s2(small_config());
+  MultiRoundConfig single, mixed;
+  single.rounds = 1;
+  mixed.rounds = 8;
+  mixed.mix_ids = true;
+  const auto one = run_multi_round(s1, single, 11);
+  const auto many = run_multi_round(s2, mixed, 11);
+  EXPECT_GE(many.metrics.failure_rate, one.metrics.failure_rate * 0.5);
+}
+
+TEST(MultiRound, DeterministicPerSeed) {
+  Scenario s1(small_config()), s2(small_config());
+  MultiRoundConfig cfg;
+  cfg.rounds = 3;
+  cfg.mix_ids = false;
+  const auto a = run_multi_round(s1, cfg, 99);
+  const auto b = run_multi_round(s2, cfg, 99);
+  EXPECT_EQ(a.metrics.failure_rate, b.metrics.failure_rate);
+  EXPECT_EQ(a.metrics.mean_possible_cells, b.metrics.mean_possible_cells);
+  EXPECT_EQ(a.mean_channels_used, b.mean_channels_used);
+}
+
+}  // namespace
+}  // namespace lppa::sim

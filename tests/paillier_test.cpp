@@ -1,0 +1,189 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace lppa::crypto {
+namespace {
+
+TEST(Primality, KnownSmallValues) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(97));
+  EXPECT_FALSE(is_prime_u64(91));  // 7 * 13
+  EXPECT_TRUE(is_prime_u64(7919));
+}
+
+TEST(Primality, CarmichaelNumbersRejected) {
+  for (std::uint64_t carmichael : {561ULL, 1105ULL, 1729ULL, 2465ULL,
+                                   2821ULL, 6601ULL, 8911ULL}) {
+    EXPECT_FALSE(is_prime_u64(carmichael)) << carmichael;
+  }
+}
+
+TEST(Primality, LargeKnownValues) {
+  EXPECT_TRUE(is_prime_u64(2147483647ULL));          // 2^31 - 1
+  EXPECT_TRUE(is_prime_u64(4294967291ULL));          // largest 32-bit prime
+  EXPECT_FALSE(is_prime_u64(4294967295ULL));         // 2^32 - 1 composite
+  EXPECT_TRUE(is_prime_u64(1000000007ULL));
+  EXPECT_FALSE(is_prime_u64(1000000007ULL * 3));
+}
+
+TEST(Primality, AgreesWithTrialDivisionBelow2000) {
+  auto trial = [](std::uint64_t n) {
+    if (n < 2) return false;
+    for (std::uint64_t d = 2; d * d <= n; ++d) {
+      if (n % d == 0) return false;
+    }
+    return true;
+  };
+  for (std::uint64_t n = 0; n < 2000; ++n) {
+    EXPECT_EQ(is_prime_u64(n), trial(n)) << n;
+  }
+}
+
+TEST(RandomPrime, RespectsBitWidth) {
+  Rng rng(7);
+  for (int bits : {4, 8, 12, 16, 24, 32}) {
+    for (int i = 0; i < 10; ++i) {
+      const std::uint64_t p = random_prime(bits, rng);
+      EXPECT_TRUE(is_prime_u64(p));
+      EXPECT_GE(p, std::uint64_t{1} << (bits - 1));
+      EXPECT_LT(p, std::uint64_t{1} << bits);
+    }
+  }
+  EXPECT_THROW(random_prime(2, rng), LppaError);
+  EXPECT_THROW(random_prime(33, rng), LppaError);
+}
+
+TEST(ModPow, MatchesNaive) {
+  EXPECT_EQ(modpow_u64(2, 10, 1000), 24u);
+  EXPECT_EQ(modpow_u64(7, 0, 13), 1u);
+  EXPECT_EQ(modpow_u64(0, 5, 13), 0u);
+  EXPECT_EQ(modpow_u64(5, 117, 19), [&] {
+    std::uint64_t r = 1;
+    for (int i = 0; i < 117; ++i) r = r * 5 % 19;
+    return r;
+  }());
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(modpow_u64(123456789, 1000000006, 1000000007), 1u);
+}
+
+TEST(ModInv, InvertsCoprimes) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t m = 2 + rng.below(1 << 20);
+    const std::uint64_t a = 1 + rng.below(m - 1);
+    const auto inv = modinv_u64(a, m);
+    if (std::gcd(a, m) == 1) {
+      ASSERT_TRUE(inv.has_value());
+      EXPECT_EQ(a * *inv % m, 1u);
+    } else {
+      EXPECT_FALSE(inv.has_value());
+    }
+  }
+}
+
+struct PaillierTest : ::testing::Test {
+  Rng rng{2024};
+  PaillierKeyPair keys = paillier_keygen(12, rng);
+};
+
+TEST_F(PaillierTest, KeyStructure) {
+  EXPECT_EQ(keys.pub.n_squared, keys.pub.n * keys.pub.n);
+  EXPECT_GT(keys.priv.lambda, 0u);
+  EXPECT_GT(keys.priv.mu, 0u);
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (std::uint64_t m : {0ULL, 1ULL, 7ULL, 1000ULL}) {
+    const std::uint64_t c = keys.pub.encrypt(m, rng);
+    EXPECT_EQ(keys.priv.decrypt(c, keys.pub), m) << "m=" << m;
+  }
+  // Boundary plaintext n-1.
+  const std::uint64_t top = keys.pub.n - 1;
+  EXPECT_EQ(keys.priv.decrypt(keys.pub.encrypt(top, rng), keys.pub), top);
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomised) {
+  const std::uint64_t c1 = keys.pub.encrypt(42, rng);
+  const std::uint64_t c2 = keys.pub.encrypt(42, rng);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(keys.priv.decrypt(c1, keys.pub), 42u);
+  EXPECT_EQ(keys.priv.decrypt(c2, keys.pub), 42u);
+}
+
+TEST_F(PaillierTest, RejectsOversizedPlaintext) {
+  EXPECT_THROW(keys.pub.encrypt(keys.pub.n, rng), LppaError);
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  Rng value_rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = value_rng.below(keys.pub.n);
+    const std::uint64_t b = value_rng.below(keys.pub.n);
+    const std::uint64_t sum_ct =
+        keys.pub.add(keys.pub.encrypt(a, rng), keys.pub.encrypt(b, rng));
+    EXPECT_EQ(keys.priv.decrypt(sum_ct, keys.pub),
+              (a + b) % keys.pub.n);
+  }
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMultiplication) {
+  Rng value_rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t m = value_rng.below(keys.pub.n);
+    const std::uint64_t k = value_rng.below(1000);
+    const std::uint64_t ct = keys.pub.scale(keys.pub.encrypt(m, rng), k);
+    EXPECT_EQ(keys.priv.decrypt(ct, keys.pub),
+              static_cast<std::uint64_t>(
+                  (static_cast<__uint128_t>(m) * k) % keys.pub.n));
+  }
+}
+
+TEST_F(PaillierTest, WrongKeyDecryptsGarbage) {
+  Rng other_rng(777);
+  const PaillierKeyPair other = paillier_keygen(12, other_rng);
+  const std::uint64_t c = keys.pub.encrypt(42, rng);
+  // Decryption under an unrelated key essentially never recovers 42 (it
+  // can even violate L's precondition, which throws).
+  try {
+    EXPECT_NE(other.priv.decrypt(c % other.pub.n_squared, other.pub), 42u);
+  } catch (const LppaError&) {
+    SUCCEED();
+  }
+}
+
+TEST_F(PaillierTest, KeygenDeterministicPerRngState) {
+  Rng a(99), b(99);
+  const auto ka = paillier_keygen(10, a);
+  const auto kb = paillier_keygen(10, b);
+  EXPECT_EQ(ka.pub.n, kb.pub.n);
+  EXPECT_EQ(ka.priv.lambda, kb.priv.lambda);
+}
+
+TEST_F(PaillierTest, CiphertextBitsTrackModulus) {
+  EXPECT_GE(keys.pub.ciphertext_bits(), 40);  // ~2x 2x12-bit primes
+  EXPECT_LE(keys.pub.ciphertext_bits(), 48);
+}
+
+class PaillierKeySizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaillierKeySizes, RoundTripAcrossSizes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const auto keys = paillier_keygen(GetParam(), rng);
+  for (std::uint64_t m : {0ULL, 15ULL, 255ULL}) {
+    if (m >= keys.pub.n) continue;
+    EXPECT_EQ(keys.priv.decrypt(keys.pub.encrypt(m, rng), keys.pub), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PaillierKeySizes,
+                         ::testing::Values(4, 6, 8, 10, 12, 14, 16));
+
+}  // namespace
+}  // namespace lppa::crypto

@@ -1,0 +1,106 @@
+#include "geo/pathloss.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace lppa::geo {
+namespace {
+
+TEST(PathLossModel, MonotoneDecreasingWithDistance) {
+  PathLossModel m;
+  m.exponent = 3.0;
+  double prev = m.median_rssi_dbm(60.0, 1000.0);
+  for (double d = 2000.0; d <= 64000.0; d *= 2.0) {
+    const double rssi = m.median_rssi_dbm(60.0, d);
+    EXPECT_LT(rssi, prev) << "d=" << d;
+    prev = rssi;
+  }
+}
+
+TEST(PathLossModel, ReferenceDistanceAnchors) {
+  PathLossModel m;
+  m.reference_loss_db = 90.0;
+  m.reference_distance_m = 1000.0;
+  // At d0 the loss is exactly pl0 regardless of exponent.
+  m.exponent = 2.0;
+  EXPECT_DOUBLE_EQ(m.median_rssi_dbm(60.0, 1000.0), -30.0);
+  m.exponent = 4.0;
+  EXPECT_DOUBLE_EQ(m.median_rssi_dbm(60.0, 1000.0), -30.0);
+}
+
+TEST(PathLossModel, TenXDistanceCostsTenNDb) {
+  PathLossModel m;
+  m.exponent = 3.5;
+  const double near = m.median_rssi_dbm(60.0, 1000.0);
+  const double far = m.median_rssi_dbm(60.0, 10000.0);
+  EXPECT_NEAR(near - far, 35.0, 1e-9);
+}
+
+TEST(PathLossModel, ClampsBelowReferenceDistance) {
+  PathLossModel m;
+  EXPECT_DOUBLE_EQ(m.median_rssi_dbm(60.0, 10.0),
+                   m.median_rssi_dbm(60.0, m.reference_distance_m));
+}
+
+TEST(PathLossModel, HigherExponentLosesMore) {
+  PathLossModel urban, rural;
+  urban.exponent = 4.0;
+  rural.exponent = 2.5;
+  EXPECT_LT(urban.median_rssi_dbm(60.0, 20000.0),
+            rural.median_rssi_dbm(60.0, 20000.0));
+}
+
+TEST(ShadowingField, MatchesRequestedSigma) {
+  const Grid grid(100, 100, 750.0);
+  Rng rng(5);
+  const auto field = make_shadowing_field(grid, 8.0, 2, rng);
+  ASSERT_EQ(field.size(), grid.cell_count());
+  EXPECT_NEAR(mean(field), 0.0, 0.5);
+  EXPECT_NEAR(sample_stddev(field), 8.0, 0.2);
+}
+
+TEST(ShadowingField, ZeroSigmaIsFlat) {
+  const Grid grid(10, 10, 1.0);
+  Rng rng(5);
+  const auto field = make_shadowing_field(grid, 0.0, 2, rng);
+  for (double v : field) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ShadowingField, SmoothingIncreasesSpatialCorrelation) {
+  const Grid grid(100, 100, 1.0);
+  auto lag1_correlation = [&](const std::vector<double>& f) {
+    double num = 0.0, den = 0.0;
+    for (int r = 0; r < 100; ++r) {
+      for (int c = 0; c + 1 < 100; ++c) {
+        const double a = f[static_cast<std::size_t>(r) * 100 + c];
+        const double b = f[static_cast<std::size_t>(r) * 100 + c + 1];
+        num += a * b;
+        den += a * a;
+      }
+    }
+    return num / den;
+  };
+  Rng rng1(9), rng2(9);
+  const auto rough = make_shadowing_field(grid, 6.0, 0, rng1);
+  const auto smooth = make_shadowing_field(grid, 6.0, 3, rng2);
+  EXPECT_LT(std::abs(lag1_correlation(rough)), 0.1);
+  EXPECT_GT(lag1_correlation(smooth), 0.5);
+}
+
+TEST(ShadowingField, DeterministicPerSeed) {
+  const Grid grid(20, 20, 1.0);
+  Rng a(77), b(77);
+  EXPECT_EQ(make_shadowing_field(grid, 5.0, 2, a),
+            make_shadowing_field(grid, 5.0, 2, b));
+}
+
+TEST(ShadowingField, RejectsInvalidParameters) {
+  const Grid grid(10, 10, 1.0);
+  Rng rng(1);
+  EXPECT_THROW(make_shadowing_field(grid, -1.0, 2, rng), LppaError);
+  EXPECT_THROW(make_shadowing_field(grid, 1.0, -1, rng), LppaError);
+}
+
+}  // namespace
+}  // namespace lppa::geo

@@ -1,0 +1,113 @@
+#include "auction/plain_auction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lppa::auction {
+namespace {
+
+TEST(AuctionOutcome, WinningBidSumSkipsInvalid) {
+  AuctionOutcome o;
+  o.awards = {{0, 0, 5, true}, {1, 1, 3, false}, {2, 2, 7, true}};
+  EXPECT_EQ(o.winning_bid_sum(), 12u);
+}
+
+TEST(AuctionOutcome, SatisfiedWinnersRequirePositiveValidCharge) {
+  AuctionOutcome o;
+  o.awards = {{0, 0, 5, true}, {1, 1, 0, true}, {2, 2, 7, false}};
+  EXPECT_EQ(o.satisfied_winners(), 1u);
+}
+
+TEST(AuctionOutcome, SatisfactionRatio) {
+  AuctionOutcome o;
+  o.awards = {{0, 0, 5, true}, {1, 1, 4, true}};
+  EXPECT_DOUBLE_EQ(o.user_satisfaction(8), 0.25);
+  EXPECT_DOUBLE_EQ(o.user_satisfaction(0), 0.0);
+}
+
+TEST(CountInterested, CountsUsersWithAnyPositiveBid) {
+  EXPECT_EQ(count_interested({{0, 0}, {0, 3}, {1, 0}, {0, 0}}), 2u);
+  EXPECT_EQ(count_interested({}), 0u);
+}
+
+TEST(PlainAuction, RejectsBadConfigs) {
+  EXPECT_THROW(PlainAuction(0, 5), LppaError);
+  PlainAuction a(2, 5);
+  Rng rng(1);
+  EXPECT_THROW(a.run({{0, 0}}, {}, rng), LppaError);
+  EXPECT_THROW(a.run({{0, 0}}, {{1, 2}, {3, 4}}, rng), LppaError);
+}
+
+TEST(PlainAuction, FirstPriceChargesTrueBid) {
+  PlainAuction a(1, 5);
+  Rng rng(1);
+  const auto outcome = a.run({{0, 0}, {1000, 1000}}, {{4}, {9}}, rng);
+  ASSERT_EQ(outcome.awards.size(), 2u);
+  for (const auto& award : outcome.awards) {
+    const Money expected = award.user == 0 ? 4u : 9u;
+    EXPECT_EQ(award.charge, expected);
+    EXPECT_TRUE(award.valid);
+  }
+  EXPECT_EQ(outcome.winning_bid_sum(), 13u);
+}
+
+TEST(PlainAuction, ZeroBidWinIsInvalid) {
+  PlainAuction a(1, 5);
+  Rng rng(1);
+  const auto outcome = a.run({{0, 0}}, {{0}}, rng);
+  ASSERT_EQ(outcome.awards.size(), 1u);
+  EXPECT_FALSE(outcome.awards[0].valid);
+  EXPECT_EQ(outcome.winning_bid_sum(), 0u);
+  EXPECT_EQ(outcome.satisfied_winners(), 0u);
+}
+
+TEST(PlainAuction, ConflictingUsersDoNotShareChannel) {
+  PlainAuction a(1, 50);
+  Rng rng(2);
+  // Both users within 2*lambda: only the higher bid wins.
+  const auto outcome = a.run({{100, 100}, {120, 110}}, {{3}, {8}}, rng);
+  ASSERT_EQ(outcome.awards.size(), 1u);
+  EXPECT_EQ(outcome.awards[0].user, 1u);
+}
+
+TEST(PlainAuction, DistantUsersReuseChannel) {
+  PlainAuction a(1, 50);
+  Rng rng(2);
+  const auto outcome = a.run({{0, 0}, {100000, 100000}}, {{3}, {8}}, rng);
+  EXPECT_EQ(outcome.awards.size(), 2u);
+}
+
+TEST(PlainAuction, DeterministicForFixedSeed) {
+  PlainAuction a(3, 20);
+  Rng rng1(9), rng2(9);
+  std::vector<SuLocation> locs = {{0, 0}, {50, 50}, {500, 500}, {900, 900}};
+  std::vector<BidVector> bids = {
+      {1, 5, 3}, {4, 2, 8}, {7, 7, 1}, {2, 9, 6}};
+  const auto o1 = a.run(locs, bids, rng1);
+  const auto o2 = a.run(locs, bids, rng2);
+  EXPECT_EQ(o1.awards, o2.awards);
+}
+
+TEST(PlainAuction, RevenueNeverExceedsSumOfAllBids) {
+  Rng rng(11);
+  PlainAuction a(4, 100);
+  std::vector<SuLocation> locs;
+  std::vector<BidVector> bids;
+  Money total = 0;
+  for (int i = 0; i < 25; ++i) {
+    locs.push_back({rng.below(2000), rng.below(2000)});
+    BidVector bv(4);
+    for (auto& b : bv) {
+      b = rng.below(16);
+      total += b;
+    }
+    bids.push_back(bv);
+  }
+  Rng run_rng(12);
+  const auto outcome = a.run(locs, bids, run_rng);
+  EXPECT_LE(outcome.winning_bid_sum(), total);
+}
+
+}  // namespace
+}  // namespace lppa::auction

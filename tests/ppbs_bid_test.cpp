@@ -1,0 +1,325 @@
+#include "core/ppbs_bid.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/sealed_box.h"
+
+namespace lppa::core {
+namespace {
+
+// ------------------------------------------------------------- policies
+
+TEST(ZeroDisguisePolicy, NoneKeepsZero) {
+  const auto p = ZeroDisguisePolicy::none(15);
+  EXPECT_EQ(p.bmax(), 15u);
+  EXPECT_DOUBLE_EQ(p.replace_prob(), 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p.sample(rng), 0u);
+}
+
+TEST(ZeroDisguisePolicy, UniformSplitsReplaceMass) {
+  const auto p = ZeroDisguisePolicy::uniform(10, 0.4);
+  EXPECT_NEAR(p.replace_prob(), 0.4, 1e-12);
+  for (Money t = 1; t <= 10; ++t) {
+    EXPECT_NEAR(p.probs()[static_cast<std::size_t>(t)], 0.04, 1e-12);
+  }
+}
+
+TEST(ZeroDisguisePolicy, LinearWeightsDecrease) {
+  const auto p = ZeroDisguisePolicy::linear(10, 0.5);
+  for (Money t = 1; t < 10; ++t) {
+    EXPECT_GE(p.probs()[static_cast<std::size_t>(t)],
+              p.probs()[static_cast<std::size_t>(t) + 1]);
+  }
+  double total = 0.0;
+  for (double q : p.probs()) total += q;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZeroDisguisePolicy, BestProtectionIsFlat) {
+  const auto p = ZeroDisguisePolicy::best_protection(9);
+  for (double q : p.probs()) EXPECT_NEAR(q, 0.1, 1e-12);
+}
+
+TEST(ZeroDisguisePolicy, FromProbsValidates) {
+  EXPECT_THROW(ZeroDisguisePolicy::from_probs({1.0}), LppaError);     // bmax 0
+  EXPECT_THROW(ZeroDisguisePolicy::from_probs({0.5, 0.6}), LppaError);  // sum
+  EXPECT_THROW(ZeroDisguisePolicy::from_probs({1.5, -0.5}), LppaError);
+  EXPECT_NO_THROW(ZeroDisguisePolicy::from_probs({0.25, 0.5, 0.25}));
+}
+
+TEST(ZeroDisguisePolicy, SampleFollowsDistribution) {
+  const auto p = ZeroDisguisePolicy::from_probs({0.5, 0.0, 0.5});
+  Rng rng(9);
+  std::map<Money, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[p.sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.5, 0.02);
+}
+
+// --------------------------------------------------------------- params
+
+TEST(BidEncodingParams, ScaledBoundsAndWidth) {
+  const BidEncodingParams e{15, 3, 4};
+  EXPECT_EQ(e.max_effective(), 18u);
+  EXPECT_EQ(e.scaled_max(), 75u);  // 4*19 - 1
+  EXPECT_EQ(e.scaled_width(), 7);
+  const BidEncodingParams basic{14, 0, 1};
+  EXPECT_EQ(basic.scaled_max(), 14u);
+  EXPECT_EQ(basic.scaled_width(), 4);  // the paper's w=4 example
+}
+
+TEST(BidEncodingParams, ValidationRejectsDegenerates) {
+  EXPECT_THROW((BidEncodingParams{0, 0, 1}).validate(), LppaError);
+  EXPECT_THROW((BidEncodingParams{15, 0, 0}).validate(), LppaError);
+  // Overflowing the prefix width cap.
+  EXPECT_THROW(
+      (BidEncodingParams{~0ULL >> 2, 0, 8}).validate(), LppaError);
+}
+
+TEST(PpbsBidConfig, BasicDisablesEveryFix) {
+  const auto cfg = PpbsBidConfig::basic(14);
+  EXPECT_EQ(cfg.enc.rd, 0u);
+  EXPECT_EQ(cfg.enc.cr, 1u);
+  EXPECT_FALSE(cfg.per_channel_keys);
+  EXPECT_FALSE(cfg.pad_range_sets);
+  EXPECT_DOUBLE_EQ(cfg.policy.replace_prob(), 0.0);
+}
+
+TEST(PpbsBidConfig, AdvancedRequiresMatchingPolicy) {
+  EXPECT_THROW(PpbsBidConfig::advanced(15, 3, 4,
+                                       ZeroDisguisePolicy::uniform(10, 0.5)),
+               LppaError);
+}
+
+// --------------------------------------------------------------- payload
+
+TEST(SealedBidPayload, RoundTrip) {
+  const SealedBidPayload p{7, 31};
+  const auto restored = SealedBidPayload::deserialize(p.serialize());
+  EXPECT_EQ(restored, p);
+}
+
+TEST(SealedBidPayload, RejectsWrongLength) {
+  Bytes wire = SealedBidPayload{1, 2}.serialize();
+  wire.push_back(0);
+  EXPECT_THROW(SealedBidPayload::deserialize(wire), LppaError);
+  wire.resize(8);
+  EXPECT_THROW(SealedBidPayload::deserialize(wire), LppaError);
+}
+
+// ------------------------------------------------------------- submitter
+
+struct SubmitterTest : ::testing::Test {
+  Rng rng{2024};
+  crypto::SecretKey gb = crypto::SecretKey::generate(rng);
+  crypto::SecretKey gc = crypto::SecretKey::generate(rng);
+
+  SealedBidPayload open(const ChannelBidSubmission& sub) {
+    const crypto::SealedBox box(gc);
+    const auto plain = box.open(sub.sealed);
+    EXPECT_TRUE(plain.has_value());
+    return SealedBidPayload::deserialize(*plain);
+  }
+};
+
+TEST_F(SubmitterTest, PositiveBidLandsInItsScaledSlot) {
+  const auto cfg = PpbsBidConfig::advanced(15, 3, 4,
+                                           ZeroDisguisePolicy::none(15));
+  const BidSubmitter submitter(cfg, gb, gc);
+  for (Money v = 1; v <= 15; ++v) {
+    const auto sub = submitter.encode_bid(0, v, rng);
+    const auto payload = open(sub);
+    EXPECT_EQ(payload.true_bid, v);
+    // Slot: [cr*(v+rd), cr*(v+rd+1) - 1].
+    EXPECT_GE(payload.scaled, 4 * (v + 3));
+    EXPECT_LE(payload.scaled, 4 * (v + 4) - 1);
+  }
+}
+
+TEST_F(SubmitterTest, TrueZeroMapsIntoZeroBand) {
+  const auto cfg = PpbsBidConfig::advanced(15, 3, 4,
+                                           ZeroDisguisePolicy::none(15));
+  const BidSubmitter submitter(cfg, gb, gc);
+  for (int i = 0; i < 50; ++i) {
+    const auto payload = open(submitter.encode_bid(0, 0, rng));
+    EXPECT_EQ(payload.true_bid, 0u);
+    EXPECT_LE(payload.scaled / 4, 3u);  // effective in [0, rd]
+  }
+}
+
+TEST_F(SubmitterTest, DisguisedZeroLooksPositiveButSealsZero) {
+  const auto cfg = PpbsBidConfig::advanced(
+      15, 3, 4, ZeroDisguisePolicy::uniform(15, 1.0));  // always disguise
+  const BidSubmitter submitter(cfg, gb, gc);
+  for (int i = 0; i < 50; ++i) {
+    const auto payload = open(submitter.encode_bid(0, 0, rng));
+    EXPECT_EQ(payload.true_bid, 0u);
+    EXPECT_GT(payload.scaled / 4, 3u);  // effective beyond the zero band
+    EXPECT_LE(payload.scaled / 4, 18u);
+  }
+}
+
+TEST_F(SubmitterTest, RejectsBidAboveBmax) {
+  const BidSubmitter submitter(PpbsBidConfig::basic(10), gb, gc);
+  EXPECT_THROW(submitter.encode_bid(0, 11, rng), LppaError);
+}
+
+TEST_F(SubmitterTest, RangeSetsPaddedToWorstCase) {
+  const auto cfg = PpbsBidConfig::advanced(15, 3, 4,
+                                           ZeroDisguisePolicy::none(15));
+  const BidSubmitter submitter(cfg, gb, gc);
+  const int w = cfg.enc.scaled_width();
+  for (Money v : {Money{0}, Money{7}, Money{15}}) {
+    const auto sub = submitter.encode_bid(0, v, rng);
+    EXPECT_EQ(sub.range_set.size(), prefix::max_range_prefixes(w));
+    EXPECT_EQ(sub.value_family.size(), static_cast<std::size_t>(w) + 1);
+  }
+}
+
+TEST_F(SubmitterTest, BasicSchemeLeavesRangeCardinalityVariable) {
+  const BidSubmitter submitter(PpbsBidConfig::basic(14), gb, gc);
+  const auto lo = submitter.encode_bid(0, 5, rng);
+  const auto hi = submitter.encode_bid(0, 10, rng);
+  EXPECT_NE(lo.range_set.size(), hi.range_set.size());
+}
+
+TEST_F(SubmitterTest, EncryptedGeIsOrderPreserving) {
+  const BidSubmitter submitter(PpbsBidConfig::basic(14), gb, gc);
+  std::vector<ChannelBidSubmission> subs;
+  for (Money v = 0; v <= 14; ++v) subs.push_back(submitter.encode_bid(0, v, rng));
+  for (Money a = 0; a <= 14; ++a) {
+    for (Money b = 0; b <= 14; ++b) {
+      EXPECT_EQ(encrypted_ge(subs[a], subs[b]), a >= b)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_F(SubmitterTest, PaperExampleBidsOrderedCorrectly) {
+  // Fig. 3: bids {6, 10, 0, 5} with bmax 14 — 10 dominates all.
+  const BidSubmitter submitter(PpbsBidConfig::basic(14), gb, gc);
+  std::vector<ChannelBidSubmission> subs;
+  for (Money v : {Money{6}, Money{10}, Money{0}, Money{5}}) {
+    subs.push_back(submitter.encode_bid(0, v, rng));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(encrypted_ge(subs[1], subs[i]), true);
+  }
+  EXPECT_TRUE(encrypted_ge(subs[0], subs[3]));   // 6 >= 5
+  EXPECT_FALSE(encrypted_ge(subs[0], subs[1]));  // 6 < 10
+}
+
+TEST_F(SubmitterTest, PerChannelKeysBreakCrossChannelComparison) {
+  const auto cfg = PpbsBidConfig::advanced(15, 0, 1,
+                                           ZeroDisguisePolicy::none(15));
+  const BidSubmitter submitter(cfg, gb, gc);
+  Money hits = 0;
+  for (int round = 0; round < 30; ++round) {
+    const auto big_ch0 = submitter.encode_bid(0, 15, rng);
+    const auto small_ch1 = submitter.encode_bid(1, 1, rng);
+    // Cross-channel "comparison" must be meaningless noise (no shared
+    // key => no intersections at all).
+    if (encrypted_ge(big_ch0, small_ch1)) ++hits;
+  }
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST_F(SubmitterTest, SharedKeyModeAllowsCrossChannelComparison) {
+  const BidSubmitter submitter(PpbsBidConfig::basic(14), gb, gc);
+  const auto big_ch0 = submitter.encode_bid(0, 14, rng);
+  const auto small_ch1 = submitter.encode_bid(1, 1, rng);
+  // This is precisely the leak the advanced scheme closes.
+  EXPECT_TRUE(encrypted_ge(big_ch0, small_ch1));
+}
+
+TEST_F(SubmitterTest, ChannelKeyDerivation) {
+  const auto adv = PpbsBidConfig::advanced(15, 3, 4,
+                                           ZeroDisguisePolicy::none(15));
+  const BidSubmitter advanced(adv, gb, gc);
+  EXPECT_NE(advanced.channel_key(0), advanced.channel_key(1));
+  EXPECT_EQ(advanced.channel_key(2),
+            derive_channel_key(gb, 2, /*per_channel_keys=*/true));
+  const BidSubmitter basic(PpbsBidConfig::basic(14), gb, gc);
+  EXPECT_EQ(basic.channel_key(0), basic.channel_key(1));
+}
+
+TEST_F(SubmitterTest, SubmitCoversAllChannels) {
+  const BidSubmitter submitter(PpbsBidConfig::basic(14), gb, gc);
+  const auto sub = submitter.submit({1, 2, 3, 4, 5}, rng);
+  EXPECT_EQ(sub.channels.size(), 5u);
+  EXPECT_GT(sub.wire_size(), 0u);
+}
+
+TEST_F(SubmitterTest, ChannelSubmissionSerializeRoundTrip) {
+  const auto cfg = PpbsBidConfig::advanced(15, 3, 4,
+                                           ZeroDisguisePolicy::none(15));
+  const BidSubmitter submitter(cfg, gb, gc);
+  const auto sub = submitter.encode_bid(2, 9, rng);
+  ByteWriter w;
+  sub.serialize(w);
+  ByteReader r(std::span<const std::uint8_t>(w.data()));
+  const auto restored = ChannelBidSubmission::deserialize(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(restored, sub);
+}
+
+TEST_F(SubmitterTest, BidSubmissionSerializeRoundTrip) {
+  const BidSubmitter submitter(PpbsBidConfig::basic(14), gb, gc);
+  const auto sub = submitter.submit({3, 0, 14, 7}, rng);
+  const Bytes wire = sub.serialize();
+  const auto restored = BidSubmission::deserialize(wire);
+  EXPECT_EQ(restored, sub);
+  // Round-tripped submissions stay comparable / TTP-openable.
+  EXPECT_EQ(encrypted_ge(restored.channels[2], restored.channels[0]),
+            encrypted_ge(sub.channels[2], sub.channels[0]));
+}
+
+TEST_F(SubmitterTest, BidSubmissionDeserializeRejectsTrailingBytes) {
+  const BidSubmitter submitter(PpbsBidConfig::basic(14), gb, gc);
+  Bytes wire = submitter.submit({3, 7}, rng).serialize();
+  wire.push_back(0);
+  EXPECT_THROW(BidSubmission::deserialize(wire), LppaError);
+}
+
+TEST_F(SubmitterTest, SameBidDifferentCiphertexts) {
+  // With cr > 1 the same price encodes differently each time (fix (iv)).
+  const auto cfg = PpbsBidConfig::advanced(15, 3, 4,
+                                           ZeroDisguisePolicy::none(15));
+  const BidSubmitter submitter(cfg, gb, gc);
+  const auto a = submitter.encode_bid(0, 7, rng);
+  const auto b = submitter.encode_bid(0, 7, rng);
+  // Scaled slots differ with probability 3/4; try until they do (bounded).
+  bool differ = !(a.value_family == b.value_family);
+  for (int i = 0; i < 20 && !differ; ++i) {
+    const auto c = submitter.encode_bid(0, 7, rng);
+    differ = !(c.value_family == a.value_family);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST_F(SubmitterTest, ScaledOrderStillRespectsTrueOrder) {
+  // cr-randomisation never reorders distinct prices.
+  const auto cfg = PpbsBidConfig::advanced(15, 3, 4,
+                                           ZeroDisguisePolicy::none(15));
+  const BidSubmitter submitter(cfg, gb, gc);
+  for (int round = 0; round < 50; ++round) {
+    const Money a = 1 + rng.below(15);
+    const Money b = 1 + rng.below(15);
+    const auto sa = submitter.encode_bid(0, a, rng);
+    const auto sb = submitter.encode_bid(0, b, rng);
+    if (a > b) {
+      EXPECT_TRUE(encrypted_ge(sa, sb));
+    }
+    if (a < b) {
+      EXPECT_FALSE(encrypted_ge(sa, sb));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lppa::core

@@ -1,0 +1,138 @@
+#include "core/ppbs_location.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lppa::core {
+namespace {
+
+struct PpbsLocationTest : ::testing::Test {
+  Rng rng{55};
+  crypto::SecretKey g0 = crypto::SecretKey::generate(rng);
+};
+
+TEST_F(PpbsLocationTest, ConflictMatchesPlaintextPredicate) {
+  const std::uint64_t lambda = 30;
+  const PpbsLocation protocol(g0, 12, lambda);
+  for (int round = 0; round < 200; ++round) {
+    const auction::SuLocation a{rng.below(3000), rng.below(3000)};
+    const auction::SuLocation b{rng.below(3000), rng.below(3000)};
+    const auto sa = protocol.submit(a, rng);
+    const auto sb = protocol.submit(b, rng);
+    EXPECT_EQ(PpbsLocation::conflicts(sa, sb),
+              auction::locations_conflict(a, b, lambda))
+        << "a=(" << a.x << "," << a.y << ") b=(" << b.x << "," << b.y << ")";
+  }
+}
+
+TEST_F(PpbsLocationTest, ConflictCheckIsSymmetric) {
+  const PpbsLocation protocol(g0, 12, 25);
+  for (int round = 0; round < 100; ++round) {
+    const auction::SuLocation a{rng.below(3000), rng.below(3000)};
+    const auction::SuLocation b{rng.below(3000), rng.below(3000)};
+    const auto sa = protocol.submit(a, rng);
+    const auto sb = protocol.submit(b, rng);
+    EXPECT_EQ(PpbsLocation::conflicts(sa, sb),
+              PpbsLocation::conflicts(sb, sa));
+  }
+}
+
+TEST_F(PpbsLocationTest, BoundaryClampNearOrigin) {
+  // Location closer to 0 than 2*lambda: the range clamps at 0 and the
+  // predicate still matches plaintext.
+  const std::uint64_t lambda = 50;
+  const PpbsLocation protocol(g0, 12, lambda);
+  const auction::SuLocation origin_hugger{10, 5};
+  const auction::SuLocation near{60, 80};
+  const auction::SuLocation far{300, 300};
+  const auto s0 = protocol.submit(origin_hugger, rng);
+  const auto s1 = protocol.submit(near, rng);
+  const auto s2 = protocol.submit(far, rng);
+  EXPECT_TRUE(PpbsLocation::conflicts(s0, s1));
+  EXPECT_FALSE(PpbsLocation::conflicts(s0, s2));
+}
+
+TEST_F(PpbsLocationTest, GraphMatchesPlaintextGraph) {
+  const std::uint64_t lambda = 40;
+  const PpbsLocation protocol(g0, 13, lambda);
+  std::vector<auction::SuLocation> locs;
+  std::vector<LocationSubmission> subs;
+  for (int i = 0; i < 30; ++i) {
+    locs.push_back({rng.below(2000), rng.below(2000)});
+    subs.push_back(protocol.submit(locs.back(), rng));
+  }
+  const auto masked = PpbsLocation::build_conflict_graph(subs);
+  const auto plain = auction::ConflictGraph::from_locations(locs, lambda);
+  EXPECT_EQ(masked, plain);
+}
+
+TEST_F(PpbsLocationTest, RangesPaddedToWorstCase) {
+  const int width = 12;
+  const PpbsLocation protocol(g0, width, 10, /*pad_ranges=*/true);
+  const auto s = protocol.submit({500, 600}, rng);
+  EXPECT_EQ(s.x_range.size(), prefix::max_range_prefixes(width));
+  EXPECT_EQ(s.y_range.size(), prefix::max_range_prefixes(width));
+  // Value families are fixed-size anyway (w+1).
+  EXPECT_EQ(s.x_family.size(), static_cast<std::size_t>(width) + 1);
+}
+
+TEST_F(PpbsLocationTest, UnpaddedModeLeaksCardinality) {
+  const PpbsLocation protocol(g0, 12, 10, /*pad_ranges=*/false);
+  const auto a = protocol.submit({512, 512}, rng);   // aligned range
+  const auto b = protocol.submit({1000, 999}, rng);  // ragged range
+  // Without padding, range cardinalities differ between users — exactly
+  // the side channel fix (v) closes.
+  EXPECT_NE(a.x_range.size(), b.x_range.size());
+}
+
+TEST_F(PpbsLocationTest, SubmissionRejectsCoordinateOverflow) {
+  const PpbsLocation protocol(g0, 8, 10);  // coords + 20 must fit 8 bits
+  EXPECT_NO_THROW(protocol.submit({200, 200}, rng));
+  EXPECT_THROW(protocol.submit({250, 10}, rng), LppaError);
+}
+
+TEST_F(PpbsLocationTest, ConstructorValidatesParameters) {
+  EXPECT_THROW(PpbsLocation(g0, 0, 10), LppaError);
+  EXPECT_THROW(PpbsLocation(g0, 63, 10), LppaError);
+  EXPECT_THROW(PpbsLocation(g0, 4, 8), LppaError);  // 2*8 = 16 > 15
+}
+
+TEST_F(PpbsLocationTest, SerializeRoundTrip) {
+  const PpbsLocation protocol(g0, 12, 30);
+  const auto s = protocol.submit({123, 456}, rng);
+  const Bytes wire = s.serialize();
+  EXPECT_EQ(wire.size(), s.wire_size());
+  const auto restored = LocationSubmission::deserialize(wire);
+  EXPECT_EQ(restored, s);
+}
+
+TEST_F(PpbsLocationTest, DeserializeRejectsTrailingBytes) {
+  const PpbsLocation protocol(g0, 12, 30);
+  Bytes wire = protocol.submit({123, 456}, rng).serialize();
+  wire.push_back(0);
+  EXPECT_THROW(LocationSubmission::deserialize(wire), LppaError);
+}
+
+TEST_F(PpbsLocationTest, DifferentKeysBreakTheProtocol) {
+  // Submissions masked under different keys never look conflicting —
+  // the auctioneer cannot correlate across key epochs.
+  const PpbsLocation p1(g0, 12, 30);
+  const crypto::SecretKey other = crypto::SecretKey::generate(rng);
+  const PpbsLocation p2(other, 12, 30);
+  const auto sa = p1.submit({100, 100}, rng);
+  const auto sb = p2.submit({100, 100}, rng);
+  EXPECT_FALSE(PpbsLocation::conflicts(sa, sb));
+}
+
+TEST_F(PpbsLocationTest, LambdaZeroMeansExactCollision) {
+  const PpbsLocation protocol(g0, 12, 0);
+  const auto a = protocol.submit({77, 88}, rng);
+  const auto b = protocol.submit({77, 88}, rng);
+  const auto c = protocol.submit({77, 89}, rng);
+  EXPECT_TRUE(PpbsLocation::conflicts(a, b));
+  EXPECT_FALSE(PpbsLocation::conflicts(a, c));
+}
+
+}  // namespace
+}  // namespace lppa::core

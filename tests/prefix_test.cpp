@@ -1,0 +1,212 @@
+#include "prefix/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace lppa::prefix {
+namespace {
+
+TEST(Prefix, PatternRendering) {
+  EXPECT_EQ((Prefix{0b110, 3, 4}.pattern()), "110*");
+  EXPECT_EQ((Prefix{0, 0, 4}.pattern()), "****");
+  EXPECT_EQ((Prefix{0b0111, 4, 4}.pattern()), "0111");
+}
+
+TEST(Prefix, RangeBounds) {
+  const Prefix p{0b10, 2, 4};  // 10**
+  EXPECT_EQ(p.range_lo(), 0b1000u);
+  EXPECT_EQ(p.range_hi(), 0b1011u);
+  const Prefix full{0, 0, 4};
+  EXPECT_EQ(full.range_lo(), 0u);
+  EXPECT_EQ(full.range_hi(), 15u);
+  const Prefix exact{0b0111, 4, 4};
+  EXPECT_EQ(exact.range_lo(), 7u);
+  EXPECT_EQ(exact.range_hi(), 7u);
+}
+
+TEST(Prefix, MatchesAgreesWithRange) {
+  const Prefix p{0b10, 2, 4};
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(p.matches(v), v >= p.range_lo() && v <= p.range_hi()) << v;
+  }
+}
+
+TEST(PrefixFamily, PaperExampleForSeven) {
+  // Paper §II-B: the prefix family of 7 (w=4) is
+  // {0111, 011*, 01**, 0***, ****}.
+  const auto family = prefix_family(7, 4);
+  ASSERT_EQ(family.size(), 5u);
+  EXPECT_EQ(family[0].pattern(), "0111");
+  EXPECT_EQ(family[1].pattern(), "011*");
+  EXPECT_EQ(family[2].pattern(), "01**");
+  EXPECT_EQ(family[3].pattern(), "0***");
+  EXPECT_EQ(family[4].pattern(), "****");
+}
+
+TEST(PrefixFamily, HasWidthPlusOneElements) {
+  for (int w = 1; w <= 16; ++w) {
+    EXPECT_EQ(prefix_family(0, w).size(), static_cast<std::size_t>(w) + 1);
+  }
+}
+
+TEST(PrefixFamily, EveryMemberContainsTheValue) {
+  Rng rng(5);
+  for (int round = 0; round < 50; ++round) {
+    const int w = static_cast<int>(rng.uniform_int(1, 20));
+    const std::uint64_t x = rng.below(std::uint64_t{1} << w);
+    for (const auto& p : prefix_family(x, w)) {
+      EXPECT_TRUE(p.matches(x)) << p.pattern() << " vs " << x;
+    }
+  }
+}
+
+TEST(PrefixFamily, RejectsOversizedValue) {
+  EXPECT_THROW(prefix_family(16, 4), LppaError);
+  EXPECT_THROW(prefix_family(1, 0), LppaError);
+  EXPECT_THROW(prefix_family(0, 63), LppaError);
+}
+
+TEST(RangePrefixes, PaperExampleSixToFourteen) {
+  // Paper §II-B: Q([6,14]) = {011*, 10**, 110*, 1110}.
+  const auto cover = range_prefixes(6, 14, 4);
+  std::set<std::string> patterns;
+  for (const auto& p : cover) patterns.insert(p.pattern());
+  EXPECT_EQ(patterns,
+            (std::set<std::string>{"011*", "10**", "110*", "1110"}));
+}
+
+TEST(RangePrefixes, SingletonRange) {
+  const auto cover = range_prefixes(5, 5, 4);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].pattern(), "0101");
+}
+
+TEST(RangePrefixes, FullDomainIsOnePrefix) {
+  const auto cover = range_prefixes(0, 15, 4);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].pattern(), "****");
+}
+
+TEST(RangePrefixes, RejectsInvertedRange) {
+  EXPECT_THROW(range_prefixes(5, 4, 4), LppaError);
+}
+
+TEST(Numericalize, PaperExample) {
+  // O(110*) = 11010.
+  EXPECT_EQ(numericalize(Prefix{0b110, 3, 4}), 0b11010u);
+  // Exact value 0111 -> 01111.
+  EXPECT_EQ(numericalize(Prefix{0b0111, 4, 4}), 0b01111u);
+  // **** -> 10000.
+  EXPECT_EQ(numericalize(Prefix{0, 0, 4}), 0b10000u);
+}
+
+TEST(Numericalize, InjectiveOverAllPrefixesOfAWidth) {
+  // Every prefix of width w maps to a distinct (w+1)-bit number.
+  const int w = 6;
+  std::set<std::uint64_t> seen;
+  for (int len = 0; len <= w; ++len) {
+    for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << len); ++bits) {
+      EXPECT_TRUE(seen.insert(numericalize(Prefix{bits, len, w})).second)
+          << "len=" << len << " bits=" << bits;
+    }
+  }
+  // Total prefix count: 2^(w+1) - 1.
+  EXPECT_EQ(seen.size(), (std::size_t{1} << (w + 1)) - 1);
+}
+
+TEST(MaxRangePrefixes, MatchesGuptaMcKeownBound) {
+  EXPECT_EQ(max_range_prefixes(1), 1u);
+  EXPECT_EQ(max_range_prefixes(2), 2u);
+  EXPECT_EQ(max_range_prefixes(4), 6u);
+  EXPECT_EQ(max_range_prefixes(16), 30u);
+}
+
+TEST(MemberOfRange, PaperExampleSevenInSixFourteen) {
+  EXPECT_TRUE(member_of_range(7, 6, 14, 4));
+  EXPECT_FALSE(member_of_range(5, 6, 14, 4));
+  EXPECT_FALSE(member_of_range(15, 6, 14, 4));
+}
+
+// Exhaustive correctness for small widths: the minimal cover covers
+// exactly [a,b] with disjoint prefixes, never exceeds 2w-2 elements, and
+// membership matches arithmetic for every (x, a, b).
+class RangeCoverExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeCoverExhaustive, CoverIsExactDisjointAndBounded) {
+  const int w = GetParam();
+  const std::uint64_t top = (std::uint64_t{1} << w) - 1;
+  for (std::uint64_t a = 0; a <= top; ++a) {
+    for (std::uint64_t b = a; b <= top; ++b) {
+      const auto cover = range_prefixes(a, b, w);
+      EXPECT_LE(cover.size(), max_range_prefixes(w));
+      // Exact coverage, no overlap: count matches via interval sum and
+      // pairwise-disjoint lo/hi intervals.
+      std::uint64_t covered = 0;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+      for (const auto& p : cover) {
+        covered += p.range_hi() - p.range_lo() + 1;
+        intervals.emplace_back(p.range_lo(), p.range_hi());
+        EXPECT_GE(p.range_lo(), a);
+        EXPECT_LE(p.range_hi(), b);
+      }
+      EXPECT_EQ(covered, b - a + 1) << "a=" << a << " b=" << b;
+      std::sort(intervals.begin(), intervals.end());
+      for (std::size_t i = 1; i < intervals.size(); ++i) {
+        EXPECT_GT(intervals[i].first, intervals[i - 1].second);
+      }
+    }
+  }
+}
+
+TEST_P(RangeCoverExhaustive, MembershipMatchesArithmetic) {
+  const int w = GetParam();
+  const std::uint64_t top = (std::uint64_t{1} << w) - 1;
+  for (std::uint64_t a = 0; a <= top; ++a) {
+    for (std::uint64_t b = a; b <= top; ++b) {
+      for (std::uint64_t x = 0; x <= top; ++x) {
+        EXPECT_EQ(member_of_range(x, a, b, w), x >= a && x <= b)
+            << "x=" << x << " [" << a << "," << b << "] w=" << w;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, RangeCoverExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Randomised membership property at realistic widths.
+class MembershipRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MembershipRandom, MatchesArithmetic) {
+  const int w = GetParam();
+  Rng rng(static_cast<std::uint64_t>(w) * 101 + 3);
+  const std::uint64_t top =
+      (w == 64) ? ~0ULL : ((std::uint64_t{1} << w) - 1);
+  for (int round = 0; round < 300; ++round) {
+    std::uint64_t a = rng.below(top + 1);
+    std::uint64_t b = rng.below(top + 1);
+    if (a > b) std::swap(a, b);
+    const std::uint64_t x = rng.below(top + 1);
+    EXPECT_EQ(member_of_range(x, a, b, w), x >= a && x <= b)
+        << "x=" << x << " [" << a << "," << b << "] w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MembershipRandom,
+                         ::testing::Values(8, 12, 17, 24, 32, 48, 62));
+
+TEST(RangePrefixes, WorstCaseCardinalityIsAchievable) {
+  // [1, 2^w - 2] is the classic worst case with exactly 2w-2 prefixes.
+  for (int w = 2; w <= 20; ++w) {
+    const std::uint64_t top = (std::uint64_t{1} << w) - 1;
+    const auto cover = range_prefixes(1, top - 1, w);
+    EXPECT_EQ(cover.size(), max_range_prefixes(w)) << "w=" << w;
+  }
+}
+
+}  // namespace
+}  // namespace lppa::prefix

@@ -1,0 +1,181 @@
+// Cross-module property sweeps (TEST_P over widths, sizes, and seeds):
+// broad randomised invariants that complement the per-module unit tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "auction/bid_matrix.h"
+#include "core/ppbs_location.h"
+#include "crypto/paillier.h"
+#include "geo/synthetic_fcc.h"
+#include "prefix/hashed_set.h"
+
+namespace lppa {
+namespace {
+
+// ---------------------------------------------------------------- prefix
+
+class HashedSetWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashedSetWidthSweep, MaskedMembershipMatchesArithmetic) {
+  const int w = GetParam();
+  Rng rng(static_cast<std::uint64_t>(w) * 31 + 5);
+  const auto key = crypto::SecretKey::generate(rng);
+  const std::uint64_t top =
+      (w >= 63) ? ~0ULL >> 1 : ((std::uint64_t{1} << w) - 1);
+  for (int round = 0; round < 60; ++round) {
+    std::uint64_t a = rng.below(top + 1);
+    std::uint64_t b = rng.below(top + 1);
+    if (a > b) std::swap(a, b);
+    const std::uint64_t x = rng.below(top + 1);
+    auto family = prefix::HashedPrefixSet::of_value(key, x, w);
+    auto range = prefix::HashedPrefixSet::of_range(key, a, b, w);
+    range.pad_to(prefix::max_range_prefixes(w), rng);
+    EXPECT_EQ(family.intersects(range), x >= a && x <= b)
+        << "w=" << w << " x=" << x << " [" << a << "," << b << "]";
+    // Serialisation round-trip preserves the answer.
+    ByteWriter buf;
+    range.serialize(buf);
+    ByteReader r(std::span<const std::uint8_t>(buf.data()));
+    const auto restored = prefix::HashedPrefixSet::deserialize(r);
+    EXPECT_EQ(family.intersects(restored), x >= a && x <= b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HashedSetWidthSweep,
+                         ::testing::Values(4, 7, 11, 17, 29, 45, 62));
+
+// ---------------------------------------------------------------- ppbs
+
+class LocationWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocationWidthSweep, ConflictPredicateHoldsAcrossWidths) {
+  const int w = GetParam();
+  Rng rng(static_cast<std::uint64_t>(w) * 101 + 9);
+  const auto g0 = crypto::SecretKey::generate(rng);
+  const std::uint64_t lambda = 1 + rng.below(std::uint64_t{1} << (w - 3));
+  const core::PpbsLocation protocol(g0, w, lambda);
+  const std::uint64_t coord_top = (std::uint64_t{1} << w) - 1 - 2 * lambda;
+  for (int round = 0; round < 40; ++round) {
+    const auction::SuLocation a{rng.below(coord_top + 1),
+                                rng.below(coord_top + 1)};
+    const auction::SuLocation b{rng.below(coord_top + 1),
+                                rng.below(coord_top + 1)};
+    const auto sa = protocol.submit(a, rng);
+    const auto sb = protocol.submit(b, rng);
+    EXPECT_EQ(core::PpbsLocation::conflicts(sa, sb),
+              auction::locations_conflict(a, b, lambda))
+        << "w=" << w << " lambda=" << lambda;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LocationWidthSweep,
+                         ::testing::Values(8, 12, 17, 24, 33));
+
+// --------------------------------------------------------------- auction
+
+class AllocationSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocationSeedSweep, GreedyInvariantsHoldOnRandomWorlds) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 2 + rng.below(30);
+    const std::size_t k = 1 + rng.below(6);
+    std::vector<auction::SuLocation> locs;
+    std::vector<auction::BidVector> bids;
+    for (std::size_t i = 0; i < n; ++i) {
+      locs.push_back({rng.below(1500), rng.below(1500)});
+      auction::BidVector bv(k);
+      for (auto& b : bv) b = rng.below(16);
+      bids.push_back(bv);
+    }
+    const std::uint64_t lambda = 20 + rng.below(300);
+    const auto g = auction::ConflictGraph::from_locations(locs, lambda);
+
+    auction::BidMatrix table(bids, k);
+    Rng alloc_rng(GetParam() * 13 + round);
+    const auto awards = auction::greedy_allocate(table, g, alloc_rng);
+
+    // Table fully drained; at most one award per user; channel-sharing
+    // winners mutually conflict-free; the number of awards on a channel
+    // never exceeds a maximal independent set bound (trivially n).
+    EXPECT_TRUE(table.empty());
+    std::set<auction::UserId> winners;
+    for (const auto& a : awards) {
+      EXPECT_TRUE(winners.insert(a.user).second);
+      EXPECT_LT(a.user, n);
+      EXPECT_LT(a.channel, k);
+    }
+    for (std::size_t i = 0; i < awards.size(); ++i) {
+      for (std::size_t j = i + 1; j < awards.size(); ++j) {
+        if (awards[i].channel == awards[j].channel) {
+          EXPECT_FALSE(g.conflicts(awards[i].user, awards[j].user));
+        }
+      }
+    }
+    // Sweep-line graph agrees on the same world.
+    EXPECT_EQ(auction::ConflictGraph::from_locations_sweep(locs, lambda), g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationSeedSweep,
+                         ::testing::Values(2, 4, 6, 10, 14, 22));
+
+// ---------------------------------------------------------------- crypto
+
+class PaillierHomomorphismSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaillierHomomorphismSweep, CompositeHomomorphicExpressions) {
+  Rng rng(GetParam() * 1009 + 3);
+  const auto keys = crypto::paillier_keygen(14, rng);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t a = rng.below(keys.pub.n);
+    const std::uint64_t b = rng.below(keys.pub.n);
+    const std::uint64_t k1 = rng.below(50);
+    const std::uint64_t k2 = rng.below(50);
+    // Dec(E(a)^k1 * E(b)^k2) == k1*a + k2*b (mod n).
+    const std::uint64_t combined = keys.pub.add(
+        keys.pub.scale(keys.pub.encrypt(a, rng), k1),
+        keys.pub.scale(keys.pub.encrypt(b, rng), k2));
+    const auto expected = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(a) * k1 +
+         static_cast<__uint128_t>(b) * k2) %
+        keys.pub.n);
+    EXPECT_EQ(keys.priv.decrypt(combined, keys.pub), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaillierHomomorphismSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ------------------------------------------------------------------- geo
+
+class DatasetRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetRoundTripSweep, SnapshotsAreFaithfulAcrossAreas) {
+  geo::SyntheticFccConfig cfg;
+  cfg.rows = 25;
+  cfg.cols = 25;
+  cfg.num_channels = 6;
+  const auto ds = geo::generate_dataset(geo::area_preset(GetParam()), cfg,
+                                        static_cast<std::uint64_t>(GetParam()));
+  const auto restored = geo::Dataset::deserialize(ds.serialize());
+  ASSERT_EQ(restored.channel_count(), ds.channel_count());
+  for (std::size_t r = 0; r < ds.channel_count(); ++r) {
+    // Availability is exactly preserved (centi-dB quantisation cannot
+    // move a value across the threshold by more than 0.005 dB, and the
+    // threshold itself is quantised identically).
+    EXPECT_EQ(restored.availability(r), ds.availability(r)) << "ch " << r;
+    for (std::size_t i = 0; i < ds.grid().cell_count(); i += 37) {
+      EXPECT_NEAR(restored.channel(r).rssi_dbm[i], ds.channel(r).rssi_dbm[i],
+                  0.005);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Areas, DatasetRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace lppa

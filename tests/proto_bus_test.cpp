@@ -1,0 +1,72 @@
+#include "proto/bus.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::proto {
+namespace {
+
+TEST(Address, FactoriesAndLabels) {
+  EXPECT_EQ(Address::su(3).label(), "su3");
+  EXPECT_EQ(Address::auctioneer().label(), "auctioneer");
+  EXPECT_EQ(Address::ttp().label(), "ttp");
+  EXPECT_EQ(Address::su(1), Address::su(1));
+  EXPECT_NE(Address::su(1), Address::su(2));
+  EXPECT_NE(Address::su(0), Address::auctioneer());
+}
+
+TEST(MessageBus, FifoDeliveryPerEndpoint) {
+  MessageBus bus;
+  bus.send(Address::su(0), Address::auctioneer(), {1});
+  bus.send(Address::su(1), Address::auctioneer(), {2});
+  bus.send(Address::su(0), Address::ttp(), {3});
+  EXPECT_EQ(bus.pending(Address::auctioneer()), 2u);
+  EXPECT_EQ(bus.pending(Address::ttp()), 1u);
+  EXPECT_EQ(bus.receive(Address::auctioneer()), Bytes{1});
+  EXPECT_EQ(bus.receive(Address::auctioneer()), Bytes{2});
+  EXPECT_EQ(bus.receive(Address::auctioneer()), std::nullopt);
+  EXPECT_EQ(bus.receive(Address::ttp()), Bytes{3});
+}
+
+TEST(MessageBus, ReceiveFromEmptyEndpointIsNullopt) {
+  MessageBus bus;
+  EXPECT_EQ(bus.receive(Address::su(5)), std::nullopt);
+  EXPECT_EQ(bus.pending(Address::su(5)), 0u);
+}
+
+TEST(MessageBus, LinkStatsAccumulate) {
+  MessageBus bus;
+  bus.send(Address::su(0), Address::auctioneer(), Bytes(10));
+  bus.send(Address::su(0), Address::auctioneer(), Bytes(20));
+  bus.send(Address::su(1), Address::auctioneer(), Bytes(5));
+  const auto link0 = bus.link(Address::su(0), Address::auctioneer());
+  EXPECT_EQ(link0.messages, 2u);
+  EXPECT_EQ(link0.bytes, 30u);
+  const auto link1 = bus.link(Address::su(1), Address::auctioneer());
+  EXPECT_EQ(link1.messages, 1u);
+  EXPECT_EQ(link1.bytes, 5u);
+  const auto missing = bus.link(Address::ttp(), Address::su(0));
+  EXPECT_EQ(missing.messages, 0u);
+}
+
+TEST(MessageBus, TotalIntoSumsAllSenders) {
+  MessageBus bus;
+  bus.send(Address::su(0), Address::auctioneer(), Bytes(10));
+  bus.send(Address::su(1), Address::auctioneer(), Bytes(20));
+  bus.send(Address::ttp(), Address::auctioneer(), Bytes(7));
+  bus.send(Address::auctioneer(), Address::ttp(), Bytes(100));
+  const auto into_auctioneer = bus.total_into(Address::Kind::kAuctioneer);
+  EXPECT_EQ(into_auctioneer.messages, 3u);
+  EXPECT_EQ(into_auctioneer.bytes, 37u);
+  const auto into_ttp = bus.total_into(Address::Kind::kTtp);
+  EXPECT_EQ(into_ttp.bytes, 100u);
+}
+
+TEST(MessageBus, StatsSurviveDraining) {
+  MessageBus bus;
+  bus.send(Address::su(0), Address::auctioneer(), Bytes(42));
+  (void)bus.receive(Address::auctioneer());
+  EXPECT_EQ(bus.link(Address::su(0), Address::auctioneer()).bytes, 42u);
+}
+
+}  // namespace
+}  // namespace lppa::proto

@@ -1,0 +1,154 @@
+#include "proto/session.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::proto {
+namespace {
+
+struct WireWorld {
+  std::vector<auction::SuLocation> locations;
+  std::vector<auction::BidVector> bids;
+  core::LppaConfig config;
+};
+
+WireWorld make_world(std::size_t n, std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  WireWorld w;
+  for (std::size_t i = 0; i < n; ++i) {
+    w.locations.push_back({rng.below(5000), rng.below(5000)});
+    auction::BidVector bv(k);
+    for (auto& b : bv) b = rng.below(16);
+    w.bids.push_back(bv);
+  }
+  w.config.num_channels = k;
+  w.config.lambda = 100;
+  w.config.coord_width = 14;
+  w.config.bid = core::PpbsBidConfig::advanced(
+      15, 3, 4, core::ZeroDisguisePolicy::none(15));
+  w.config.ttp_batch_size = 4;
+  return w;
+}
+
+TEST(WireAuction, MatchesInMemoryEngineExactly) {
+  const WireWorld w = make_world(14, 3, 21);
+
+  core::LppaAuction engine(w.config, 777);
+  Rng rng_mem(5);
+  const auto in_memory = engine.run(w.locations, w.bids, rng_mem);
+
+  core::TrustedThirdParty ttp(w.config.bid, 777);
+  MessageBus bus;
+  Rng rng_wire(5);
+  const auto wire =
+      run_wire_auction(w.config, ttp, w.locations, w.bids, bus, rng_wire);
+
+  EXPECT_EQ(wire.awards, in_memory.outcome.awards);
+}
+
+TEST(WireAuction, SubmissionTrafficMatchesWireSizes) {
+  const WireWorld w = make_world(6, 2, 31);
+  core::TrustedThirdParty ttp(w.config.bid, 3);
+  MessageBus bus;
+  Rng rng(9);
+  const auto result =
+      run_wire_auction(w.config, ttp, w.locations, w.bids, bus, rng);
+  // Two messages per SU (location + bids).
+  EXPECT_EQ(result.submission_traffic.messages, 12u);
+  EXPECT_GT(result.submission_traffic.bytes, 0u);
+  // Charging traffic: at least one batch each way.
+  EXPECT_GE(result.charging_traffic.messages, 2u);
+  EXPECT_EQ(result.ttp_batches, ttp.batches_processed());
+}
+
+TEST(WireAuction, BatchSizeControlsTtpBatches) {
+  WireWorld w = make_world(12, 2, 41);
+  w.config.ttp_batch_size = 3;
+  core::TrustedThirdParty ttp(w.config.bid, 5);
+  MessageBus bus;
+  Rng rng(11);
+  const auto result =
+      run_wire_auction(w.config, ttp, w.locations, w.bids, bus, rng);
+  const std::size_t awards = result.awards.size();
+  EXPECT_EQ(result.ttp_batches, (awards + 2) / 3);
+}
+
+TEST(WireAuction, SecondPriceRunsOverTheWire) {
+  WireWorld w = make_world(10, 2, 51);
+  w.config.charging_rule = core::ChargingRule::kSecondPrice;
+  core::TrustedThirdParty ttp(w.config.bid, 7,
+                              core::ChargingRule::kSecondPrice);
+  MessageBus bus;
+  Rng rng(13);
+  const auto result =
+      run_wire_auction(w.config, ttp, w.locations, w.bids, bus, rng);
+  for (const auto& award : result.awards) {
+    if (award.valid) {
+      EXPECT_LE(award.charge, w.bids[award.user][award.channel]);
+    }
+  }
+}
+
+TEST(AuctioneerSession, RejectsDuplicateAndForeignSubmissions) {
+  const WireWorld w = make_world(2, 2, 61);
+  core::TrustedThirdParty ttp(w.config.bid, 9);
+  AuctioneerSession session(w.config, 2);
+  Rng rng(1);
+  const SuClient client(0, w.config, ttp.su_keys());
+  const Bytes loc = client.location_envelope(w.locations[0], rng);
+  session.ingest(loc);
+  EXPECT_THROW(session.ingest(loc), LppaError);  // duplicate
+
+  const SuClient stranger(7, w.config, ttp.su_keys());  // index out of range
+  EXPECT_THROW(
+      session.ingest(stranger.location_envelope(w.locations[0], rng)),
+      LppaError);
+}
+
+TEST(AuctioneerSession, RefusesToRunIncomplete) {
+  const WireWorld w = make_world(2, 2, 71);
+  core::TrustedThirdParty ttp(w.config.bid, 9);
+  AuctioneerSession session(w.config, 2);
+  EXPECT_FALSE(session.ready());
+  Rng rng(1);
+  EXPECT_THROW(session.run_allocation(rng), LppaError);
+  EXPECT_THROW(session.charge_query_envelopes(), LppaError);
+}
+
+TEST(AuctioneerSession, RejectsWrongChannelCount) {
+  const WireWorld w = make_world(2, 2, 81);
+  core::TrustedThirdParty ttp(w.config.bid, 9);
+  AuctioneerSession session(w.config, 2);
+  Rng rng(1);
+  auto bad_config = w.config;
+  bad_config.num_channels = 3;  // SU encodes 3 channels, auction expects 2
+  const SuClient client(0, bad_config, ttp.su_keys());
+  EXPECT_THROW(session.ingest(client.bid_envelope({1, 2, 3}, rng)),
+               LppaError);
+}
+
+TEST(TtpService, RejectsNonChargeEnvelopes) {
+  const WireWorld w = make_world(2, 2, 91);
+  core::TrustedThirdParty ttp(w.config.bid, 9);
+  TtpService service(ttp);
+  Envelope e;
+  e.type = MessageType::kLocationSubmission;
+  EXPECT_THROW(service.handle(e.serialize()), LppaError);
+}
+
+TEST(WireAuction, ReusedBusAccumulatesRounds) {
+  const WireWorld w = make_world(5, 2, 101);
+  core::TrustedThirdParty ttp(w.config.bid, 15);
+  MessageBus bus;
+  Rng rng(17);
+  const auto first =
+      run_wire_auction(w.config, ttp, w.locations, w.bids, bus, rng);
+  core::TrustedThirdParty ttp2(w.config.bid, 16);
+  const auto second =
+      run_wire_auction(w.config, ttp2, w.locations, w.bids, bus, rng);
+  // Stats accumulate across rounds on a reused bus.
+  EXPECT_EQ(second.submission_traffic.messages,
+            2 * first.submission_traffic.messages);
+}
+
+}  // namespace
+}  // namespace lppa::proto

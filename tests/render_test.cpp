@@ -1,0 +1,85 @@
+#include "geo/render.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::geo {
+namespace {
+
+TEST(RenderAsciiMap, TinyGridExact) {
+  const Grid g(2, 3, 1.0);
+  CellSet s(6);
+  s.insert(g.index({0, 0}));  // bottom-left
+  s.insert(g.index({1, 2}));  // top-right
+  // Row 1 renders first (top), row 0 last (bottom).
+  EXPECT_EQ(render_ascii_map(g, s), "..#\n#..\n");
+}
+
+TEST(RenderAsciiMap, MarkOverridesGlyph) {
+  const Grid g(2, 2, 1.0);
+  CellSet s(4);
+  s.insert(g.index({0, 1}));
+  const Cell victim{0, 1};
+  EXPECT_EQ(render_ascii_map(g, s, &victim), "..\n.X\n");
+  const Cell elsewhere{1, 0};
+  EXPECT_EQ(render_ascii_map(g, s, &elsewhere), "X.\n.#\n");
+}
+
+TEST(RenderAsciiMap, CustomGlyphs) {
+  const Grid g(1, 2, 1.0);
+  CellSet s(2);
+  s.insert(0);
+  RenderOptions opts;
+  opts.set_char = 'o';
+  opts.clear_char = '-';
+  EXPECT_EQ(render_ascii_map(g, s, nullptr, opts), "o-\n");
+}
+
+TEST(RenderAsciiMap, DownsamplingOrsBlocks) {
+  const Grid g(4, 4, 1.0);
+  CellSet s(16);
+  s.insert(g.index({0, 0}));  // only one cell in the bottom-left block
+  RenderOptions opts;
+  opts.block = 2;
+  EXPECT_EQ(render_ascii_map(g, s, nullptr, opts), "..\n#.\n");
+}
+
+TEST(RenderAsciiMap, ValidatesInputs) {
+  const Grid g(2, 2, 1.0);
+  CellSet wrong(5);
+  EXPECT_THROW(render_ascii_map(g, wrong), LppaError);
+  CellSet ok(4);
+  RenderOptions opts;
+  opts.block = 0;
+  EXPECT_THROW(render_ascii_map(g, ok, nullptr, opts), LppaError);
+}
+
+TEST(RenderAsciiField, RampCoversRange) {
+  const Grid g(1, 3, 1.0);
+  const auto field = [](std::size_t i) {
+    return static_cast<double>(i) / 2.0;  // 0, 0.5, 1
+  };
+  const std::string out = render_ascii_field(g, field, 0.0, 1.0);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], ' ');   // minimum
+  EXPECT_EQ(out[2], '@');   // maximum
+  EXPECT_NE(out[1], ' ');   // middle is neither extreme
+  EXPECT_NE(out[1], '@');
+}
+
+TEST(RenderAsciiField, ClampsOutOfRangeValues) {
+  const Grid g(1, 2, 1.0);
+  const auto field = [](std::size_t i) { return i == 0 ? -100.0 : 100.0; };
+  const std::string out = render_ascii_field(g, field, 0.0, 1.0);
+  EXPECT_EQ(out[0], ' ');
+  EXPECT_EQ(out[1], '@');
+}
+
+TEST(RenderAsciiField, ValidatesRange) {
+  const Grid g(1, 1, 1.0);
+  EXPECT_THROW(render_ascii_field(
+                   g, [](std::size_t) { return 0.0; }, 1.0, 1.0),
+               LppaError);
+}
+
+}  // namespace
+}  // namespace lppa::geo

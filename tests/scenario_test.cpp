@@ -1,0 +1,167 @@
+#include "sim/scenario.h"
+
+#include "auction/plain_auction.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::sim {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.area_id = 4;
+  cfg.fcc.rows = 30;
+  cfg.fcc.cols = 30;
+  cfg.fcc.num_channels = 10;
+  cfg.num_users = 25;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(QuantizeBid, ZeroQualityBidsZero) {
+  Rng rng(1);
+  EXPECT_EQ(quantize_bid(0.0, 1.0, 15, 0.2, rng), 0u);
+}
+
+TEST(QuantizeBid, FullQualityNoNoiseBidsFullPrice) {
+  Rng rng(1);
+  EXPECT_EQ(quantize_bid(1.0, 1.0, 15, 0.0, rng), 15u);
+}
+
+TEST(QuantizeBid, StaysWithinBmax) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(quantize_bid(rng.uniform01(), rng.uniform(0.5, 1.0), 15, 0.2,
+                           rng),
+              15u);
+  }
+}
+
+TEST(QuantizeBid, ScalesWithQuality) {
+  Rng rng(3);
+  EXPECT_GT(quantize_bid(0.9, 1.0, 15, 0.0, rng),
+            quantize_bid(0.2, 1.0, 15, 0.0, rng));
+}
+
+TEST(QuantizeBid, RejectsInvalidInputs) {
+  Rng rng(4);
+  EXPECT_THROW(quantize_bid(-0.1, 1.0, 15, 0.2, rng), LppaError);
+  EXPECT_THROW(quantize_bid(1.1, 1.0, 15, 0.2, rng), LppaError);
+  EXPECT_THROW(quantize_bid(0.5, -1.0, 15, 0.2, rng), LppaError);
+}
+
+TEST(Scenario, BuildsDeterministically) {
+  const Scenario a(small_config());
+  const Scenario b(small_config());
+  ASSERT_EQ(a.users().size(), b.users().size());
+  for (std::size_t i = 0; i < a.users().size(); ++i) {
+    EXPECT_EQ(a.users()[i].cell, b.users()[i].cell);
+    EXPECT_EQ(a.users()[i].loc, b.users()[i].loc);
+    EXPECT_EQ(a.users()[i].bids, b.users()[i].bids);
+  }
+}
+
+TEST(Scenario, UserCountAndBidShape) {
+  const Scenario s(small_config());
+  EXPECT_EQ(s.users().size(), 25u);
+  for (const auto& su : s.users()) {
+    EXPECT_EQ(su.bids.size(), 10u);
+  }
+  EXPECT_EQ(s.locations().size(), 25u);
+  EXPECT_EQ(s.bids().size(), 25u);
+}
+
+TEST(Scenario, BidsRespectAvailabilityAndBmax) {
+  const auto cfg = small_config();
+  const Scenario s(cfg);
+  for (const auto& su : s.users()) {
+    const std::size_t cell = s.dataset().grid().index(su.cell);
+    for (std::size_t r = 0; r < su.bids.size(); ++r) {
+      EXPECT_LE(su.bids[r], cfg.bmax);
+      if (!s.dataset().availability(r).contains(cell)) {
+        EXPECT_EQ(su.bids[r], 0u) << "bid on unavailable channel";
+      }
+    }
+  }
+}
+
+TEST(Scenario, LocationsLieInsideTheirCell) {
+  const Scenario s(small_config());
+  const auto& grid = s.dataset().grid();
+  for (const auto& su : s.users()) {
+    const geo::Cell derived = grid.cell_of(
+        {static_cast<double>(su.loc.x), static_cast<double>(su.loc.y)});
+    // Quantisation to integer metres can push a point at most 1 m; that
+    // never crosses more than one cell boundary with 750 m cells.
+    EXPECT_LE(std::abs(derived.row - su.cell.row), 0);
+    EXPECT_LE(std::abs(derived.col - su.cell.col), 0);
+  }
+}
+
+TEST(Scenario, BetaWithinConfiguredRange) {
+  const auto cfg = small_config();
+  const Scenario s(cfg);
+  for (const auto& su : s.users()) {
+    EXPECT_GE(su.beta, cfg.beta_min);
+    EXPECT_LE(su.beta, cfg.beta_max);
+  }
+}
+
+TEST(Scenario, ResampleChangesUsersKeepsDataset) {
+  Scenario s(small_config());
+  const auto before = s.users();
+  const auto avail_before = s.dataset().availability(0);
+  s.resample_users(999);
+  EXPECT_EQ(s.dataset().availability(0), avail_before);
+  bool any_moved = false;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (!(s.users()[i].cell == before[i].cell)) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(Scenario, ResampleWithSameSeedReproduces) {
+  Scenario s(small_config());
+  s.resample_users(77);
+  const auto first = s.users();
+  s.resample_users(78);
+  s.resample_users(77);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(s.users()[i].loc, first[i].loc);
+    EXPECT_EQ(s.users()[i].bids, first[i].bids);
+  }
+}
+
+TEST(Scenario, CoordWidthCoversCoordinatesPlusInterference) {
+  const auto cfg = small_config();
+  const Scenario s(cfg);
+  const int w = s.coord_width();
+  const std::uint64_t limit = (std::uint64_t{1} << w) - 1;
+  for (const auto& su : s.users()) {
+    EXPECT_LE(su.loc.x + 2 * cfg.lambda_m, limit);
+    EXPECT_LE(su.loc.y + 2 * cfg.lambda_m, limit);
+  }
+}
+
+TEST(Scenario, RejectsBadConfigs) {
+  auto cfg = small_config();
+  cfg.num_users = 0;
+  EXPECT_THROW(Scenario{cfg}, LppaError);
+  cfg = small_config();
+  cfg.beta_min = 0.0;
+  EXPECT_THROW(Scenario{cfg}, LppaError);
+  cfg = small_config();
+  cfg.beta_min = 2.0;
+  cfg.beta_max = 1.0;
+  EXPECT_THROW(Scenario{cfg}, LppaError);
+}
+
+TEST(Scenario, SomeUsersHavePositiveBids) {
+  // Statistical sanity: in a mixed-coverage world, a reasonable share of
+  // users must find at least one biddable channel.
+  const Scenario s(small_config());
+  EXPECT_GT(auction::count_interested(s.bids()), 5u);
+}
+
+}  // namespace
+}  // namespace lppa::sim

@@ -1,0 +1,170 @@
+#include "geo/sensing.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/synthetic_fcc.h"
+#include "sim/scenario.h"
+
+namespace lppa::geo {
+namespace {
+
+Dataset tiny_dataset() {
+  const Grid g(2, 2, 100.0);
+  Dataset ds(g, -81.0);
+  // Channel 0: strong signal in cells 0,1 (occupied), deep quiet in 2,3.
+  ds.add_channel(finalize_channel(g, {-50.0, -60.0, -120.0, -130.0}, -81.0));
+  // Channel 1: everything hovers right at the threshold.
+  ds.add_channel(finalize_channel(g, {-80.0, -81.0, -82.0, -83.0}, -81.0));
+  return ds;
+}
+
+TEST(EnergyDetector, ValidatesConfig) {
+  SensingConfig cfg;
+  cfg.measurement_sigma_db = -1.0;
+  EXPECT_THROW(EnergyDetector{cfg}, LppaError);
+  cfg = SensingConfig{};
+  cfg.averaging = 0;
+  EXPECT_THROW(EnergyDetector{cfg}, LppaError);
+  cfg = SensingConfig{};
+  cfg.quality_span_db = 0.0;
+  EXPECT_THROW(EnergyDetector{cfg}, LppaError);
+}
+
+TEST(EnergyDetector, NoiselessSensingMatchesGroundTruth) {
+  const Dataset ds = tiny_dataset();
+  SensingConfig cfg;
+  cfg.measurement_sigma_db = 0.0;
+  const EnergyDetector detector(cfg);
+  Rng rng(1);
+  for (std::size_t cell = 0; cell < 4; ++cell) {
+    const auto sensed = detector.sense(ds, cell, rng);
+    std::vector<std::size_t> channels;
+    for (const auto& s : sensed) channels.push_back(s.channel);
+    EXPECT_EQ(channels, ds.available_channels(ds.grid().cell_at(cell)))
+        << "cell " << cell;
+  }
+}
+
+TEST(EnergyDetector, StrongSignalsAlwaysDetected) {
+  const Dataset ds = tiny_dataset();
+  SensingConfig cfg;
+  cfg.measurement_sigma_db = 3.0;
+  const EnergyDetector detector(cfg);
+  Rng rng(2);
+  // Channel 0 at cell 0 is 31 dB above the threshold: never missed.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(detector.channel_occupied(ds, 0, 0, rng));
+  }
+  // Channel 0 at cell 3 is 49 dB below: never falsely detected.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(detector.channel_occupied(ds, 0, 3, rng));
+  }
+}
+
+TEST(EnergyDetector, BoundarySignalsFlipWithNoise) {
+  const Dataset ds = tiny_dataset();
+  SensingConfig cfg;
+  cfg.measurement_sigma_db = 4.0;
+  cfg.averaging = 1;
+  const EnergyDetector detector(cfg);
+  Rng rng(3);
+  // Channel 1 at cell 1 sits exactly on the threshold: verdicts split.
+  int occupied = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    occupied += detector.channel_occupied(ds, 1, 1, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(occupied) / trials, 0.5, 0.05);
+}
+
+TEST(EnergyDetector, OccupiedProbabilityClosedFormMatchesSimulation) {
+  SensingConfig cfg;
+  cfg.measurement_sigma_db = 3.0;
+  cfg.averaging = 4;
+  const EnergyDetector detector(cfg);
+  const Dataset ds = tiny_dataset();
+  Rng rng(4);
+  // Channel 1, cell 2: true rssi -82, threshold -81.
+  const double predicted = detector.occupied_probability(-82.0);
+  int occupied = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    occupied += detector.channel_occupied(ds, 1, 2, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(occupied) / trials, predicted, 0.02);
+}
+
+TEST(EnergyDetector, AveragingSharpensTheDetector) {
+  SensingConfig coarse, fine;
+  coarse.measurement_sigma_db = fine.measurement_sigma_db = 6.0;
+  coarse.averaging = 1;
+  fine.averaging = 16;
+  const EnergyDetector rough(coarse), sharp(fine);
+  // 3 dB below the threshold: the sharp detector errs less.
+  EXPECT_GT(rough.occupied_probability(-84.0),
+            sharp.occupied_probability(-84.0));
+  // 3 dB above: the sharp detector detects more reliably.
+  EXPECT_LT(rough.occupied_probability(-78.0),
+            sharp.occupied_probability(-78.0));
+}
+
+TEST(EnergyDetector, ZeroSigmaIsAStepFunction) {
+  SensingConfig cfg;
+  cfg.measurement_sigma_db = 0.0;
+  const EnergyDetector detector(cfg);
+  EXPECT_EQ(detector.occupied_probability(-80.9), 1.0);
+  EXPECT_EQ(detector.occupied_probability(-81.1), 0.0);
+}
+
+TEST(SensingScenario, SensingCanBidOnProtectedChannels) {
+  // With heavy sensing noise, some SU somewhere bids on a channel that
+  // is actually protected at its cell — the interference event the
+  // database path can never produce.
+  sim::ScenarioConfig cfg;
+  cfg.area_id = 3;
+  cfg.fcc.rows = 30;
+  cfg.fcc.cols = 30;
+  cfg.fcc.num_channels = 12;
+  cfg.num_users = 40;
+  cfg.seed = 11;
+  cfg.initial_phase = sim::InitialPhase::kSpectrumSensing;
+  cfg.sensing.measurement_sigma_db = 8.0;
+  cfg.sensing.averaging = 1;
+  const sim::Scenario s(cfg);
+  std::size_t interference_bids = 0;
+  for (const auto& su : s.users()) {
+    const std::size_t cell = s.dataset().grid().index(su.cell);
+    for (std::size_t r = 0; r < su.bids.size(); ++r) {
+      if (su.bids[r] > 0 && !s.dataset().availability(r).contains(cell)) {
+        ++interference_bids;
+      }
+    }
+  }
+  EXPECT_GT(interference_bids, 0u);
+}
+
+TEST(SensingScenario, NoiselessSensingMatchesDatabasePath) {
+  sim::ScenarioConfig cfg;
+  cfg.area_id = 4;
+  cfg.fcc.rows = 25;
+  cfg.fcc.cols = 25;
+  cfg.fcc.num_channels = 10;
+  cfg.num_users = 15;
+  cfg.seed = 21;
+  cfg.initial_phase = sim::InitialPhase::kSpectrumSensing;
+  cfg.sensing.measurement_sigma_db = 0.0;
+  const sim::Scenario s(cfg);
+  // Zero sensing noise: availability verdicts coincide with the
+  // database's, so no bid lands on a protected channel.
+  for (const auto& su : s.users()) {
+    const std::size_t cell = s.dataset().grid().index(su.cell);
+    for (std::size_t r = 0; r < su.bids.size(); ++r) {
+      if (su.bids[r] > 0) {
+        EXPECT_TRUE(s.dataset().availability(r).contains(cell));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lppa::geo

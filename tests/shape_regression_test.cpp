@@ -1,0 +1,116 @@
+// Shape-regression tests: scaled-down versions of the EXPERIMENTS.md
+// claims, so a change that silently flips a paper-level conclusion
+// (who wins, which direction a curve moves) fails CI rather than only
+// showing up in bench output.
+#include <gtest/gtest.h>
+
+#include "sim/cloaking.h"
+#include "sim/experiments.h"
+
+namespace lppa::sim {
+namespace {
+
+ScenarioConfig world(std::size_t users = 40, int channels = 20,
+                     int area = 3) {
+  ScenarioConfig cfg;
+  cfg.area_id = area;
+  cfg.fcc.rows = 60;
+  cfg.fcc.cols = 60;
+  cfg.fcc.num_channels = channels;
+  cfg.num_users = users;
+  cfg.seed = 20130708;
+  return cfg;
+}
+
+TEST(ShapeRegression, Fig4aMoreChannelsShrinkBcm) {
+  const Scenario s(world(40, 20, 4));
+  double prev = 1e18;
+  for (std::size_t k : {5u, 10u, 20u}) {
+    const auto point = run_attack_point(s, k, 1.0, 0);
+    EXPECT_LE(point.bcm.mean_possible_cells, prev) << k;
+    prev = point.bcm.mean_possible_cells;
+  }
+}
+
+TEST(ShapeRegression, Fig4bBcmNeverFailsBpmTradesSizeForError) {
+  const Scenario s(world(40, 20, 4));
+  const auto half = run_attack_point(s, 20, 0.5, 0);
+  const auto eighth = run_attack_point(s, 20, 0.125, 0);
+  EXPECT_DOUBLE_EQ(half.bcm.failure_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eighth.bcm.failure_rate, 0.0);
+  EXPECT_LT(eighth.bpm.mean_possible_cells, half.bpm.mean_possible_cells);
+  EXPECT_GE(eighth.bpm.failure_rate, half.bpm.failure_rate);
+}
+
+TEST(ShapeRegression, Fig5dLppaFailureFarAboveBaseline) {
+  const Scenario s(world());
+  DefenseOptions opts;
+  opts.replace_prob = 0.5;
+  opts.top_fraction = 0.5;
+  const auto point = run_defense_point(s, opts, 99);
+  EXPECT_DOUBLE_EQ(point.plain_bcm.failure_rate, 0.0);
+  EXPECT_GT(point.lppa.failure_rate, 0.5);
+}
+
+TEST(ShapeRegression, Fig5dFailureRisesWithAttackerPercentage) {
+  const Scenario s(world());
+  DefenseOptions narrow, wide;
+  narrow.replace_prob = wide.replace_prob = 0.3;
+  narrow.top_fraction = 0.25;
+  wide.top_fraction = 1.0;
+  const auto a = run_defense_point(s, narrow, 5);
+  const auto b = run_defense_point(s, wide, 5);
+  EXPECT_LE(a.lppa.failure_rate, b.lppa.failure_rate + 1e-9);
+}
+
+TEST(ShapeRegression, Fig5aCellsAndUncertaintyFallWithPercentage) {
+  const Scenario s(world());
+  DefenseOptions narrow, wide;
+  narrow.replace_prob = wide.replace_prob = 0.4;
+  narrow.top_fraction = 0.25;
+  wide.top_fraction = 0.8;
+  const auto a = run_defense_point(s, narrow, 7);
+  const auto b = run_defense_point(s, wide, 7);
+  EXPECT_GT(a.lppa.mean_possible_cells, b.lppa.mean_possible_cells);
+  EXPECT_GT(a.lppa.mean_uncertainty_nats, b.lppa.mean_uncertainty_nats);
+}
+
+TEST(ShapeRegression, Fig5eRevenueRatioFallsWithReplaceProb) {
+  Scenario s(world());
+  const auto low = run_performance_point(s, 0.1, 3, 4, 2, 31);
+  const auto high = run_performance_point(s, 1.0, 3, 4, 2, 31);
+  EXPECT_GT(low.bid_sum_ratio, high.bid_sum_ratio);
+  EXPECT_GT(low.bid_sum_ratio, 0.7);   // mild disguise is cheap
+  EXPECT_GT(high.bid_sum_ratio, 0.3);  // full disguise is costly, not fatal
+}
+
+TEST(ShapeRegression, CloakingNeverBeatsLppaOnFailure) {
+  const Scenario s(world());
+  const auto cloak = run_cloaking_point(s, 10, 3);
+  DefenseOptions opts;
+  opts.replace_prob = 0.5;
+  const auto lppa = run_defense_point(s, opts, 3);
+  EXPECT_LT(cloak.privacy.failure_rate + 0.2, lppa.lppa.failure_rate);
+}
+
+TEST(ShapeRegression, Area2HasLargestBcmOutput) {
+  // This claim is about the terrain presets, which are calibrated at the
+  // bench scale — run it there (100x100 cells, 30 channels).
+  double area2 = 0.0, others_max = 0.0;
+  for (int area = 1; area <= 4; ++area) {
+    auto cfg = world(40, 30, area);
+    cfg.fcc.rows = 100;
+    cfg.fcc.cols = 100;
+    const Scenario s(cfg);
+    const auto point = run_attack_point(s, 30, 1.0, 0);
+    if (area == 2) {
+      area2 = point.bcm.mean_possible_cells;
+    } else {
+      others_max = std::max(others_max, point.bcm.mean_possible_cells);
+    }
+  }
+  EXPECT_GT(area2, others_max);
+}
+
+}  // namespace
+}  // namespace lppa::sim

@@ -1,0 +1,167 @@
+#include "geo/synthetic_fcc.h"
+
+#include <gtest/gtest.h>
+
+namespace lppa::geo {
+namespace {
+
+SyntheticFccConfig small_config(int channels = 12) {
+  SyntheticFccConfig cfg;
+  cfg.rows = 40;
+  cfg.cols = 40;
+  cfg.cell_size_m = 750.0;
+  cfg.num_channels = channels;
+  return cfg;
+}
+
+TEST(AreaPreset, FourPresetsExist) {
+  EXPECT_EQ(area_preset_count(), 4);
+  for (int a = 1; a <= 4; ++a) {
+    const auto& p = area_preset(a);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.pathloss_exponent, 1.0);
+    EXPECT_GE(p.shadow_sigma_db, 0.0);
+    EXPECT_LT(p.tx_power_min_dbm, p.tx_power_max_dbm);
+  }
+  EXPECT_THROW(area_preset(0), LppaError);
+  EXPECT_THROW(area_preset(5), LppaError);
+}
+
+TEST(AreaPreset, UrbanHasHarsherTerrainThanRural) {
+  EXPECT_GT(area_preset(1).pathloss_exponent,
+            area_preset(4).pathloss_exponent);
+  EXPECT_GT(area_preset(1).shadow_sigma_db, area_preset(4).shadow_sigma_db);
+}
+
+TEST(GenerateDataset, DeterministicPerSeed) {
+  const auto cfg = small_config();
+  const Dataset a = generate_dataset(area_preset(4), cfg, 42);
+  const Dataset b = generate_dataset(area_preset(4), cfg, 42);
+  ASSERT_EQ(a.channel_count(), b.channel_count());
+  for (std::size_t r = 0; r < a.channel_count(); ++r) {
+    EXPECT_EQ(a.availability(r), b.availability(r));
+    EXPECT_EQ(a.channel(r).rssi_dbm, b.channel(r).rssi_dbm);
+  }
+}
+
+TEST(GenerateDataset, DifferentSeedsDiffer) {
+  const auto cfg = small_config();
+  const Dataset a = generate_dataset(area_preset(4), cfg, 1);
+  const Dataset b = generate_dataset(area_preset(4), cfg, 2);
+  bool any_diff = false;
+  for (std::size_t r = 0; r < a.channel_count(); ++r) {
+    if (!(a.availability(r) == b.availability(r))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GenerateDataset, EveryAreaYieldsMixedCoverage) {
+  // Each area must produce, in aggregate, both covered and free territory,
+  // otherwise the attacks degenerate.
+  const auto cfg = small_config(20);
+  for (int area = 1; area <= 4; ++area) {
+    const Dataset ds = generate_dataset(area_preset(area), cfg, 7);
+    std::size_t available = 0;
+    const std::size_t total = ds.grid().cell_count() * ds.channel_count();
+    for (std::size_t r = 0; r < ds.channel_count(); ++r) {
+      available += ds.availability(r).count();
+    }
+    const double frac =
+        static_cast<double>(available) / static_cast<double>(total);
+    EXPECT_GT(frac, 0.05) << "area " << area;
+    EXPECT_LT(frac, 0.95) << "area " << area;
+  }
+}
+
+TEST(GenerateDataset, QualityPositiveOnlyWhereAvailable) {
+  const Dataset ds = generate_dataset(area_preset(3), small_config(), 11);
+  for (std::size_t r = 0; r < ds.channel_count(); ++r) {
+    for (std::size_t i = 0; i < ds.grid().cell_count(); ++i) {
+      if (ds.quality_at_index(r, i) > 0.0) {
+        EXPECT_TRUE(ds.availability(r).contains(i));
+      } else {
+        // quality 0 happens both when covered and exactly at threshold.
+        SUCCEED();
+      }
+    }
+  }
+}
+
+TEST(GenerateDataset, RespectsChannelCount) {
+  const Dataset ds = generate_dataset(area_preset(2), small_config(5), 3);
+  EXPECT_EQ(ds.channel_count(), 5u);
+  SyntheticFccConfig bad = small_config(0);
+  EXPECT_THROW(generate_dataset(area_preset(2), bad, 3), LppaError);
+}
+
+TEST(TowerForChannel, StaysWithinSpread) {
+  const auto& preset = area_preset(4);
+  const auto cfg = small_config();
+  Rng rng(9);
+  const double w = cfg.cols * cfg.cell_size_m;
+  const double h = cfg.rows * cfg.cell_size_m;
+  for (int i = 0; i < 200; ++i) {
+    const Tower t = tower_for_channel(preset, cfg, rng);
+    EXPECT_GE(t.position.x, -preset.tower_spread * w);
+    EXPECT_LE(t.position.x, w + preset.tower_spread * w);
+    EXPECT_GE(t.position.y, -preset.tower_spread * h);
+    EXPECT_LE(t.position.y, h + preset.tower_spread * h);
+    EXPECT_GE(t.tx_power_dbm, preset.tx_power_min_dbm);
+    EXPECT_LE(t.tx_power_dbm, preset.tx_power_max_dbm);
+  }
+}
+
+TEST(GenerateDataset, MultiTowerNetworksShrinkAvailability) {
+  auto cfg = small_config(20);
+  cfg.max_towers_per_channel = 1;
+  const Dataset single = generate_dataset(area_preset(3), cfg, 31);
+  cfg.max_towers_per_channel = 4;
+  const Dataset multi = generate_dataset(area_preset(3), cfg, 31);
+  auto avail_fraction = [](const Dataset& ds) {
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < ds.channel_count(); ++r) {
+      total += ds.availability(r).count();
+    }
+    return static_cast<double>(total) /
+           static_cast<double>(ds.grid().cell_count() * ds.channel_count());
+  };
+  // More transmitters per channel protect more territory on average.
+  EXPECT_LT(avail_fraction(multi), avail_fraction(single));
+}
+
+TEST(GenerateDataset, MultiTowerIsDeterministicAndValid) {
+  auto cfg = small_config(8);
+  cfg.max_towers_per_channel = 3;
+  const Dataset a = generate_dataset(area_preset(2), cfg, 5);
+  const Dataset b = generate_dataset(area_preset(2), cfg, 5);
+  for (std::size_t r = 0; r < a.channel_count(); ++r) {
+    EXPECT_EQ(a.availability(r), b.availability(r));
+    EXPECT_EQ(a.channel(r).rssi_dbm, b.channel(r).rssi_dbm);
+  }
+  cfg.max_towers_per_channel = 0;
+  EXPECT_THROW(generate_dataset(area_preset(2), cfg, 5), LppaError);
+}
+
+TEST(GenerateDataset, CoverageIsSpatiallyCoherent) {
+  // A coverage map should be blobs, not salt-and-pepper: the fraction of
+  // available cells whose 4-neighbourhood disagrees should be small.
+  const Dataset ds = generate_dataset(area_preset(4), small_config(8), 21);
+  const auto& grid = ds.grid();
+  for (std::size_t r = 0; r < ds.channel_count(); ++r) {
+    const auto& avail = ds.availability(r);
+    std::size_t boundary = 0;
+    for (int row = 0; row < grid.rows(); ++row) {
+      for (int col = 0; col + 1 < grid.cols(); ++col) {
+        const bool a = avail.contains(grid.index({row, col}));
+        const bool b = avail.contains(grid.index({row, col + 1}));
+        if (a != b) ++boundary;
+      }
+    }
+    const double frac = static_cast<double>(boundary) /
+                        static_cast<double>(grid.cell_count());
+    EXPECT_LT(frac, 0.30) << "channel " << r;
+  }
+}
+
+}  // namespace
+}  // namespace lppa::geo

@@ -1,0 +1,61 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lppa {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table t({}), LppaError);
+}
+
+TEST(Table, RowWidthMustMatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), LppaError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), LppaError);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(std::size_t{42}), "42");
+  EXPECT_EQ(Table::cell(-7LL), "-7");
+  EXPECT_EQ(Table::cell(0.5), "0.5000");  // default precision 4
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "100"});
+  t.add_row({"longer", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // The value column starts at the same offset in both data rows.
+  std::istringstream lines(out);
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.find("100"), row2.find("1", row2.find("longer")));
+}
+
+TEST(Table, PrintCsv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace lppa

@@ -1,0 +1,96 @@
+#include "geo/whitespace_db.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/synthetic_fcc.h"
+
+namespace lppa::geo {
+namespace {
+
+Dataset tiny_dataset() {
+  const Grid g(2, 2, 100.0);
+  Dataset ds(g, -81.0);
+  auto channel = [&](std::initializer_list<double> qualities) {
+    std::vector<double> rssi;
+    for (double q : qualities) {
+      rssi.push_back(q < 0.0 ? -50.0 : -81.0 - 30.0 * q);
+    }
+    return finalize_channel(g, std::move(rssi), -81.0, 30.0);
+  };
+  // quality per cell; -1 marks "covered / unavailable".
+  ds.add_channel(channel({0.7, -1.0, 0.9, 0.4}));
+  ds.add_channel(channel({-1.0, -1.0, 0.5, 0.2}));
+  return ds;
+}
+
+TEST(WhiteSpaceDatabase, QueryReturnsAvailableChannelsWithQuality) {
+  const Dataset ds = tiny_dataset();
+  const WhiteSpaceDatabase db(ds);
+  const auto cell0 = db.query(Cell{0, 0});
+  ASSERT_EQ(cell0.size(), 1u);
+  EXPECT_EQ(cell0[0].channel, 0u);
+  EXPECT_NEAR(cell0[0].quality, 0.7, 1e-9);
+
+  const auto cell2 = db.query(Cell{1, 0});
+  ASSERT_EQ(cell2.size(), 2u);
+  EXPECT_NEAR(cell2[0].quality, 0.9, 1e-9);
+  EXPECT_NEAR(cell2[1].quality, 0.5, 1e-9);
+}
+
+TEST(WhiteSpaceDatabase, CoveredCellHasNoChannels) {
+  const Dataset ds = tiny_dataset();
+  const WhiteSpaceDatabase db(ds);
+  EXPECT_TRUE(db.query(Cell{0, 1}).empty());
+}
+
+TEST(WhiteSpaceDatabase, PositionQueryResolvesToContainingCell) {
+  const Dataset ds = tiny_dataset();
+  const WhiteSpaceDatabase db(ds);
+  // Point in cell (1, 0): x in [0,100), y in [100,200).
+  EXPECT_EQ(db.query(Point{50.0, 150.0}), db.query(Cell{1, 0}));
+}
+
+TEST(WhiteSpaceDatabase, PublicStatisticsMatchDataset) {
+  const Dataset ds = tiny_dataset();
+  const WhiteSpaceDatabase db(ds);
+  EXPECT_EQ(db.quality(0, {0, 0}), ds.quality(0, {0, 0}));
+  EXPECT_TRUE(db.available(0, {0, 0}));
+  EXPECT_FALSE(db.available(1, {0, 0}));
+  EXPECT_EQ(db.channel_count(), 2u);
+  EXPECT_EQ(db.grid(), ds.grid());
+}
+
+TEST(WhiteSpaceDatabase, CountsQueries) {
+  const Dataset ds = tiny_dataset();
+  const WhiteSpaceDatabase db(ds);
+  EXPECT_EQ(db.queries_served(), 0u);
+  db.query(Cell{0, 0});
+  db.query(Point{10.0, 10.0});
+  EXPECT_EQ(db.queries_served(), 2u);
+  // Statistic lookups are bulk-download, not metered queries.
+  db.quality(0, {0, 0});
+  EXPECT_EQ(db.queries_served(), 2u);
+}
+
+TEST(WhiteSpaceDatabase, ConsistentWithSyntheticDataset) {
+  SyntheticFccConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 20;
+  cfg.num_channels = 8;
+  const Dataset ds = generate_dataset(area_preset(4), cfg, 9);
+  const WhiteSpaceDatabase db(ds);
+  for (int row = 0; row < 20; row += 5) {
+    for (int col = 0; col < 20; col += 5) {
+      const Cell cell{row, col};
+      const auto listed = db.query(cell);
+      EXPECT_EQ(listed.size(), ds.available_channels(cell).size());
+      for (const auto& info : listed) {
+        EXPECT_TRUE(db.available(info.channel, cell));
+        EXPECT_EQ(info.quality, ds.quality(info.channel, cell));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lppa::geo
