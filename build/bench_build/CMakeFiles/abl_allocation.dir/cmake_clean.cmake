@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_allocation"
+  "../bench/abl_allocation.pdb"
+  "CMakeFiles/abl_allocation.dir/abl_allocation.cpp.o"
+  "CMakeFiles/abl_allocation.dir/abl_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

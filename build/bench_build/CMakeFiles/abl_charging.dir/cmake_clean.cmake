@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_charging"
+  "../bench/abl_charging.pdb"
+  "CMakeFiles/abl_charging.dir/abl_charging.cpp.o"
+  "CMakeFiles/abl_charging.dir/abl_charging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

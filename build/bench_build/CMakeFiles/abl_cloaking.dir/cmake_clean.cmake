@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cloaking"
+  "../bench/abl_cloaking.pdb"
+  "CMakeFiles/abl_cloaking.dir/abl_cloaking.cpp.o"
+  "CMakeFiles/abl_cloaking.dir/abl_cloaking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cloaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

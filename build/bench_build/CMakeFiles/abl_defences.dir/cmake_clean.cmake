@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_defences"
+  "../bench/abl_defences.pdb"
+  "CMakeFiles/abl_defences.dir/abl_defences.cpp.o"
+  "CMakeFiles/abl_defences.dir/abl_defences.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_defences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_id_mixing"
+  "../bench/abl_id_mixing.pdb"
+  "CMakeFiles/abl_id_mixing.dir/abl_id_mixing.cpp.o"
+  "CMakeFiles/abl_id_mixing.dir/abl_id_mixing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_id_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

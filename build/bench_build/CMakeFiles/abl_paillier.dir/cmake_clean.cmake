@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_paillier"
+  "../bench/abl_paillier.pdb"
+  "CMakeFiles/abl_paillier.dir/abl_paillier.cpp.o"
+  "CMakeFiles/abl_paillier.dir/abl_paillier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

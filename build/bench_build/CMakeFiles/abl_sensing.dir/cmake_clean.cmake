@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sensing"
+  "../bench/abl_sensing.pdb"
+  "CMakeFiles/abl_sensing.dir/abl_sensing.cpp.o"
+  "CMakeFiles/abl_sensing.dir/abl_sensing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_bcm_bpm_cells"
+  "../bench/fig4a_bcm_bpm_cells.pdb"
+  "CMakeFiles/fig4a_bcm_bpm_cells.dir/fig4a_bcm_bpm_cells.cpp.o"
+  "CMakeFiles/fig4a_bcm_bpm_cells.dir/fig4a_bcm_bpm_cells.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_bcm_bpm_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4a_bcm_bpm_cells.
+# This may be replaced when dependencies are built.

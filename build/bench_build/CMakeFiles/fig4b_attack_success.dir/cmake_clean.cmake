@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_attack_success"
+  "../bench/fig4b_attack_success.pdb"
+  "CMakeFiles/fig4b_attack_success.dir/fig4b_attack_success.cpp.o"
+  "CMakeFiles/fig4b_attack_success.dir/fig4b_attack_success.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_attack_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

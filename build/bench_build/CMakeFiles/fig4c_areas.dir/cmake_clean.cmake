@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4c_areas"
+  "../bench/fig4c_areas.pdb"
+  "CMakeFiles/fig4c_areas.dir/fig4c_areas.cpp.o"
+  "CMakeFiles/fig4c_areas.dir/fig4c_areas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_areas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

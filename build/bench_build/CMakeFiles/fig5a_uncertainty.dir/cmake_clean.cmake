@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_uncertainty"
+  "../bench/fig5a_uncertainty.pdb"
+  "CMakeFiles/fig5a_uncertainty.dir/fig5a_uncertainty.cpp.o"
+  "CMakeFiles/fig5a_uncertainty.dir/fig5a_uncertainty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

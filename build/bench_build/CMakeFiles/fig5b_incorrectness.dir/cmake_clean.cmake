@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_incorrectness"
+  "../bench/fig5b_incorrectness.pdb"
+  "CMakeFiles/fig5b_incorrectness.dir/fig5b_incorrectness.cpp.o"
+  "CMakeFiles/fig5b_incorrectness.dir/fig5b_incorrectness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_incorrectness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

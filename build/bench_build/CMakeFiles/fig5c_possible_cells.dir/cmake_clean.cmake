@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5c_possible_cells"
+  "../bench/fig5c_possible_cells.pdb"
+  "CMakeFiles/fig5c_possible_cells.dir/fig5c_possible_cells.cpp.o"
+  "CMakeFiles/fig5c_possible_cells.dir/fig5c_possible_cells.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_possible_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5d_failure_rate"
+  "../bench/fig5d_failure_rate.pdb"
+  "CMakeFiles/fig5d_failure_rate.dir/fig5d_failure_rate.cpp.o"
+  "CMakeFiles/fig5d_failure_rate.dir/fig5d_failure_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_failure_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

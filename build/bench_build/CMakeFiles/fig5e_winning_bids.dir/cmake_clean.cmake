@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5e_winning_bids"
+  "../bench/fig5e_winning_bids.pdb"
+  "CMakeFiles/fig5e_winning_bids.dir/fig5e_winning_bids.cpp.o"
+  "CMakeFiles/fig5e_winning_bids.dir/fig5e_winning_bids.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5e_winning_bids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

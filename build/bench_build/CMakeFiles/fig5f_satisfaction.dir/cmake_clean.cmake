@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5f_satisfaction"
+  "../bench/fig5f_satisfaction.pdb"
+  "CMakeFiles/fig5f_satisfaction.dir/fig5f_satisfaction.cpp.o"
+  "CMakeFiles/fig5f_satisfaction.dir/fig5f_satisfaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5f_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

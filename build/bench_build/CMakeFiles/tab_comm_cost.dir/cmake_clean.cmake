@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_comm_cost"
+  "../bench/tab_comm_cost.pdb"
+  "CMakeFiles/tab_comm_cost.dir/tab_comm_cost.cpp.o"
+  "CMakeFiles/tab_comm_cost.dir/tab_comm_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_theorems"
+  "../bench/tab_theorems.pdb"
+  "CMakeFiles/tab_theorems.dir/tab_theorems.cpp.o"
+  "CMakeFiles/tab_theorems.dir/tab_theorems.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

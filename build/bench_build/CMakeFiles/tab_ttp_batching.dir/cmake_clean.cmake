@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_ttp_batching"
+  "../bench/tab_ttp_batching.pdb"
+  "CMakeFiles/tab_ttp_batching.dir/tab_ttp_batching.cpp.o"
+  "CMakeFiles/tab_ttp_batching.dir/tab_ttp_batching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ttp_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

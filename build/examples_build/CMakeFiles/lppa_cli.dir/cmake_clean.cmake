@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lppa_cli"
+  "../examples/lppa_cli.pdb"
+  "CMakeFiles/lppa_cli.dir/lppa_cli.cpp.o"
+  "CMakeFiles/lppa_cli.dir/lppa_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/private_auction"
+  "../examples/private_auction.pdb"
+  "CMakeFiles/private_auction.dir/private_auction.cpp.o"
+  "CMakeFiles/private_auction.dir/private_auction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/wire_session"
+  "../examples/wire_session.pdb"
+  "CMakeFiles/wire_session.dir/wire_session.cpp.o"
+  "CMakeFiles/wire_session.dir/wire_session.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auction/allocate.cpp" "src/auction/CMakeFiles/lppa_auction.dir/allocate.cpp.o" "gcc" "src/auction/CMakeFiles/lppa_auction.dir/allocate.cpp.o.d"
+  "/root/repo/src/auction/bid_matrix.cpp" "src/auction/CMakeFiles/lppa_auction.dir/bid_matrix.cpp.o" "gcc" "src/auction/CMakeFiles/lppa_auction.dir/bid_matrix.cpp.o.d"
+  "/root/repo/src/auction/conflict.cpp" "src/auction/CMakeFiles/lppa_auction.dir/conflict.cpp.o" "gcc" "src/auction/CMakeFiles/lppa_auction.dir/conflict.cpp.o.d"
+  "/root/repo/src/auction/plain_auction.cpp" "src/auction/CMakeFiles/lppa_auction.dir/plain_auction.cpp.o" "gcc" "src/auction/CMakeFiles/lppa_auction.dir/plain_auction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lppa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lppa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_auction.dir/allocate.cpp.o"
+  "CMakeFiles/lppa_auction.dir/allocate.cpp.o.d"
+  "CMakeFiles/lppa_auction.dir/bid_matrix.cpp.o"
+  "CMakeFiles/lppa_auction.dir/bid_matrix.cpp.o.d"
+  "CMakeFiles/lppa_auction.dir/conflict.cpp.o"
+  "CMakeFiles/lppa_auction.dir/conflict.cpp.o.d"
+  "CMakeFiles/lppa_auction.dir/plain_auction.cpp.o"
+  "CMakeFiles/lppa_auction.dir/plain_auction.cpp.o.d"
+  "liblppa_auction.a"
+  "liblppa_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_common.dir/bytes.cpp.o"
+  "CMakeFiles/lppa_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/lppa_common.dir/cellset.cpp.o"
+  "CMakeFiles/lppa_common.dir/cellset.cpp.o.d"
+  "CMakeFiles/lppa_common.dir/math_util.cpp.o"
+  "CMakeFiles/lppa_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/lppa_common.dir/rng.cpp.o"
+  "CMakeFiles/lppa_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lppa_common.dir/table.cpp.o"
+  "CMakeFiles/lppa_common.dir/table.cpp.o.d"
+  "liblppa_common.a"
+  "liblppa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cpp" "src/core/CMakeFiles/lppa_core.dir/adversary.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/adversary.cpp.o.d"
+  "/root/repo/src/core/attack_metrics.cpp" "src/core/CMakeFiles/lppa_core.dir/attack_metrics.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/attack_metrics.cpp.o.d"
+  "/root/repo/src/core/bcm.cpp" "src/core/CMakeFiles/lppa_core.dir/bcm.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/bcm.cpp.o.d"
+  "/root/repo/src/core/bpm.cpp" "src/core/CMakeFiles/lppa_core.dir/bpm.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/bpm.cpp.o.d"
+  "/root/repo/src/core/encrypted_bid_table.cpp" "src/core/CMakeFiles/lppa_core.dir/encrypted_bid_table.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/encrypted_bid_table.cpp.o.d"
+  "/root/repo/src/core/lppa_auction.cpp" "src/core/CMakeFiles/lppa_core.dir/lppa_auction.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/lppa_auction.cpp.o.d"
+  "/root/repo/src/core/policy_advisor.cpp" "src/core/CMakeFiles/lppa_core.dir/policy_advisor.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/policy_advisor.cpp.o.d"
+  "/root/repo/src/core/ppbs_bid.cpp" "src/core/CMakeFiles/lppa_core.dir/ppbs_bid.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/ppbs_bid.cpp.o.d"
+  "/root/repo/src/core/ppbs_location.cpp" "src/core/CMakeFiles/lppa_core.dir/ppbs_location.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/ppbs_location.cpp.o.d"
+  "/root/repo/src/core/theorems.cpp" "src/core/CMakeFiles/lppa_core.dir/theorems.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/theorems.cpp.o.d"
+  "/root/repo/src/core/ttp.cpp" "src/core/CMakeFiles/lppa_core.dir/ttp.cpp.o" "gcc" "src/core/CMakeFiles/lppa_core.dir/ttp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lppa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lppa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefix/CMakeFiles/lppa_prefix.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lppa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/lppa_auction.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

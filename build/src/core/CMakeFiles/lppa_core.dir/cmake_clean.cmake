@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_core.dir/adversary.cpp.o"
+  "CMakeFiles/lppa_core.dir/adversary.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/attack_metrics.cpp.o"
+  "CMakeFiles/lppa_core.dir/attack_metrics.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/bcm.cpp.o"
+  "CMakeFiles/lppa_core.dir/bcm.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/bpm.cpp.o"
+  "CMakeFiles/lppa_core.dir/bpm.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/encrypted_bid_table.cpp.o"
+  "CMakeFiles/lppa_core.dir/encrypted_bid_table.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/lppa_auction.cpp.o"
+  "CMakeFiles/lppa_core.dir/lppa_auction.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/policy_advisor.cpp.o"
+  "CMakeFiles/lppa_core.dir/policy_advisor.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/ppbs_bid.cpp.o"
+  "CMakeFiles/lppa_core.dir/ppbs_bid.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/ppbs_location.cpp.o"
+  "CMakeFiles/lppa_core.dir/ppbs_location.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/theorems.cpp.o"
+  "CMakeFiles/lppa_core.dir/theorems.cpp.o.d"
+  "CMakeFiles/lppa_core.dir/ttp.cpp.o"
+  "CMakeFiles/lppa_core.dir/ttp.cpp.o.d"
+  "liblppa_core.a"
+  "liblppa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_crypto.dir/aes.cpp.o"
+  "CMakeFiles/lppa_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/lppa_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/lppa_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/lppa_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/lppa_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/lppa_crypto.dir/keys.cpp.o"
+  "CMakeFiles/lppa_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/lppa_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/lppa_crypto.dir/paillier.cpp.o.d"
+  "CMakeFiles/lppa_crypto.dir/sealed_box.cpp.o"
+  "CMakeFiles/lppa_crypto.dir/sealed_box.cpp.o.d"
+  "CMakeFiles/lppa_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/lppa_crypto.dir/sha256.cpp.o.d"
+  "liblppa_crypto.a"
+  "liblppa_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/coverage.cpp" "src/geo/CMakeFiles/lppa_geo.dir/coverage.cpp.o" "gcc" "src/geo/CMakeFiles/lppa_geo.dir/coverage.cpp.o.d"
+  "/root/repo/src/geo/grid.cpp" "src/geo/CMakeFiles/lppa_geo.dir/grid.cpp.o" "gcc" "src/geo/CMakeFiles/lppa_geo.dir/grid.cpp.o.d"
+  "/root/repo/src/geo/pathloss.cpp" "src/geo/CMakeFiles/lppa_geo.dir/pathloss.cpp.o" "gcc" "src/geo/CMakeFiles/lppa_geo.dir/pathloss.cpp.o.d"
+  "/root/repo/src/geo/render.cpp" "src/geo/CMakeFiles/lppa_geo.dir/render.cpp.o" "gcc" "src/geo/CMakeFiles/lppa_geo.dir/render.cpp.o.d"
+  "/root/repo/src/geo/sensing.cpp" "src/geo/CMakeFiles/lppa_geo.dir/sensing.cpp.o" "gcc" "src/geo/CMakeFiles/lppa_geo.dir/sensing.cpp.o.d"
+  "/root/repo/src/geo/synthetic_fcc.cpp" "src/geo/CMakeFiles/lppa_geo.dir/synthetic_fcc.cpp.o" "gcc" "src/geo/CMakeFiles/lppa_geo.dir/synthetic_fcc.cpp.o.d"
+  "/root/repo/src/geo/whitespace_db.cpp" "src/geo/CMakeFiles/lppa_geo.dir/whitespace_db.cpp.o" "gcc" "src/geo/CMakeFiles/lppa_geo.dir/whitespace_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lppa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_geo.dir/coverage.cpp.o"
+  "CMakeFiles/lppa_geo.dir/coverage.cpp.o.d"
+  "CMakeFiles/lppa_geo.dir/grid.cpp.o"
+  "CMakeFiles/lppa_geo.dir/grid.cpp.o.d"
+  "CMakeFiles/lppa_geo.dir/pathloss.cpp.o"
+  "CMakeFiles/lppa_geo.dir/pathloss.cpp.o.d"
+  "CMakeFiles/lppa_geo.dir/render.cpp.o"
+  "CMakeFiles/lppa_geo.dir/render.cpp.o.d"
+  "CMakeFiles/lppa_geo.dir/sensing.cpp.o"
+  "CMakeFiles/lppa_geo.dir/sensing.cpp.o.d"
+  "CMakeFiles/lppa_geo.dir/synthetic_fcc.cpp.o"
+  "CMakeFiles/lppa_geo.dir/synthetic_fcc.cpp.o.d"
+  "CMakeFiles/lppa_geo.dir/whitespace_db.cpp.o"
+  "CMakeFiles/lppa_geo.dir/whitespace_db.cpp.o.d"
+  "liblppa_geo.a"
+  "liblppa_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefix/hashed_set.cpp" "src/prefix/CMakeFiles/lppa_prefix.dir/hashed_set.cpp.o" "gcc" "src/prefix/CMakeFiles/lppa_prefix.dir/hashed_set.cpp.o.d"
+  "/root/repo/src/prefix/prefix.cpp" "src/prefix/CMakeFiles/lppa_prefix.dir/prefix.cpp.o" "gcc" "src/prefix/CMakeFiles/lppa_prefix.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lppa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lppa_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_prefix.dir/hashed_set.cpp.o"
+  "CMakeFiles/lppa_prefix.dir/hashed_set.cpp.o.d"
+  "CMakeFiles/lppa_prefix.dir/prefix.cpp.o"
+  "CMakeFiles/lppa_prefix.dir/prefix.cpp.o.d"
+  "liblppa_prefix.a"
+  "liblppa_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

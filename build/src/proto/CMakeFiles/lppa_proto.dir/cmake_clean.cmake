@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_proto.dir/bus.cpp.o"
+  "CMakeFiles/lppa_proto.dir/bus.cpp.o.d"
+  "CMakeFiles/lppa_proto.dir/messages.cpp.o"
+  "CMakeFiles/lppa_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/lppa_proto.dir/parties.cpp.o"
+  "CMakeFiles/lppa_proto.dir/parties.cpp.o.d"
+  "CMakeFiles/lppa_proto.dir/session.cpp.o"
+  "CMakeFiles/lppa_proto.dir/session.cpp.o.d"
+  "liblppa_proto.a"
+  "liblppa_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

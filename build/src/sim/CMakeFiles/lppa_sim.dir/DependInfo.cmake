@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cloaking.cpp" "src/sim/CMakeFiles/lppa_sim.dir/cloaking.cpp.o" "gcc" "src/sim/CMakeFiles/lppa_sim.dir/cloaking.cpp.o.d"
+  "/root/repo/src/sim/experiments.cpp" "src/sim/CMakeFiles/lppa_sim.dir/experiments.cpp.o" "gcc" "src/sim/CMakeFiles/lppa_sim.dir/experiments.cpp.o.d"
+  "/root/repo/src/sim/multi_round.cpp" "src/sim/CMakeFiles/lppa_sim.dir/multi_round.cpp.o" "gcc" "src/sim/CMakeFiles/lppa_sim.dir/multi_round.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/lppa_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/lppa_sim.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lppa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefix/CMakeFiles/lppa_prefix.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lppa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/lppa_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lppa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lppa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_sim.dir/cloaking.cpp.o"
+  "CMakeFiles/lppa_sim.dir/cloaking.cpp.o.d"
+  "CMakeFiles/lppa_sim.dir/experiments.cpp.o"
+  "CMakeFiles/lppa_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/lppa_sim.dir/multi_round.cpp.o"
+  "CMakeFiles/lppa_sim.dir/multi_round.cpp.o.d"
+  "CMakeFiles/lppa_sim.dir/scenario.cpp.o"
+  "CMakeFiles/lppa_sim.dir/scenario.cpp.o.d"
+  "liblppa_sim.a"
+  "liblppa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

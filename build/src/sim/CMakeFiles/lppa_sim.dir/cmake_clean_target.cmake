@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblppa_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocate_test.dir/allocate_test.cpp.o"
+  "CMakeFiles/allocate_test.dir/allocate_test.cpp.o.d"
+  "allocate_test"
+  "allocate_test.pdb"
+  "allocate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_metrics_test.dir/attack_metrics_test.cpp.o"
+  "CMakeFiles/attack_metrics_test.dir/attack_metrics_test.cpp.o.d"
+  "attack_metrics_test"
+  "attack_metrics_test.pdb"
+  "attack_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcm_test.dir/bcm_test.cpp.o"
+  "CMakeFiles/bcm_test.dir/bcm_test.cpp.o.d"
+  "bcm_test"
+  "bcm_test.pdb"
+  "bcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bid_matrix_test.dir/bid_matrix_test.cpp.o"
+  "CMakeFiles/bid_matrix_test.dir/bid_matrix_test.cpp.o.d"
+  "bid_matrix_test"
+  "bid_matrix_test.pdb"
+  "bid_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bid_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bpm_test.cpp" "tests/CMakeFiles/bpm_test.dir/bpm_test.cpp.o" "gcc" "tests/CMakeFiles/bpm_test.dir/bpm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lppa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lppa_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lppa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/lppa_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lppa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefix/CMakeFiles/lppa_prefix.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lppa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lppa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpm_test.dir/bpm_test.cpp.o"
+  "CMakeFiles/bpm_test.dir/bpm_test.cpp.o.d"
+  "bpm_test"
+  "bpm_test.pdb"
+  "bpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

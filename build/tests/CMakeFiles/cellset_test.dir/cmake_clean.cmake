@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellset_test.dir/cellset_test.cpp.o"
+  "CMakeFiles/cellset_test.dir/cellset_test.cpp.o.d"
+  "cellset_test"
+  "cellset_test.pdb"
+  "cellset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloaking_test.dir/cloaking_test.cpp.o"
+  "CMakeFiles/cloaking_test.dir/cloaking_test.cpp.o.d"
+  "cloaking_test"
+  "cloaking_test.pdb"
+  "cloaking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloaking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_bid_table_test.dir/encrypted_bid_table_test.cpp.o"
+  "CMakeFiles/encrypted_bid_table_test.dir/encrypted_bid_table_test.cpp.o.d"
+  "encrypted_bid_table_test"
+  "encrypted_bid_table_test.pdb"
+  "encrypted_bid_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_bid_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

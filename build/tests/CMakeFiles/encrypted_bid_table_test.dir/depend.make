@@ -1,0 +1,2 @@
+# Empty dependencies file for encrypted_bid_table_test.
+# This may be replaced when dependencies are built.

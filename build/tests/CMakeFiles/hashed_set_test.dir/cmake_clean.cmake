@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashed_set_test.dir/hashed_set_test.cpp.o"
+  "CMakeFiles/hashed_set_test.dir/hashed_set_test.cpp.o.d"
+  "hashed_set_test"
+  "hashed_set_test.pdb"
+  "hashed_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashed_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lppa_auction_test.dir/lppa_auction_test.cpp.o"
+  "CMakeFiles/lppa_auction_test.dir/lppa_auction_test.cpp.o.d"
+  "lppa_auction_test"
+  "lppa_auction_test.pdb"
+  "lppa_auction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lppa_auction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_round_test.dir/multi_round_test.cpp.o"
+  "CMakeFiles/multi_round_test.dir/multi_round_test.cpp.o.d"
+  "multi_round_test"
+  "multi_round_test.pdb"
+  "multi_round_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_round_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathloss_test.dir/pathloss_test.cpp.o"
+  "CMakeFiles/pathloss_test.dir/pathloss_test.cpp.o.d"
+  "pathloss_test"
+  "pathloss_test.pdb"
+  "pathloss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathloss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

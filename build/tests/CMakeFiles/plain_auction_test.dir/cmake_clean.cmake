@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plain_auction_test.dir/plain_auction_test.cpp.o"
+  "CMakeFiles/plain_auction_test.dir/plain_auction_test.cpp.o.d"
+  "plain_auction_test"
+  "plain_auction_test.pdb"
+  "plain_auction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plain_auction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

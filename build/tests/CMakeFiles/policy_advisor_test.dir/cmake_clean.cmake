@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_advisor_test.dir/policy_advisor_test.cpp.o"
+  "CMakeFiles/policy_advisor_test.dir/policy_advisor_test.cpp.o.d"
+  "policy_advisor_test"
+  "policy_advisor_test.pdb"
+  "policy_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppbs_bid_test.dir/ppbs_bid_test.cpp.o"
+  "CMakeFiles/ppbs_bid_test.dir/ppbs_bid_test.cpp.o.d"
+  "ppbs_bid_test"
+  "ppbs_bid_test.pdb"
+  "ppbs_bid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppbs_bid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

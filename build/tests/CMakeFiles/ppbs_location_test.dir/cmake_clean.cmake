@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppbs_location_test.dir/ppbs_location_test.cpp.o"
+  "CMakeFiles/ppbs_location_test.dir/ppbs_location_test.cpp.o.d"
+  "ppbs_location_test"
+  "ppbs_location_test.pdb"
+  "ppbs_location_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppbs_location_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

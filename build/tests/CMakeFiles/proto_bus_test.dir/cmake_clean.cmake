@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_bus_test.dir/proto_bus_test.cpp.o"
+  "CMakeFiles/proto_bus_test.dir/proto_bus_test.cpp.o.d"
+  "proto_bus_test"
+  "proto_bus_test.pdb"
+  "proto_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

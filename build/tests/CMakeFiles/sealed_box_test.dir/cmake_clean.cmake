@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealed_box_test.dir/sealed_box_test.cpp.o"
+  "CMakeFiles/sealed_box_test.dir/sealed_box_test.cpp.o.d"
+  "sealed_box_test"
+  "sealed_box_test.pdb"
+  "sealed_box_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealed_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

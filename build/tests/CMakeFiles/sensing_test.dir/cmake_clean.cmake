@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensing_test.dir/sensing_test.cpp.o"
+  "CMakeFiles/sensing_test.dir/sensing_test.cpp.o.d"
+  "sensing_test"
+  "sensing_test.pdb"
+  "sensing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttp_test.dir/ttp_test.cpp.o"
+  "CMakeFiles/ttp_test.dir/ttp_test.cpp.o.d"
+  "ttp_test"
+  "ttp_test.pdb"
+  "ttp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitespace_db_test.dir/whitespace_db_test.cpp.o"
+  "CMakeFiles/whitespace_db_test.dir/whitespace_db_test.cpp.o.d"
+  "whitespace_db_test"
+  "whitespace_db_test.pdb"
+  "whitespace_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitespace_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
