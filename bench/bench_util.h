@@ -7,6 +7,7 @@
 // machine-readable CSV.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -19,16 +20,26 @@ namespace lppa::bench {
 struct BenchArgs {
   bool full = false;
   bool csv = false;
+  std::string json_path;     ///< --json <path>: machine-readable dump target
+  std::size_t threads = 0;   ///< --threads N: worker threads (0 = hardware)
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) args.full = true;
       else if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
-      else if (std::strcmp(argv[i], "--help") == 0) {
-        std::cout << "usage: " << argv[0] << " [--full] [--csv]\n"
-                  << "  --full  paper-scale workload (slower)\n"
-                  << "  --csv   machine-readable output\n";
+      else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        args.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        args.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::cout << "usage: " << argv[0]
+                  << " [--full] [--csv] [--json <path>] [--threads N]\n"
+                  << "  --full        paper-scale workload (slower)\n"
+                  << "  --csv         machine-readable output\n"
+                  << "  --json <path> write results as JSON to <path>\n"
+                  << "  --threads N   worker threads for parallel phases"
+                     " (0 = hardware)\n";
         std::exit(0);
       }
     }

@@ -107,6 +107,22 @@ void BM_ConflictGraphFromSubmissions(benchmark::State& state) {
 }
 BENCHMARK(BM_ConflictGraphFromSubmissions)->Arg(25)->Arg(50)->Arg(100);
 
+void BM_ConflictGraphPairwise(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  const auto g0 = crypto::SecretKey::generate(rng);
+  const core::PpbsLocation protocol(g0, 17, 1000);
+  std::vector<core::LocationSubmission> subs;
+  for (std::size_t i = 0; i < n; ++i) {
+    subs.push_back(protocol.submit({rng.below(70000), rng.below(70000)}, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::PpbsLocation::build_conflict_graph_pairwise(subs));
+  }
+}
+BENCHMARK(BM_ConflictGraphPairwise)->Arg(25)->Arg(50)->Arg(100);
+
 void BM_ConflictGraphPlaintextSweep(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Rng rng(13);

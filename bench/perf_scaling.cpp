@@ -1,0 +1,211 @@
+// Performance-scaling baseline for the PPBS hot paths.
+//
+// Sweeps n SUs × worker threads over the three server-relevant phases —
+// SU-side submission generation (HMAC-bound), conflict-graph
+// construction (indexed hash-join vs the all-pairs reference), and the
+// masked greedy auction — and writes a machine-readable JSON trajectory
+// (default BENCH_perf_scaling.json) so later scaling PRs have a baseline
+// to regress against.
+//
+// Schema: [{"phase": str, "n": int, "threads": int, "wall_ms": float,
+//           "throughput": float}, ...]   (throughput = SUs per second)
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/encrypted_bid_table.h"
+#include "core/lppa_auction.h"
+#include "prefix/digest_index.h"
+
+namespace {
+
+using namespace lppa;
+
+struct Sample {
+  std::string phase;
+  std::size_t n = 0;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double throughput = 0.0;  // SUs processed per second
+};
+
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+Sample sample(std::string phase, std::size_t n, std::size_t threads,
+              double wall_ms) {
+  Sample s;
+  s.phase = std::move(phase);
+  s.n = n;
+  s.threads = threads;
+  s.wall_ms = wall_ms;
+  s.throughput = wall_ms > 0.0 ? 1000.0 * static_cast<double>(n) / wall_ms : 0.0;
+  return s;
+}
+
+void write_json(const std::string& path, const std::vector<Sample>& samples) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    out << "  {\"phase\": \"" << s.phase << "\", \"n\": " << s.n
+        << ", \"threads\": " << s.threads << ", \"wall_ms\": " << s.wall_ms
+        << ", \"throughput\": " << s.throughput << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+double wall_of(const std::vector<Sample>& samples, const std::string& phase,
+               std::size_t n, std::size_t threads) {
+  for (const Sample& s : samples) {
+    if (s.phase == phase && s.n == n && s.threads == threads) return s.wall_ms;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  // Workload: uniform SUs in a 2^20-wide field with λ = 1000m, i.e. a
+  // sparse conflict graph (~0.4% x-window hit rate) like a city-scale
+  // deployment; 8 channels keep the auction phase comparable across n.
+  const int coord_width = 20;
+  const std::uint64_t lambda = 1000;
+  const std::size_t num_channels = 8;
+  const auction::Money bmax = 15;
+
+  std::vector<std::size_t> sizes = {100, 400, 1600, 6400};
+  if (args.full) sizes.push_back(12800);
+  // The all-pairs reference is quadratic; past this it stops being a
+  // baseline and starts being a space heater.
+  const std::size_t pairwise_cap = 6400;
+
+  const std::size_t multi =
+      args.threads != 0 ? args.threads
+                        : std::max<std::size_t>(4, ThreadPool::hardware_threads());
+  std::vector<std::size_t> thread_counts = {1};
+  if (multi > 1) thread_counts.push_back(multi);
+
+  Rng rng(20130708);
+  const auto g0 = crypto::SecretKey::generate(rng);
+  const auto gb = crypto::SecretKey::generate(rng);
+  const auto gc = crypto::SecretKey::generate(rng);
+  const auto bid_cfg = core::PpbsBidConfig::advanced(
+      bmax, 3, 4, core::ZeroDisguisePolicy::linear(bmax, 0.3));
+  const core::PpbsLocation protocol(g0, coord_width, lambda);
+  const core::BidSubmitter submitter(bid_cfg, gb, gc);
+
+  std::vector<Sample> samples;
+  for (const std::size_t n : sizes) {
+    const std::uint64_t hi =
+        ((std::uint64_t{1} << coord_width) - 1) - 2 * lambda;
+    std::vector<auction::SuLocation> locations(n);
+    std::vector<auction::BidVector> bids(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      locations[i] = {rng.below(hi + 1), rng.below(hi + 1)};
+      bids[i].resize(num_channels);
+      for (auto& b : bids[i]) b = rng.below(bmax + 1);
+    }
+
+    // Per-SU streams forked once and replayed for every thread count so
+    // the submissions are identical across runs (checked below).
+    Rng fork_master = rng.fork();
+    std::vector<Rng> su_rngs;
+    su_rngs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) su_rngs.push_back(fork_master.fork());
+
+    std::vector<core::LocationSubmission> subs(n);
+    std::vector<core::BidSubmission> bid_subs(n);
+    for (const std::size_t t : thread_counts) {
+      std::vector<core::LocationSubmission> run_subs(n);
+      std::vector<core::BidSubmission> run_bids(n);
+      std::vector<Rng> rngs = su_rngs;  // replay the same streams
+      const double ms = time_ms([&] {
+        parallel_for(n, t, [&](std::size_t i) {
+          run_subs[i] = protocol.submit(locations[i], rngs[i]);
+          run_bids[i] = submitter.submit(bids[i], rngs[i]);
+        });
+      });
+      samples.push_back(sample("submit", n, t, ms));
+      if (t == thread_counts.front()) {
+        subs = std::move(run_subs);
+        bid_subs = std::move(run_bids);
+      } else if (!(run_subs == subs) || !(run_bids == bid_subs)) {
+        std::cerr << "FATAL: submissions differ across thread counts\n";
+        return 1;
+      }
+    }
+
+    auction::ConflictGraph indexed(n);
+    for (const std::size_t t : thread_counts) {
+      double ms = time_ms([&] {
+        indexed = core::PpbsLocation::build_conflict_graph(subs, t);
+      });
+      samples.push_back(sample("conflict_graph_indexed", n, t, ms));
+    }
+    if (n <= pairwise_cap) {
+      auction::ConflictGraph pairwise(n);
+      const double ms = time_ms([&] {
+        pairwise = core::PpbsLocation::build_conflict_graph_pairwise(subs);
+      });
+      samples.push_back(sample("conflict_graph_pairwise", n, 1, ms));
+      if (!(pairwise == indexed)) {
+        std::cerr << "FATAL: indexed and pairwise conflict graphs differ\n";
+        return 1;
+      }
+    }
+
+    {
+      Rng alloc_rng = rng.fork();
+      std::vector<auction::Award> awards;
+      const double ms = time_ms([&] {
+        core::EncryptedBidTable table(bid_subs, num_channels);
+        awards = auction::greedy_allocate(table, indexed, alloc_rng);
+      });
+      samples.push_back(sample("auction", n, 1, ms));
+    }
+  }
+
+  Table table({"phase", "n", "threads", "wall_ms", "throughput_su_per_s"});
+  for (const Sample& s : samples) {
+    table.add_row({s.phase, Table::cell(s.n), Table::cell(s.threads),
+                   Table::cell(s.wall_ms, 3), Table::cell(s.throughput, 1)});
+  }
+  bench::emit(table, args, "PPBS hot-path scaling (submit / conflict graph / auction)");
+
+  // Largest n that still has a pairwise baseline.
+  std::size_t big = sizes.front();
+  for (std::size_t s : sizes) {
+    if (s <= pairwise_cap) big = std::max(big, s);
+  }
+  const double pair_ms = wall_of(samples, "conflict_graph_pairwise", big, 1);
+  const double idx_ms = wall_of(samples, "conflict_graph_indexed", big, 1);
+  if (idx_ms > 0.0 && pair_ms > 0.0) {
+    std::cout << "indexed vs pairwise speedup at n=" << big << ": "
+              << pair_ms / idx_ms << "x\n";
+  }
+  if (thread_counts.size() > 1) {
+    const double s1 = wall_of(samples, "submit", big, 1);
+    const double st = wall_of(samples, "submit", big, multi);
+    if (st > 0.0) {
+      std::cout << "submit speedup at n=" << big << " with " << multi
+                << " threads: " << s1 / st << "x\n";
+    }
+  }
+
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_perf_scaling.json" : args.json_path;
+  write_json(json_path, samples);
+  std::cout << "wrote " << json_path << " (" << samples.size() << " samples)\n";
+  return 0;
+}

@@ -36,10 +36,12 @@ class ConflictGraph {
                                       std::uint64_t lambda);
 
   /// Sweep-line variant: sorts by x and only tests pairs within the
-  /// 2λ x-window — O(N log N + E·window) instead of O(N²) pairs.  Note
-  /// the masked (PPBS) path cannot use this shortcut: hashed coordinates
-  /// admit no sorting, which is an inherent O(N²) cost of the privacy
-  /// (bench/micro_ops quantifies it).  Produces exactly the same graph.
+  /// 2λ x-window — O(N log N + E·window) instead of O(N²) pairs.  The
+  /// masked (PPBS) path cannot use this shortcut (hashed coordinates
+  /// admit no sorting), but it has an equivalent escape from O(N²): the
+  /// digest hash-join of prefix/digest_index.h, which joins on digest
+  /// equality instead of coordinate order (bench/perf_scaling compares
+  /// the two).  Produces exactly the same graph.
   static ConflictGraph from_locations_sweep(
       const std::vector<SuLocation>& locations, std::uint64_t lambda);
 

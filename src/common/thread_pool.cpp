@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace lppa {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = num_threads == 0 ? hardware_threads() : num_threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run(std::size_t workers,
+                     const std::function<void(std::size_t)>& job) {
+  if (workers == 0) return;
+
+  // Completion state shared with the enqueued tasks; everything lives on
+  // this frame, which outlives the tasks because we block on `pending`.
+  struct Sync {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending;
+    std::exception_ptr error;
+  } sync;
+  sync.pending = workers - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t w = 1; w < workers; ++w) {
+      queue_.emplace_back([&sync, &job, w] {
+        std::exception_ptr err;
+        try {
+          job(w);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        // Notify under the lock: the waiter may destroy `sync` the
+        // moment it observes pending == 0.
+        std::lock_guard<std::mutex> l(sync.mutex);
+        if (err && !sync.error) sync.error = err;
+        if (--sync.pending == 0) sync.done.notify_one();
+      });
+    }
+  }
+  wake_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    job(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(sync.mutex);
+    sync.done.wait(lock, [&sync] { return sync.pending == 0; });
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_threads());
+  return pool;
+}
+
+void parallel_for(std::size_t n, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::size_t threads =
+      num_threads == 0 ? ThreadPool::hardware_threads() : num_threads;
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Chunked dynamic scheduling: coarse enough to amortise the atomic,
+  // fine enough (8 chunks per thread) to absorb uneven per-item cost.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
+  std::atomic<std::size_t> cursor{0};
+  ThreadPool::shared().run(threads, [&](std::size_t) {
+    for (;;) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }
+  });
+}
+
+}  // namespace lppa

@@ -14,6 +14,7 @@ EncryptedBidTable::EncryptedBidTable(
                  "every submission must cover every channel");
   }
   present_.assign(users_ * channels_, true);
+  live_ = users_ * channels_;
 }
 
 std::size_t EncryptedBidTable::idx(UserId u, ChannelId r) const {
@@ -26,11 +27,21 @@ bool EncryptedBidTable::has(UserId u, ChannelId r) const {
 }
 
 void EncryptedBidTable::remove(UserId u, ChannelId r) {
-  present_[idx(u, r)] = false;
+  const std::size_t k = idx(u, r);
+  if (present_[k]) {
+    present_[k] = false;
+    --live_;
+  }
 }
 
 void EncryptedBidTable::remove_user(UserId u) {
-  for (std::size_t r = 0; r < channels_; ++r) present_[idx(u, r)] = false;
+  for (std::size_t r = 0; r < channels_; ++r) {
+    const std::size_t k = idx(u, r);
+    if (present_[k]) {
+      present_[k] = false;
+      --live_;
+    }
+  }
 }
 
 std::optional<auction::UserId> EncryptedBidTable::argmax_in_column(
@@ -51,12 +62,7 @@ std::optional<auction::UserId> EncryptedBidTable::argmax_in_column(
   return best;
 }
 
-bool EncryptedBidTable::empty() const noexcept {
-  for (bool p : present_) {
-    if (p) return false;
-  }
-  return true;
-}
+bool EncryptedBidTable::empty() const noexcept { return live_ == 0; }
 
 const ChannelBidSubmission& EncryptedBidTable::entry(UserId u,
                                                      ChannelId r) const {

@@ -44,6 +44,9 @@ class EncryptedBidTable final : public auction::BidTableView {
   std::size_t users_;
   std::size_t channels_;
   std::vector<bool> present_;
+  std::size_t live_ = 0;  ///< count of set bits in present_, so empty()
+                          ///< is O(1) instead of an O(n·m) bitmap scan
+                          ///< per allocation iteration
 };
 
 }  // namespace lppa::core

@@ -1,5 +1,7 @@
 #include "core/lppa_auction.h"
 
+#include "common/thread_pool.h"
+
 namespace lppa::core {
 
 LppaAuction::LppaAuction(LppaConfig config, std::uint64_t ttp_seed)
@@ -33,19 +35,31 @@ LppaOutcome LppaAuction::run(
   // stream, so the allocation below consumes exactly one fork() worth of
   // caller state regardless of N or k — a baseline run can mirror that
   // with one fork() and then share the allocation random sequence.
+  //
+  // Per-SU streams are forked serially up front (forks are cheap), then
+  // the HMAC-heavy submission work fans out: SU i reads only su_rngs[i]
+  // and writes only slot i, so the transcript is byte-identical for
+  // every value of num_threads.
   Rng su_master = rng.fork();
-  view.locations.reserve(locations.size());
-  view.bids.reserve(bids.size());
-  for (std::size_t i = 0; i < locations.size(); ++i) {
-    Rng su_rng = su_master.fork();  // each SU randomises independently
-    view.locations.push_back(location_protocol.submit(locations[i], su_rng));
-    view.bids.push_back(submitter.submit(bids[i], su_rng));
-    view.location_wire_bytes += view.locations.back().wire_size();
-    view.bid_wire_bytes += view.bids.back().wire_size();
+  const std::size_t n = locations.size();
+  std::vector<Rng> su_rngs;
+  su_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) su_rngs.push_back(su_master.fork());
+
+  view.locations.resize(n);
+  view.bids.resize(n);
+  parallel_for(n, config_.num_threads, [&](std::size_t i) {
+    view.locations[i] = location_protocol.submit(locations[i], su_rngs[i]);
+    view.bids[i] = submitter.submit(bids[i], su_rngs[i]);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    view.location_wire_bytes += view.locations[i].wire_size();
+    view.bid_wire_bytes += view.bids[i].wire_size();
   }
 
   // --- Auctioneer side: PSD ----------------------------------------------
-  view.conflicts = PpbsLocation::build_conflict_graph(view.locations);
+  view.conflicts =
+      PpbsLocation::build_conflict_graph(view.locations, config_.num_threads);
   EncryptedBidTable table(view.bids, config_.num_channels);
   std::vector<auction::Award> awards =
       auction::greedy_allocate(table, view.conflicts, rng);

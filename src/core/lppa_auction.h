@@ -26,6 +26,11 @@ struct LppaConfig {
   bool pad_location_ranges = true;
   std::size_t ttp_batch_size = 16;  ///< charge queries per TTP flush
   ChargingRule charging_rule = ChargingRule::kFirstPrice;
+  /// Worker threads for the SU submission loop and the conflict-graph
+  /// probe (0 = hardware concurrency).  Each SU draws from its own
+  /// pre-forked RNG stream and writes only its own output slot, so the
+  /// outcome is byte-identical for every thread count.
+  std::size_t num_threads = 0;
 };
 
 /// Everything the auctioneer (and hence a curious-but-honest attacker)

@@ -1,0 +1,154 @@
+// Differential tests for the indexed conflict-graph build.
+//
+// The digest hash-join (prefix::DigestIndex) must reproduce the
+// all-pairs reference graph *exactly* — not merely with high
+// probability — because both paths compare the same digest multisets;
+// and the thread count must be observationally irrelevant everywhere it
+// appears (conflict-graph probing, full auction rounds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/lppa_auction.h"
+#include "core/ppbs_location.h"
+#include "prefix/digest_index.h"
+
+namespace lppa::core {
+namespace {
+
+TEST(DigestIndexTest, CollectReturnsAllOwnersOfADigest) {
+  Rng rng(7);
+  const auto key = crypto::SecretKey::generate(rng);
+  prefix::DigestIndex index;
+  const auto set_a = prefix::HashedPrefixSet::of_value(key, 42, 10);
+  const auto set_b = prefix::HashedPrefixSet::of_value(key, 42, 10);
+  const auto set_c = prefix::HashedPrefixSet::of_value(key, 999, 10);
+  index.insert_all(set_a, 0);
+  index.insert_all(set_b, 1);
+  index.insert_all(set_c, 2);
+
+  // Every digest of value 42's family is owned by 0 and 1; value 999
+  // shares only the short prefixes with 42.
+  std::vector<std::uint32_t> owners;
+  index.collect(set_a.digests()[0], owners);
+  std::sort(owners.begin(), owners.end());
+  ASSERT_GE(owners.size(), 2u);
+  EXPECT_EQ(owners[0], 0u);
+  EXPECT_EQ(owners[1], 1u);
+  EXPECT_EQ(index.entry_count(), set_a.size() + set_b.size() + set_c.size());
+}
+
+TEST(DigestIndexTest, MissingDigestCollectsNothing) {
+  prefix::DigestIndex index;
+  crypto::Digest d;
+  d.bytes[0] = 0xab;
+  std::vector<std::uint32_t> owners;
+  EXPECT_EQ(index.collect(d, owners), 0u);
+  index.insert(d, 5);
+  crypto::Digest other = d;
+  other.bytes[31] ^= 1;
+  EXPECT_EQ(index.collect(other, owners), 0u);
+  EXPECT_EQ(index.collect(d, owners), 1u);
+  EXPECT_EQ(owners, std::vector<std::uint32_t>{5u});
+}
+
+TEST(DigestIndexTest, SurvivesRehashing) {
+  Rng rng(11);
+  prefix::DigestIndex index;  // no reserve: forces several growth steps
+  std::vector<crypto::Digest> digests;
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    crypto::Digest d;
+    for (auto& b : d.bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    digests.push_back(d);
+    index.insert(d, i);
+  }
+  EXPECT_EQ(index.distinct_digests(), 3000u);
+  std::vector<std::uint32_t> owners;
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    owners.clear();
+    ASSERT_EQ(index.collect(digests[i], owners), 1u);
+    EXPECT_EQ(owners[0], i);
+  }
+}
+
+TEST(ConflictIndexTest, IndexedMatchesPairwiseOver200RandomScenarios) {
+  Rng rng(20130708);
+  for (int scenario = 0; scenario < 220; ++scenario) {
+    const int width = static_cast<int>(rng.uniform_int(8, 14));
+    const std::uint64_t max_coord = (std::uint64_t{1} << width) - 1;
+    const std::uint64_t lambda = rng.below(max_coord / 4 + 1);
+    const bool pad = rng.bernoulli(0.5);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 40));
+
+    const auto g0 = crypto::SecretKey::generate(rng);
+    const PpbsLocation protocol(g0, width, lambda, pad);
+    std::vector<LocationSubmission> subs;
+    subs.reserve(n);
+    const std::uint64_t hi = max_coord - 2 * lambda;
+    for (std::size_t i = 0; i < n; ++i) {
+      subs.push_back(protocol.submit({rng.below(hi + 1), rng.below(hi + 1)},
+                                     rng));
+    }
+
+    const auto pairwise = PpbsLocation::build_conflict_graph_pairwise(subs);
+    const auto indexed = PpbsLocation::build_conflict_graph(subs, 1);
+    const auto indexed_mt = PpbsLocation::build_conflict_graph(subs, 3);
+    ASSERT_EQ(indexed, pairwise)
+        << "scenario " << scenario << " width=" << width
+        << " lambda=" << lambda << " pad=" << pad << " n=" << n;
+    ASSERT_EQ(indexed_mt, pairwise)
+        << "scenario " << scenario << " (3 threads)";
+  }
+}
+
+LppaOutcome run_with_threads(std::size_t num_threads) {
+  LppaConfig cfg;
+  cfg.num_channels = 6;
+  cfg.lambda = 60;
+  cfg.coord_width = 14;
+  cfg.num_threads = num_threads;
+  cfg.charging_rule = ChargingRule::kSecondPrice;
+  cfg.bid = PpbsBidConfig::advanced(15, 3, 4,
+                                    ZeroDisguisePolicy::linear(15, 0.3));
+  LppaAuction auction(cfg, /*ttp_seed=*/99);
+
+  Rng rng(4242);
+  const std::uint64_t hi = ((std::uint64_t{1} << 14) - 1) - 2 * cfg.lambda;
+  std::vector<auction::SuLocation> locations;
+  std::vector<BidVector> bids;
+  for (int i = 0; i < 48; ++i) {
+    locations.push_back({rng.below(hi + 1), rng.below(hi + 1)});
+    BidVector bv(cfg.num_channels);
+    for (auto& b : bv) b = rng.below(16);
+    bids.push_back(bv);
+  }
+  return auction.run(locations, bids, rng);
+}
+
+TEST(ConflictIndexTest, ThreadCountIsObservationallyIrrelevant) {
+  const LppaOutcome serial = run_with_threads(1);
+  const LppaOutcome parallel = run_with_threads(4);
+
+  EXPECT_EQ(parallel.view.locations, serial.view.locations);
+  EXPECT_EQ(parallel.view.bids, serial.view.bids);
+  EXPECT_EQ(parallel.view.conflicts, serial.view.conflicts);
+  EXPECT_EQ(parallel.view.awards, serial.view.awards);
+  EXPECT_EQ(parallel.view.location_wire_bytes,
+            serial.view.location_wire_bytes);
+  EXPECT_EQ(parallel.view.bid_wire_bytes, serial.view.bid_wire_bytes);
+  EXPECT_EQ(parallel.outcome.awards, serial.outcome.awards);
+  EXPECT_EQ(parallel.manipulations_detected, serial.manipulations_detected);
+
+  // Byte-identical on the wire, too.
+  ASSERT_EQ(parallel.view.locations.size(), serial.view.locations.size());
+  for (std::size_t i = 0; i < serial.view.locations.size(); ++i) {
+    EXPECT_EQ(parallel.view.locations[i].serialize(),
+              serial.view.locations[i].serialize());
+    EXPECT_EQ(parallel.view.bids[i].serialize(),
+              serial.view.bids[i].serialize());
+  }
+}
+
+}  // namespace
+}  // namespace lppa::core

@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lppa {
+namespace {
+
+TEST(ThreadPoolTest, RunExecutesEveryWorkerIdExactlyOnce) {
+  ThreadPool pool(3);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{9}}) {
+    std::vector<std::atomic<int>> seen(workers);
+    pool.run(workers, [&](std::size_t w) { seen[w].fetch_add(1); });
+    for (std::size_t w = 0; w < workers; ++w) {
+      EXPECT_EQ(seen[w].load(), 1) << "worker " << w << " of " << workers;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunWithZeroWorkersIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run(4,
+               [](std::size_t w) {
+                 if (w == 3) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool stays usable after a throwing batch.
+  std::atomic<int> count{0};
+  pool.run(4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    const std::size_t n = 10'000;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, threads, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, MatchesSerialResult) {
+  const std::size_t n = 4096;
+  std::vector<std::uint64_t> serial(n), parallel(n);
+  auto f = [](std::size_t i) {
+    // A cheap but index-sensitive function.
+    std::uint64_t v = i * 0x9e3779b97f4a7c15ULL;
+    v ^= v >> 29;
+    return v;
+  };
+  for (std::size_t i = 0; i < n; ++i) serial[i] = f(i);
+  parallel_for(n, 5, [&](std::size_t i) { parallel[i] = f(i); });
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelForTest, HandlesEmptyAndTinyRanges) {
+  int calls = 0;
+  parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, 8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  EXPECT_THROW(parallel_for(100, 4,
+                            [](std::size_t i) {
+                              if (i == 57) throw std::runtime_error("bad");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  EXPECT_GE(ThreadPool::shared().worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace lppa
