@@ -68,6 +68,16 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// Constant-time equality over two byte spans: the running time depends
+/// only on the lengths, never on the contents or on where the first
+/// mismatch sits.  Use this for every comparison of secret-derived bytes
+/// (HMAC'd prefix digests, MAC tags) — a short-circuiting == leaks the
+/// match length through timing.  Length mismatch returns false
+/// immediately; lengths are public here (digest sizes are fixed by the
+/// protocol).
+bool ct_equal(std::span<const std::uint8_t> a,
+              std::span<const std::uint8_t> b) noexcept;
+
 /// Lowercase hex encoding, handy in logs and tests.
 std::string to_hex(std::span<const std::uint8_t> data);
 

@@ -109,17 +109,46 @@ void parallel_for(std::size_t n, std::size_t num_threads,
 
   // Chunked dynamic scheduling: coarse enough to amortise the atomic,
   // fine enough (8 chunks per thread) to absorb uneven per-item cost.
+  //
+  // Error capture is deterministic: the exception thrown by the LOWEST
+  // erroring index wins, independent of the schedule and thread count, so
+  // a failure reproduces identically under num_threads=1.  Chunks are
+  // claimed in increasing index order, so once an error at index e is
+  // recorded no unclaimed chunk can contain an index < e — workers stop
+  // claiming then, but they always finish evaluating the chunk they hold
+  // up to e, which guarantees every index below the final winner ran.
   const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> first_error{n};  // lowest erroring index so far
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_index = n;
   ThreadPool::shared().run(threads, [&](std::size_t) {
     for (;;) {
       const std::size_t begin =
           cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
+      if (begin > first_error.load(std::memory_order_acquire)) return;
       const std::size_t end = std::min(n, begin + chunk);
-      for (std::size_t i = begin; i < end; ++i) body(i);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (i > first_error.load(std::memory_order_acquire)) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (i < error_index) {
+            error_index = i;
+            error = std::current_exception();
+          }
+          std::size_t seen = first_error.load(std::memory_order_relaxed);
+          while (i < seen && !first_error.compare_exchange_weak(
+                                 seen, i, std::memory_order_release)) {
+          }
+        }
+      }
     }
   });
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace lppa

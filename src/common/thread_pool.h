@@ -68,6 +68,11 @@ class ThreadPool {
 /// tolerate any assignment of indices to threads — in practice that
 /// means "write only to slot i".  Serial (and allocation-free) when the
 /// effective thread count is 1.
+///
+/// When one or more bodies throw, the exception from the LOWEST erroring
+/// index is rethrown — deterministically, for every thread count — so a
+/// parallel failure reproduces exactly under num_threads=1.  Indices
+/// above the winning error may be skipped; indices below it always run.
 void parallel_for(std::size_t n, std::size_t num_threads,
                   const std::function<void(std::size_t)>& body);
 

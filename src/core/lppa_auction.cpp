@@ -1,6 +1,7 @@
 #include "core/lppa_auction.h"
 
 #include "common/thread_pool.h"
+#include "core/submission_validator.h"
 
 namespace lppa::core {
 
@@ -58,6 +59,13 @@ LppaOutcome LppaAuction::run(
   }
 
   // --- Auctioneer side: PSD ----------------------------------------------
+  if (config_.validate_submissions) {
+    const SubmissionValidator validator(config_);
+    for (std::size_t i = 0; i < n; ++i) {
+      validator.check_location(view.locations[i]);
+      validator.check_bid(view.bids[i]);
+    }
+  }
   view.conflicts =
       PpbsLocation::build_conflict_graph(view.locations, config_.num_threads);
   EncryptedBidTable table(view.bids, config_.num_channels);

@@ -31,6 +31,12 @@ struct LppaConfig {
   /// pre-forked RNG stream and writes only its own output slot, so the
   /// outcome is byte-identical for every thread count.
   std::size_t num_threads = 0;
+  /// Run every submission through core::SubmissionValidator before it
+  /// enters the conflict-graph build / EncryptedBidTable.  In-process
+  /// submissions are honest by construction, so this is defence in depth
+  /// here; the wire session (proto/) relies on the same validator to
+  /// reject Byzantine submissions.
+  bool validate_submissions = true;
 };
 
 /// Everything the auctioneer (and hence a curious-but-honest attacker)

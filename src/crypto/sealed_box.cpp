@@ -71,9 +71,7 @@ SealedMessage SealedBox::seal(std::span<const std::uint8_t> plaintext,
 std::optional<Bytes> SealedBox::open(const SealedMessage& message) const {
   const Digest expected = compute_tag(
       mac_key_, message.nonce, std::span<const std::uint8_t>(message.ciphertext));
-  // Digest comparison here is not constant-time; acceptable for a
-  // simulation (see DESIGN.md §2) and flagged for hardening.
-  if (expected != message.tag) return std::nullopt;
+  if (!ct_equal(expected.bytes, message.tag.bytes)) return std::nullopt;
   return keystream_xor(message.nonce,
                        std::span<const std::uint8_t>(message.ciphertext));
 }

@@ -20,9 +20,12 @@ void DigestIndex::reserve(std::size_t expected) {
 }
 
 std::size_t DigestIndex::find_slot(const crypto::Digest& d) const noexcept {
+  // Probe confirmation goes through ct_equal for the same reason as
+  // HashedPrefixSet::intersects: a short-circuiting key comparison would
+  // leak the matched byte count of an HMAC'd digest through timing.
   const std::size_t mask = slots_.size() - 1;
   std::size_t i = static_cast<std::size_t>(d.fingerprint()) & mask;
-  while (slots_[i].head != kNil && !(slots_[i].key == d)) {
+  while (slots_[i].head != kNil && !ct_equal(slots_[i].key.bytes, d.bytes)) {
     i = (i + 1) & mask;
   }
   return i;

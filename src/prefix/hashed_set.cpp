@@ -43,11 +43,15 @@ HashedPrefixSet HashedPrefixSet::from_digests(
 }
 
 bool HashedPrefixSet::intersects(const HashedPrefixSet& other) const noexcept {
-  // Linear merge over the two sorted vectors.
+  // Linear merge over the two sorted vectors.  The membership check uses
+  // ct_equal: a short-circuiting digest == would leak, through timing,
+  // how many leading bytes of an HMAC'd prefix digest the probe matched.
+  // The < used to advance the merge only orders digests, it never
+  // confirms membership, so it stays an ordinary comparison.
   auto a = digests_.begin();
   auto b = other.digests_.begin();
   while (a != digests_.end() && b != other.digests_.end()) {
-    if (*a == *b) return true;
+    if (ct_equal(a->bytes, b->bytes)) return true;
     if (*a < *b) {
       ++a;
     } else {

@@ -1,5 +1,9 @@
 #include "proto/bus.h"
 
+#include <algorithm>
+
+#include "proto/fault.h"
+
 namespace lppa::proto {
 
 std::string Address::label() const {
@@ -14,11 +18,60 @@ std::string Address::label() const {
   return "?";
 }
 
+void MessageBus::deliver(const Address& to, Bytes message, bool front) {
+  auto& queue = queues_[to];
+  if (front) {
+    queue.push_front(std::move(message));
+  } else {
+    queue.push_back(std::move(message));
+  }
+}
+
 void MessageBus::send(const Address& from, const Address& to, Bytes message) {
   auto& stats = stats_[{from, to}];
   ++stats.messages;
   stats.bytes += message.size();
-  queues_[to].push_back(std::move(message));
+
+  if (injector_ == nullptr) {
+    deliver(to, std::move(message), /*front=*/false);
+    return;
+  }
+
+  const FaultDecision d = injector_->decide(from, to);
+  if (d.corrupt) injector_->corrupt_in_place(message);
+  switch (d.delivery) {
+    case FaultDecision::Delivery::kDrop:
+      return;
+    case FaultDecision::Delivery::kDuplicate:
+      deliver(to, message, /*front=*/false);
+      deliver(to, std::move(message), /*front=*/false);
+      return;
+    case FaultDecision::Delivery::kReorder:
+      deliver(to, std::move(message), /*front=*/true);
+      return;
+    case FaultDecision::Delivery::kDelay:
+      delayed_.push_back(Delayed{to, std::move(message), d.delay_ticks});
+      return;
+    case FaultDecision::Delivery::kNormal:
+      deliver(to, std::move(message), /*front=*/false);
+      return;
+  }
+}
+
+void MessageBus::advance(std::size_t ticks) {
+  for (std::size_t t = 0; t < ticks; ++t) {
+    if (delayed_.empty()) return;
+    // Deliver in send order; erase-from-vector keeps that order stable.
+    auto it = delayed_.begin();
+    while (it != delayed_.end()) {
+      if (--it->ticks_left == 0) {
+        deliver(it->to, std::move(it->message), /*front=*/false);
+        it = delayed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 std::optional<Bytes> MessageBus::receive(const Address& to) {

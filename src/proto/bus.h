@@ -18,6 +18,8 @@
 
 namespace lppa::proto {
 
+class FaultInjector;  // proto/fault.h
+
 /// A protocol endpoint: one of N secondary users, the auctioneer, or the
 /// TTP.
 struct Address {
@@ -43,7 +45,11 @@ struct LinkStats {
 
 class MessageBus {
  public:
-  /// Enqueues a message; counted against the (from, to) link.
+  /// Enqueues a message; counted against the (from, to) link.  When a
+  /// fault injector is attached the message may instead be dropped,
+  /// duplicated, reordered (jump the queue), corrupted in transit, or
+  /// held back until enough advance() ticks pass.  Link stats always
+  /// count the send attempt — they are sender-side accounting.
   void send(const Address& from, const Address& to, Bytes message);
 
   /// Pops the oldest message addressed to `to`, or nullopt.
@@ -51,6 +57,21 @@ class MessageBus {
 
   /// Messages currently queued for an endpoint.
   std::size_t pending(const Address& to) const;
+
+  /// Attaches (or detaches, with nullptr) a fault injector.  The bus does
+  /// not own it; the caller keeps it alive while attached.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
+
+  /// One unit of simulated network time: delayed messages whose timer
+  /// expires are moved into their destination queues (in the order they
+  /// were sent).  A no-op without delayed traffic.
+  void advance(std::size_t ticks = 1);
+
+  /// Messages currently held in the delay buffer.
+  std::size_t delayed() const noexcept { return delayed_.size(); }
 
   /// Traffic of one directed link so far.
   LinkStats link(const Address& from, const Address& to) const;
@@ -60,8 +81,18 @@ class MessageBus {
   LinkStats total_into(Address::Kind to_kind) const;
 
  private:
+  struct Delayed {
+    Address to;
+    Bytes message;
+    std::size_t ticks_left;
+  };
+
+  void deliver(const Address& to, Bytes message, bool front);
+
   std::map<Address, std::deque<Bytes>> queues_;
   std::map<std::pair<Address, Address>, LinkStats> stats_;
+  std::vector<Delayed> delayed_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace lppa::proto

@@ -1,0 +1,98 @@
+// FaultInjector: seeded, per-party message-fault injection for the
+// MessageBus.
+//
+// The wire harness is where the library's robustness claims get tested:
+// every experiment should be runnable under dropped, duplicated,
+// reordered, corrupted, and delayed messages, and under Byzantine
+// parties that corrupt everything they send.  The injector decides the
+// fate of each message at send time from its own Rng stream, so a fault
+// schedule is a pure function of (seed, message sequence) — the same
+// seed reproduces the same faults regardless of what the parties do with
+// their own randomness.
+//
+// Attach to a bus with MessageBus::set_fault_injector; the bus consults
+// decide() per send and applies the verdict (see proto/bus.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace lppa::proto {
+
+struct Address;  // proto/bus.h
+
+/// Per-party fault probabilities.  The five delivery faults are mutually
+/// exclusive per message (one uniform draw is cascaded through them);
+/// corruption composes with delivery for Byzantine senders.
+struct FaultSpec {
+  double drop = 0.0;       ///< message silently discarded
+  double duplicate = 0.0;  ///< delivered twice
+  double reorder = 0.0;    ///< jumps the destination queue
+  double corrupt = 0.0;    ///< random bytes flipped in transit
+  double delay = 0.0;      ///< held for 1..max_delay_ticks bus ticks
+  std::size_t max_delay_ticks = 2;
+};
+
+/// Running totals of injected faults; copied into RoundReport.
+struct FaultCounters {
+  std::size_t messages = 0;  ///< sends the injector ruled on
+  std::size_t drops = 0;
+  std::size_t duplicates = 0;
+  std::size_t reorders = 0;
+  std::size_t corruptions = 0;
+  std::size_t delays = 0;
+};
+
+/// The injector's verdict for one message.
+struct FaultDecision {
+  enum class Delivery : std::uint8_t {
+    kNormal,
+    kDrop,
+    kDuplicate,
+    kReorder,
+    kDelay,
+  };
+  Delivery delivery = Delivery::kNormal;
+  bool corrupt = false;
+  std::size_t delay_ticks = 0;  ///< meaningful when delivery == kDelay
+};
+
+class FaultInjector {
+ public:
+  /// `spec` applies to every sender without an override.
+  explicit FaultInjector(std::uint64_t seed, FaultSpec spec = {});
+
+  /// Overrides the fault profile of one sender.
+  void set_party_spec(const Address& party, FaultSpec spec);
+
+  /// Marks a party Byzantine: every message it sends is corrupted (its
+  /// delivery faults still apply on top).  Models a bidder that always
+  /// submits garbage.
+  void mark_byzantine(const Address& party);
+  bool is_byzantine(const Address& party) const;
+
+  /// Rules on one message from `from`; advances the fault Rng stream.
+  FaultDecision decide(const Address& from, const Address& to);
+
+  /// Flips 1-4 random bytes of `message` in place (appends one garbage
+  /// byte when empty, so corruption is never a no-op).
+  void corrupt_in_place(Bytes& message);
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = FaultCounters{}; }
+
+ private:
+  const FaultSpec& spec_for(const Address& party) const;
+
+  Rng rng_;
+  FaultSpec default_spec_;
+  std::map<std::pair<std::uint8_t, std::size_t>, FaultSpec> overrides_;
+  std::set<std::pair<std::uint8_t, std::size_t>> byzantine_;
+  FaultCounters counters_;
+};
+
+}  // namespace lppa::proto

@@ -1,28 +1,70 @@
 #include "proto/messages.h"
 
+#include "crypto/sha256.h"
+
 namespace lppa::proto {
+
+namespace {
+
+/// Frame checksum: the first four bytes of SHA-256 over the framed
+/// fields.  Not an authenticator (there is no key) — it exists so that
+/// *any* in-transit corruption is detectable at parse time rather than
+/// surfacing as a structurally valid submission with scrambled digests,
+/// which no later layer could tell from a Byzantine bid.
+std::uint32_t frame_checksum(std::span<const std::uint8_t> framed) {
+  const crypto::Digest d = crypto::Sha256::hash(framed);
+  return static_cast<std::uint32_t>(d.bytes[0]) |
+         (static_cast<std::uint32_t>(d.bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(d.bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(d.bytes[3]) << 24);
+}
+
+}  // namespace
 
 Bytes Envelope::serialize() const {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(sender);
   w.bytes(payload);
+  w.u32(frame_checksum(w.data()));
   return w.take();
 }
 
 Envelope Envelope::deserialize(std::span<const std::uint8_t> wire) {
-  ByteReader r(wire);
+  LPPA_PROTOCOL_CHECK(wire.size() >= 4, "Envelope shorter than its checksum");
+  const auto framed = wire.first(wire.size() - 4);
+  ByteReader checksum_reader(wire.subspan(wire.size() - 4));
+  LPPA_PROTOCOL_CHECK(checksum_reader.u32() == frame_checksum(framed),
+                      "Envelope checksum mismatch");
+  ByteReader r(framed);
   Envelope e;
   const std::uint8_t raw_type = r.u8();
   LPPA_PROTOCOL_CHECK(
       raw_type >= static_cast<std::uint8_t>(MessageType::kLocationSubmission) &&
-          raw_type <= static_cast<std::uint8_t>(MessageType::kWinnerAnnouncement),
+          raw_type <= static_cast<std::uint8_t>(MessageType::kRetransmitRequest),
       "unknown message type");
   e.type = static_cast<MessageType>(raw_type);
   e.sender = r.u64();
   e.payload = r.bytes();
   LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after Envelope");
   return e;
+}
+
+Bytes RetransmitRequest::serialize() const {
+  ByteWriter w;
+  w.u8(mask);
+  return w.take();
+}
+
+RetransmitRequest RetransmitRequest::deserialize(
+    std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  RetransmitRequest req;
+  req.mask = r.u8();
+  LPPA_PROTOCOL_CHECK(req.mask != 0 && req.mask <= (kLocation | kBid),
+                      "invalid retransmit mask");
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after RetransmitRequest");
+  return req;
 }
 
 Bytes WinnerAnnouncement::serialize() const {

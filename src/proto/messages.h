@@ -1,10 +1,14 @@
 // Typed message envelopes for the wire protocol.
 //
 // Every blob on the MessageBus is an Envelope: a one-byte type tag, the
-// sender's claimed SU index (meaningful for submissions), and the typed
-// payload produced by the core serialisers.  A corrupted or mistyped
-// envelope surfaces as LppaError(kProtocol) at the receiver — never as
-// undefined behaviour — which the fuzz tests exercise.
+// sender's claimed SU index (meaningful for submissions), the typed
+// payload produced by the core serialisers, and a trailing frame
+// checksum.  A corrupted, truncated or mistyped envelope surfaces as
+// LppaError(kProtocol) at the receiver — never as undefined behaviour —
+// which the fuzz tests exercise.  The checksum makes corruption always
+// *detectable*: without it, a bit flip inside an HMAC'd digest yields a
+// structurally valid submission that no validator could distinguish
+// from a Byzantine bid (digests are opaque by design).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,7 @@ enum class MessageType : std::uint8_t {
   kChargeQueryBatch = 3,
   kChargeResultBatch = 4,
   kWinnerAnnouncement = 5,
+  kRetransmitRequest = 6,  ///< auctioneer -> SU: resend missing submissions
 };
 
 struct Envelope {
@@ -31,6 +36,19 @@ struct Envelope {
 
   Bytes serialize() const;
   static Envelope deserialize(std::span<const std::uint8_t> wire);
+};
+
+/// Auctioneer -> SU nack: which of the SU's submissions never arrived
+/// (or arrived damaged) and should be resent.  Sent during the hardened
+/// session's retry waves (proto/session.h).
+struct RetransmitRequest {
+  static constexpr std::uint8_t kLocation = 1;
+  static constexpr std::uint8_t kBid = 2;
+
+  std::uint8_t mask = 0;  ///< OR of kLocation / kBid
+
+  Bytes serialize() const;
+  static RetransmitRequest deserialize(std::span<const std::uint8_t> wire);
 };
 
 /// The published outcome: winners, their channels, validated charges.

@@ -1,6 +1,13 @@
 #include "proto/parties.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace lppa::proto {
+
+namespace {
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+}  // namespace
 
 // ------------------------------------------------------------- SuClient
 
@@ -37,33 +44,114 @@ AuctioneerSession::AuctioneerSession(const core::LppaConfig& config,
                                      std::size_t num_users)
     : config_(config),
       num_users_(num_users),
+      validator_(config),
       locations_(num_users),
-      bids_(num_users) {
+      bids_(num_users),
+      location_wire_(num_users),
+      bid_wire_(num_users),
+      equivocated_(num_users, false),
+      strikes_(num_users, 0),
+      last_error_(num_users) {
   LPPA_REQUIRE(num_users > 0, "auction requires at least one user");
 }
 
-void AuctioneerSession::ingest(const Bytes& envelope_bytes) {
-  const Envelope e = Envelope::deserialize(envelope_bytes);
-  LPPA_PROTOCOL_CHECK(e.sender < num_users_, "submission from unknown user");
+AuctioneerSession::IngestResult AuctioneerSession::classify_and_store(
+    const Bytes& envelope_bytes, std::string* error) {
+  const auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+  };
+
+  Envelope e;
+  try {
+    e = Envelope::deserialize(envelope_bytes);
+  } catch (const LppaError& err) {
+    fail(err.what());
+    return IngestResult::kRejected;
+  }
+  if (e.sender >= num_users_) {
+    fail("submission from unknown user");
+    return IngestResult::kRejected;
+  }
+  const std::size_t u = e.sender;
+  if (equivocated_[u]) {
+    fail("sender already excluded for equivocation");
+    return IngestResult::kRejected;
+  }
+
+  // Helper shared by both submission kinds: parse + validate, then slot
+  // with duplicate/equivocation classification.  The parse/validate step
+  // runs BEFORE the duplicate check so that a corrupted redelivery of an
+  // already-accepted submission counts as a transit-damaged message (a
+  // strike), never as equivocation.
+  const auto slot = [&](auto parsed, auto& store, auto& wire,
+                        const char* what) -> IngestResult {
+    if (store[u].has_value()) {
+      if (wire[u] == envelope_bytes) {
+        fail(std::string("duplicate ") + what + " submission");
+        return IngestResult::kDuplicateRedelivery;
+      }
+      equivocated_[u] = true;
+      last_error_[u] = std::string("conflicting ") + what + " submissions";
+      fail(last_error_[u]);
+      return IngestResult::kEquivocation;
+    }
+    store[u] = std::move(parsed);
+    wire[u] = envelope_bytes;
+    return IngestResult::kAccepted;
+  };
+
   switch (e.type) {
     case MessageType::kLocationSubmission: {
-      LPPA_PROTOCOL_CHECK(!locations_[e.sender].has_value(),
-                          "duplicate location submission");
-      locations_[e.sender] = core::LocationSubmission::deserialize(e.payload);
-      break;
+      core::LocationSubmission s;
+      try {
+        s = core::LocationSubmission::deserialize(e.payload);
+      } catch (const LppaError& err) {
+        ++strikes_[u];
+        last_error_[u] = err.what();
+        fail(last_error_[u]);
+        return IngestResult::kRejected;
+      }
+      if (auto verr = validator_.validate_location(s)) {
+        ++strikes_[u];
+        last_error_[u] = "invalid location submission: " + *verr;
+        fail(last_error_[u]);
+        return IngestResult::kRejected;
+      }
+      return slot(std::move(s), locations_, location_wire_, "location");
     }
     case MessageType::kBidSubmission: {
-      LPPA_PROTOCOL_CHECK(!bids_[e.sender].has_value(),
-                          "duplicate bid submission");
-      auto submission = core::BidSubmission::deserialize(e.payload);
-      LPPA_PROTOCOL_CHECK(submission.channels.size() == config_.num_channels,
-                          "bid submission does not cover every channel");
-      bids_[e.sender] = std::move(submission);
-      break;
+      core::BidSubmission s;
+      try {
+        s = core::BidSubmission::deserialize(e.payload);
+      } catch (const LppaError& err) {
+        ++strikes_[u];
+        last_error_[u] = err.what();
+        fail(last_error_[u]);
+        return IngestResult::kRejected;
+      }
+      if (auto verr = validator_.validate_bid(s)) {
+        ++strikes_[u];
+        last_error_[u] = "invalid bid submission: " + *verr;
+        fail(last_error_[u]);
+        return IngestResult::kRejected;
+      }
+      return slot(std::move(s), bids_, bid_wire_, "bid");
     }
     default:
-      LPPA_PROTOCOL_CHECK(false, "unexpected message type for auctioneer");
+      fail("unexpected message type for auctioneer");
+      return IngestResult::kRejected;
   }
+}
+
+void AuctioneerSession::ingest(const Bytes& envelope_bytes) {
+  std::string error;
+  const IngestResult result = classify_and_store(envelope_bytes, &error);
+  LPPA_PROTOCOL_CHECK(result == IngestResult::kAccepted, error);
+}
+
+AuctioneerSession::IngestResult AuctioneerSession::try_ingest(
+    const Bytes& envelope_bytes, std::string* error) {
+  return classify_and_store(envelope_bytes, error);
 }
 
 bool AuctioneerSession::ready() const noexcept {
@@ -73,21 +161,95 @@ bool AuctioneerSession::ready() const noexcept {
   return true;
 }
 
+bool AuctioneerSession::has_location(std::size_t user) const {
+  LPPA_REQUIRE(user < num_users_, "user index out of range");
+  return locations_[user].has_value();
+}
+
+bool AuctioneerSession::has_bid(std::size_t user) const {
+  LPPA_REQUIRE(user < num_users_, "user index out of range");
+  return bids_[user].has_value();
+}
+
+bool AuctioneerSession::is_excluded(std::size_t user) const {
+  LPPA_REQUIRE(user < num_users_, "user index out of range");
+  return equivocated_[user];
+}
+
+std::vector<std::size_t> AuctioneerSession::missing_users() const {
+  std::vector<std::size_t> missing;
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    if (equivocated_[u]) continue;
+    if (!locations_[u].has_value() || !bids_[u].has_value()) {
+      missing.push_back(u);
+    }
+  }
+  return missing;
+}
+
+void AuctioneerSession::finalize_participants(RoundReport& report) {
+  if (finalized_) return;
+  report.num_users = num_users_;
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    if (equivocated_[u]) {
+      report.excluded.push_back(
+          {u, RoundReport::ExclusionReason::kEquivocation, last_error_[u]});
+    } else if (!locations_[u].has_value() || !bids_[u].has_value()) {
+      const auto reason = strikes_[u] > 0
+                              ? RoundReport::ExclusionReason::kInvalid
+                              : RoundReport::ExclusionReason::kTimeout;
+      report.excluded.push_back({u, reason, last_error_[u]});
+    } else {
+      participants_.push_back(u);
+    }
+  }
+  report.survivors = participants_;
+  finalized_ = true;
+  LPPA_PROTOCOL_CHECK(!participants_.empty(),
+                      "no valid participants survived the round");
+}
+
 void AuctioneerSession::run_allocation(Rng& rng) {
-  LPPA_REQUIRE(ready(), "submissions still missing");
   LPPA_REQUIRE(!allocated_, "allocation already ran");
+  if (!finalized_) {
+    LPPA_REQUIRE(ready(), "submissions still missing");
+    participants_.resize(num_users_);
+    std::iota(participants_.begin(), participants_.end(), std::size_t{0});
+    finalized_ = true;
+  }
 
+  // Compact the participants to contiguous indices: the conflict graph,
+  // bid table and allocator all run over [0, m); awards are mapped back
+  // to original SU ids afterwards.  A fault-free full round compacts to
+  // the identity, so the legacy path is bit-for-bit unchanged.
+  const std::size_t m = participants_.size();
+  compact_index_.assign(num_users_, kNoSlot);
   std::vector<core::LocationSubmission> locations;
-  locations.reserve(num_users_);
-  for (const auto& loc : locations_) locations.push_back(*loc);
-  conflicts_ = core::PpbsLocation::build_conflict_graph(locations);
-
+  locations.reserve(m);
   bid_store_.clear();
-  bid_store_.reserve(num_users_);
-  for (const auto& bid : bids_) bid_store_.push_back(*bid);
+  bid_store_.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t u = participants_[k];
+    compact_index_[u] = k;
+    locations.push_back(*locations_[u]);
+    bid_store_.push_back(*bids_[u]);
+  }
+  conflicts_ =
+      core::PpbsLocation::build_conflict_graph(locations, config_.num_threads);
   core::EncryptedBidTable table(bid_store_, config_.num_channels);
   awards_ = auction::greedy_allocate(table, *conflicts_, rng);
+  for (auto& award : awards_) {
+    award.user = participants_[award.user];
+  }
+  charge_done_.assign(awards_.size(), false);
   allocated_ = true;
+}
+
+const core::BidSubmission& AuctioneerSession::bid_of(
+    auction::UserId user) const {
+  const std::size_t slot = compact_index_[user];
+  LPPA_REQUIRE(slot != kNoSlot, "user is not a participant");
+  return bid_store_[slot];
 }
 
 std::vector<Bytes> AuctioneerSession::charge_query_envelopes() const {
@@ -103,21 +265,21 @@ std::vector<Bytes> AuctioneerSession::charge_query_envelopes() const {
     pending.clear();
   };
   for (const auto& award : awards_) {
-    const auto& entry = bid_store_[award.user].channels[award.channel];
+    const auto& entry = bid_of(award.user).channels[award.channel];
     core::ChargeQuery query{award.user, award.channel, entry.sealed,
                             entry.value_family, std::nullopt, std::nullopt};
     if (config_.charging_rule == core::ChargingRule::kSecondPrice) {
       std::optional<auction::UserId> second;
-      for (auction::UserId u = 0; u < bid_store_.size(); ++u) {
+      for (const std::size_t u : participants_) {
         if (u == award.user) continue;
         if (!second ||
-            !core::encrypted_ge(bid_store_[*second].channels[award.channel],
-                                bid_store_[u].channels[award.channel])) {
+            !core::encrypted_ge(bid_of(*second).channels[award.channel],
+                                bid_of(u).channels[award.channel])) {
           second = u;
         }
       }
       if (second) {
-        const auto& runner_up = bid_store_[*second].channels[award.channel];
+        const auto& runner_up = bid_of(*second).channels[award.channel];
         query.runner_up_sealed = runner_up.sealed;
         query.runner_up_family = runner_up.value_family;
       }
@@ -135,21 +297,27 @@ void AuctioneerSession::ingest_charge_results(const Bytes& envelope_bytes) {
                       "expected a charge-result batch");
   for (const auto& res : deserialize_charge_results(e.payload)) {
     bool matched = false;
-    for (auto& award : awards_) {
+    for (std::size_t i = 0; i < awards_.size(); ++i) {
+      auto& award = awards_[i];
       if (award.user == res.user && award.channel == res.channel) {
         award.valid = res.valid && !res.manipulated;
         award.charge = res.manipulated ? 0 : res.charge;
+        charge_done_[i] = true;
         matched = true;
       }
     }
     LPPA_PROTOCOL_CHECK(matched, "charge result for an unknown award");
-    ++results_ingested_;
   }
 }
 
+bool AuctioneerSession::charging_complete() const noexcept {
+  if (!allocated_) return false;
+  return std::all_of(charge_done_.begin(), charge_done_.end(),
+                     [](bool done) { return done; });
+}
+
 Bytes AuctioneerSession::winner_announcement() const {
-  LPPA_REQUIRE(results_ingested_ >= awards_.size(),
-               "charge results still outstanding");
+  LPPA_REQUIRE(charging_complete(), "charge results still outstanding");
   Envelope e;
   e.type = MessageType::kWinnerAnnouncement;
   WinnerAnnouncement wa;

@@ -13,7 +13,9 @@
 #include "auction/allocate.h"
 #include "core/encrypted_bid_table.h"
 #include "core/lppa_auction.h"
+#include "core/submission_validator.h"
 #include "proto/messages.h"
+#include "proto/round_report.h"
 
 namespace lppa::proto {
 
@@ -42,6 +44,15 @@ class SuClient {
 /// The auctioneer: ingests submissions, reconstructs the conflict graph,
 /// allocates in the masked domain, emits charge-query batches, ingests
 /// the TTP's results and publishes the winner announcement.
+///
+/// Every submission passes core::SubmissionValidator before it is
+/// stored, so nothing malformed ever reaches the conflict-graph build or
+/// the EncryptedBidTable.  Two ingestion modes share that validation:
+/// the strict ingest() throws on any problem (the classic lock-step
+/// session), while try_ingest() classifies the problem and keeps the
+/// session usable — the hardened session uses it to survive Byzantine
+/// senders, corrupted links, and benign redeliveries, then finalizes the
+/// round over whichever users delivered valid submissions.
 class AuctioneerSession {
  public:
   AuctioneerSession(const core::LppaConfig& config, std::size_t num_users);
@@ -50,37 +61,94 @@ class AuctioneerSession {
   /// malformed, duplicate, mistyped or out-of-range submissions.
   void ingest(const Bytes& envelope_bytes);
 
+  /// How try_ingest classified one envelope.
+  enum class IngestResult : std::uint8_t {
+    kAccepted,              ///< stored; counts towards readiness
+    kDuplicateRedelivery,   ///< byte-identical re-arrival; harmless
+    kRejected,              ///< unparseable / invalid / unattributable
+    kEquivocation,          ///< second, different valid submission: the
+                            ///< sender is excluded from the round
+  };
+
+  /// Fault-tolerant ingest: never throws on peer-supplied garbage.
+  /// Rejections with an attributable sender count as strikes against it;
+  /// equivocation marks the sender excluded.  `error`, when non-null,
+  /// receives the reason for any non-accepted outcome.
+  IngestResult try_ingest(const Bytes& envelope_bytes,
+                          std::string* error = nullptr);
+
   /// True once every user's location and bid submission has arrived.
   bool ready() const noexcept;
 
-  /// Runs conflict-graph construction + greedy allocation (Algorithm 3).
-  /// Requires ready().
+  bool has_location(std::size_t user) const;
+  bool has_bid(std::size_t user) const;
+  /// True when `user` equivocated and is out of the round.
+  bool is_excluded(std::size_t user) const;
+
+  /// Users still missing a valid location or bid (equivocators are not
+  /// listed — retransmission cannot repair a forked identity).
+  std::vector<std::size_t> missing_users() const;
+
+  /// Closes admission: users missing a valid submission (or excluded for
+  /// equivocation) are written into `report.excluded` with a reason, the
+  /// rest become the round's participants.  Throws LppaError(kProtocol)
+  /// when nobody survives.  Idempotent once called.
+  void finalize_participants(RoundReport& report);
+
+  /// Participants of the finalized round (original SU ids, ascending).
+  const std::vector<std::size_t>& participants() const noexcept {
+    return participants_;
+  }
+
+  /// Runs conflict-graph construction + greedy allocation (Algorithm 3)
+  /// over the participants.  Without a prior finalize_participants()
+  /// call it requires ready() and runs over everyone (legacy mode).
+  /// Award::user carries original SU ids either way.
   void run_allocation(Rng& rng);
 
   /// Charge-query batches for the TTP (respects ttp_batch_size).
   /// Requires run_allocation() to have happened.
   std::vector<Bytes> charge_query_envelopes() const;
 
-  /// Feeds one charge-result envelope back from the TTP.
+  /// Feeds one charge-result envelope back from the TTP.  Duplicate
+  /// results for an award are idempotent.
   void ingest_charge_results(const Bytes& envelope_bytes);
 
-  /// The published outcome; requires all charge results ingested.
+  /// True once every award has a TTP charge result.
+  bool charging_complete() const noexcept;
+
+  /// The published outcome; requires charging_complete().
   Bytes winner_announcement() const;
   const std::vector<auction::Award>& awards() const noexcept {
     return awards_;
   }
 
+  /// The conflict graph over participants (compacted indices when the
+  /// round was finalized with exclusions).
   const auction::ConflictGraph& conflicts() const;
 
  private:
+  IngestResult classify_and_store(const Bytes& envelope_bytes,
+                                  std::string* error);
+  const core::BidSubmission& bid_of(auction::UserId user) const;
+
   core::LppaConfig config_;
   std::size_t num_users_;
+  core::SubmissionValidator validator_;
   std::vector<std::optional<core::LocationSubmission>> locations_;
   std::vector<std::optional<core::BidSubmission>> bids_;
-  std::vector<core::BidSubmission> bid_store_;  ///< materialised at allocation
+  std::vector<Bytes> location_wire_;  ///< accepted bytes, for dedupe
+  std::vector<Bytes> bid_wire_;
+  std::vector<bool> equivocated_;
+  std::vector<std::size_t> strikes_;       ///< attributable invalid messages
+  std::vector<std::string> last_error_;    ///< last rejection reason per user
+  std::vector<std::size_t> participants_;  ///< original ids, ascending
+  std::vector<std::size_t> compact_index_;  ///< original id -> bid_store_ slot
+  bool finalized_ = false;
+  std::vector<core::BidSubmission> bid_store_;  ///< participants, compacted
   std::optional<auction::ConflictGraph> conflicts_;
   std::vector<auction::Award> awards_;
-  std::size_t results_ingested_ = 0;
+  std::vector<bool> charge_done_;  ///< per-award TTP result received
   bool allocated_ = false;
 };
 

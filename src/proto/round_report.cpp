@@ -1,0 +1,38 @@
+#include "proto/round_report.h"
+
+#include <sstream>
+
+namespace lppa::proto {
+
+const char* to_string(RoundReport::ExclusionReason reason) noexcept {
+  switch (reason) {
+    case RoundReport::ExclusionReason::kTimeout:
+      return "timeout";
+    case RoundReport::ExclusionReason::kInvalid:
+      return "invalid";
+    case RoundReport::ExclusionReason::kEquivocation:
+      return "equivocation";
+  }
+  return "?";
+}
+
+std::string RoundReport::summary() const {
+  std::ostringstream out;
+  out << "round " << round << ": " << survivors.size() << "/" << num_users
+      << " survived";
+  if (!excluded.empty()) {
+    out << ", excluded";
+    for (const auto& e : excluded) {
+      out << " su" << e.user << "(" << to_string(e.reason) << ")";
+    }
+  }
+  out << ", retry_waves=" << retry_waves
+      << ", rejected=" << rejected_messages
+      << ", faults[drop=" << faults.drops << " dup=" << faults.duplicates
+      << " reorder=" << faults.reorders << " corrupt=" << faults.corruptions
+      << " delay=" << faults.delays << "]"
+      << (completed ? ", completed" : ", INCOMPLETE");
+  return out.str();
+}
+
+}  // namespace lppa::proto

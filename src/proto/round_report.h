@@ -1,0 +1,55 @@
+// RoundReport: the per-round log of a hardened auction round.
+//
+// Graceful degradation is only useful if it is observable: when the
+// auctioneer completes a round without some parties, operators (and the
+// fault-injection tests) need to see exactly who was excluded, why, how
+// many retry waves it took, and what the network did.  One RoundReport
+// is produced per hardened round (proto/session.h) and accumulated per
+// experiment (sim/multi_round.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "proto/fault.h"
+
+namespace lppa::proto {
+
+struct RoundReport {
+  /// Why an SU was excluded from the round.
+  enum class ExclusionReason : std::uint8_t {
+    kTimeout,       ///< no (valid) submission arrived within the retry budget
+    kInvalid,       ///< submissions arrived but every one failed validation
+    kEquivocation,  ///< two different valid submissions under one identity
+  };
+  struct Exclusion {
+    std::size_t user = 0;
+    ExclusionReason reason = ExclusionReason::kTimeout;
+    std::string detail;  ///< last validator / protocol error, if any
+  };
+
+  std::size_t round = 0;      ///< round index within a multi-round run
+  std::size_t num_users = 0;  ///< configured population size
+  bool completed = false;     ///< allocation + charging finished
+
+  std::vector<std::size_t> survivors;  ///< SU ids that made it to allocation
+  std::vector<Exclusion> excluded;
+
+  std::size_t retry_waves = 0;      ///< retransmission waves issued
+  std::size_t charge_attempts = 0;  ///< send attempts of the charging phase
+  std::size_t rejected_messages = 0;  ///< unparseable or invalid messages seen
+  std::size_t duplicate_redeliveries = 0;  ///< benign identical re-arrivals
+
+  /// Injected-fault totals for the round (zero when no injector attached).
+  FaultCounters faults;
+
+  /// One-line human-readable summary for logs.
+  std::string summary() const;
+};
+
+/// Log label of an exclusion reason ("timeout" / "invalid" /
+/// "equivocation").
+const char* to_string(RoundReport::ExclusionReason reason) noexcept;
+
+}  // namespace lppa::proto

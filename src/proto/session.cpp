@@ -1,5 +1,7 @@
 #include "proto/session.h"
 
+#include "proto/fault.h"
+
 namespace lppa::proto {
 
 WireAuctionResult run_wire_auction(
@@ -62,6 +64,164 @@ WireAuctionResult run_wire_auction(
   result.charging_traffic.messages =
       to_ttp.messages + ttp_to_auctioneer.messages;
   result.charging_traffic.bytes = to_ttp.bytes + ttp_to_auctioneer.bytes;
+  return result;
+}
+
+HardenedWireResult run_hardened_wire_auction(
+    const core::LppaConfig& config, core::TrustedThirdParty& ttp,
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<auction::BidVector>& bids, MessageBus& bus, Rng& rng,
+    const HardenedSessionConfig& hardened,
+    const std::vector<std::size_t>& exclude) {
+  LPPA_REQUIRE(locations.size() == bids.size(),
+               "one location per bid vector required");
+  LPPA_REQUIRE(!bids.empty(), "auction requires at least one bidder");
+
+  const std::size_t n = bids.size();
+  const Address auctioneer = Address::auctioneer();
+  const Address ttp_addr = Address::ttp();
+
+  std::vector<bool> participating(n, true);
+  for (const std::size_t u : exclude) {
+    LPPA_REQUIRE(u < n, "excluded SU index out of range");
+    participating[u] = false;
+  }
+
+  HardenedWireResult result;
+  RoundReport& report = result.report;
+  report.num_users = n;
+
+  // --- SU side: mask once, cache the envelopes for retransmission --------
+  // Every SU's stream is forked in index order whether or not it
+  // participates, so a run restricted to the survivors of a faulty run
+  // regenerates byte-identical submissions for them.
+  const core::SuKeyBundle keys = ttp.su_keys();
+  Rng su_master = rng.fork();
+  struct SuEndpoint {
+    Bytes location;
+    Bytes bid;
+  };
+  std::vector<SuEndpoint> endpoints(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    Rng su_rng = su_master.fork();
+    if (!participating[u]) continue;
+    const SuClient client(u, config, keys);
+    endpoints[u].location = client.location_envelope(locations[u], su_rng);
+    endpoints[u].bid = client.bid_envelope(bids[u], su_rng);
+    bus.send(Address::su(u), auctioneer, endpoints[u].location);
+    bus.send(Address::su(u), auctioneer, endpoints[u].bid);
+  }
+
+  // --- Auctioneer: drain / nack / backoff until complete or give up ------
+  AuctioneerSession session(config, n);
+  const auto drain_auctioneer = [&] {
+    while (auto message = bus.receive(auctioneer)) {
+      switch (session.try_ingest(*message)) {
+        case AuctioneerSession::IngestResult::kAccepted:
+          break;
+        case AuctioneerSession::IngestResult::kDuplicateRedelivery:
+          ++report.duplicate_redeliveries;
+          break;
+        case AuctioneerSession::IngestResult::kRejected:
+        case AuctioneerSession::IngestResult::kEquivocation:
+          ++report.rejected_messages;
+          break;
+      }
+    }
+  };
+
+  for (std::size_t wave = 0;; ++wave) {
+    drain_auctioneer();
+    std::vector<std::size_t> missing;
+    for (const std::size_t u : session.missing_users()) {
+      if (participating[u]) missing.push_back(u);
+    }
+    if (missing.empty() || wave >= hardened.max_retries) break;
+    report.retry_waves = wave + 1;
+
+    // Nack exactly what is missing; resends of already-accepted halves
+    // dedupe harmlessly at the auctioneer.
+    for (const std::size_t u : missing) {
+      Envelope nack;
+      nack.type = MessageType::kRetransmitRequest;
+      RetransmitRequest request;
+      request.mask = static_cast<std::uint8_t>(
+          (session.has_location(u) ? 0 : RetransmitRequest::kLocation) |
+          (session.has_bid(u) ? 0 : RetransmitRequest::kBid));
+      nack.payload = request.serialize();
+      bus.send(auctioneer, Address::su(u), nack.serialize());
+    }
+    // Exponential backoff: waiting also flushes delay-faulted messages.
+    bus.advance(hardened.backoff_base_ticks << wave);
+
+    // SU endpoints answer nacks with their cached envelope bytes.  A
+    // damaged nack still triggers a full resend — over-answering is safe,
+    // under-answering would stall the round.
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!participating[u]) continue;
+      while (auto message = bus.receive(Address::su(u))) {
+        std::uint8_t mask = RetransmitRequest::kLocation | RetransmitRequest::kBid;
+        try {
+          const Envelope e = Envelope::deserialize(*message);
+          if (e.type != MessageType::kRetransmitRequest) continue;
+          mask = RetransmitRequest::deserialize(e.payload).mask;
+        } catch (const LppaError&) {
+        }
+        if (mask & RetransmitRequest::kLocation) {
+          bus.send(Address::su(u), auctioneer, endpoints[u].location);
+        }
+        if (mask & RetransmitRequest::kBid) {
+          bus.send(Address::su(u), auctioneer, endpoints[u].bid);
+        }
+      }
+    }
+    bus.advance(hardened.backoff_base_ticks << wave);
+  }
+
+  session.finalize_participants(report);
+  session.run_allocation(rng);
+
+  // --- Charging: resend the full query set until every award is priced ---
+  // The TTP itself is trusted but the link to it is not: queries and
+  // results can be dropped or corrupted, so the batches are re-sent
+  // wholesale (the TTP is stateless per batch and results are idempotent)
+  // until charging_complete() or the attempt budget runs out.
+  TtpService service(ttp);
+  const std::vector<Bytes> query_envelopes = session.charge_query_envelopes();
+  while (!session.charging_complete()) {
+    LPPA_PROTOCOL_CHECK(
+        report.charge_attempts < hardened.max_charge_attempts,
+        "TTP unreachable: charging incomplete after retry budget");
+    ++report.charge_attempts;
+    for (const auto& query_envelope : query_envelopes) {
+      bus.send(auctioneer, ttp_addr, query_envelope);
+    }
+    bus.advance(hardened.backoff_base_ticks);
+    while (auto message = bus.receive(ttp_addr)) {
+      try {
+        bus.send(ttp_addr, auctioneer, service.handle(*message));
+      } catch (const LppaError&) {
+        ++report.rejected_messages;  // damaged query; the resend covers it
+      }
+    }
+    bus.advance(hardened.backoff_base_ticks);
+    while (auto message = bus.receive(auctioneer)) {
+      try {
+        session.ingest_charge_results(*message);
+      } catch (const LppaError&) {
+        ++report.rejected_messages;  // damaged result batch
+      }
+    }
+  }
+
+  // --- Publication --------------------------------------------------------
+  const Bytes announcement = session.winner_announcement();
+  const Envelope e = Envelope::deserialize(announcement);
+  result.awards = WinnerAnnouncement::deserialize(e.payload).awards;
+  report.completed = true;
+  if (const FaultInjector* injector = bus.fault_injector()) {
+    report.faults = injector->counters();
+  }
   return result;
 }
 

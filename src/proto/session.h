@@ -10,6 +10,7 @@
 #include "core/lppa_auction.h"
 #include "proto/bus.h"
 #include "proto/parties.h"
+#include "proto/round_report.h"
 
 namespace lppa::proto {
 
@@ -30,5 +31,45 @@ WireAuctionResult run_wire_auction(
     const core::LppaConfig& config, core::TrustedThirdParty& ttp,
     const std::vector<auction::SuLocation>& locations,
     const std::vector<auction::BidVector>& bids, MessageBus& bus, Rng& rng);
+
+/// Retry / timeout policy of the hardened session.  "Time" is bus ticks
+/// (MessageBus::advance), so the whole schedule is deterministic.
+struct HardenedSessionConfig {
+  /// Retransmission waves before a silent SU is declared unresponsive.
+  std::size_t max_retries = 6;
+  /// Ticks waited before the first retry wave; doubles every wave
+  /// (exponential backoff), which gives delayed messages time to land.
+  std::size_t backoff_base_ticks = 1;
+  /// Send attempts per charge-query batch before the TTP is declared
+  /// unreachable (which aborts the round — charging has no graceful
+  /// fallback, the TTP is the round's root of trust).
+  std::size_t max_charge_attempts = 8;
+};
+
+struct HardenedWireResult {
+  /// TTP-validated awards over the surviving SUs; Award::user carries
+  /// original SU ids.
+  std::vector<auction::Award> awards;
+  RoundReport report;
+};
+
+/// Runs one auction round that tolerates faults: every submission is
+/// validated (core::SubmissionValidator), missing or damaged submissions
+/// are nacked with kRetransmitRequest under exponential backoff, and SUs
+/// that never deliver a valid pair are excluded so the round completes
+/// with the survivors.  With a fault-free bus and an empty `exclude` the
+/// awards match run_wire_auction exactly.
+///
+/// `exclude` lists SUs that do not participate at all (their RNG streams
+/// are still consumed, so a run excluding exactly the parties a faulty
+/// run lost produces byte-identical submissions for the survivors — the
+/// equivalence the fault tests assert).  Attach a FaultInjector to `bus`
+/// before calling to inject faults.
+HardenedWireResult run_hardened_wire_auction(
+    const core::LppaConfig& config, core::TrustedThirdParty& ttp,
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<auction::BidVector>& bids, MessageBus& bus, Rng& rng,
+    const HardenedSessionConfig& hardened = {},
+    const std::vector<std::size_t>& exclude = {});
 
 }  // namespace lppa::proto

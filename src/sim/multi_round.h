@@ -14,9 +14,26 @@
 #pragma once
 
 #include "core/adversary.h"
+#include "proto/fault.h"
+#include "proto/round_report.h"
+#include "proto/session.h"
 #include "sim/scenario.h"
 
 namespace lppa::sim {
+
+/// Optional fault layer: when enabled, every round additionally runs as
+/// a hardened wire auction (proto::run_hardened_wire_auction) over a
+/// per-round MessageBus with a seeded FaultInjector attached, and the
+/// resulting RoundReports land in MultiRoundResult::reports.  A fresh
+/// bus per round models session-scoped channels — stale delayed traffic
+/// from round k cannot masquerade as a round-k+1 submission.
+struct MultiRoundFaults {
+  bool enabled = false;
+  std::uint64_t seed = 99;               ///< injector Rng seed base
+  proto::FaultSpec link;                 ///< default per-sender fault rates
+  std::vector<std::size_t> byzantine;    ///< SU indices that always corrupt
+  proto::HardenedSessionConfig session;  ///< retry / backoff policy
+};
 
 struct MultiRoundConfig {
   std::size_t rounds = 5;
@@ -25,6 +42,7 @@ struct MultiRoundConfig {
   auction::Money rd = 3;
   std::uint64_t cr = 4;
   double top_fraction = 0.5;  ///< attacker's per-column selection
+  MultiRoundFaults faults;    ///< wire-round fault injection (off by default)
 };
 
 struct MultiRoundResult {
@@ -32,6 +50,8 @@ struct MultiRoundResult {
   /// Mean number of channels the attacker ended up intersecting per
   /// victim (accumulated evidence without mixing; last round with).
   double mean_channels_used = 0.0;
+  /// One report per round when faults are enabled (empty otherwise).
+  std::vector<proto::RoundReport> reports;
 };
 
 /// Runs R auction rounds over a fixed user population (positions pinned,

@@ -109,5 +109,35 @@ TEST(Hex, EmptyStringYieldsEmptyBytes) {
   EXPECT_EQ(to_hex(Bytes{}), "");
 }
 
+TEST(CtEqual, MatchesOperatorEqualOnAllInputs) {
+  const Bytes a = {1, 2, 3, 4};
+  const Bytes b = {1, 2, 3, 4};
+  const Bytes first_differs = {9, 2, 3, 4};
+  const Bytes last_differs = {1, 2, 3, 9};
+  const Bytes shorter = {1, 2, 3};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_TRUE(ct_equal(a, a));
+  EXPECT_FALSE(ct_equal(a, first_differs));
+  EXPECT_FALSE(ct_equal(a, last_differs));
+  EXPECT_FALSE(ct_equal(a, shorter));
+  EXPECT_FALSE(ct_equal(shorter, a));
+}
+
+TEST(CtEqual, EmptySpansAreEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+  EXPECT_FALSE(ct_equal(Bytes{}, Bytes{0}));
+}
+
+TEST(CtEqual, SingleBitDifferencesAreDetectedEverywhere) {
+  Bytes base(32, 0x5a);
+  for (std::size_t byte = 0; byte < base.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = base;
+      flipped[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_FALSE(ct_equal(base, flipped)) << byte << ":" << bit;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lppa

@@ -102,6 +102,54 @@ TEST(ConflictIndexTest, IndexedMatchesPairwiseOver200RandomScenarios) {
   }
 }
 
+TEST(ConflictIndexTest, DegenerateInputsMatchPairwise) {
+  Rng rng(99);
+  const auto g0 = crypto::SecretKey::generate(rng);
+  const int width = 10;
+  const std::uint64_t lambda = 16;
+  const PpbsLocation protocol(g0, width, lambda, /*pad_ranges=*/true);
+
+  // Zero SUs: both builds reject identically (a conflict graph over an
+  // empty population is a caller error, not an empty graph).
+  const std::vector<LocationSubmission> none;
+  EXPECT_THROW(PpbsLocation::build_conflict_graph_pairwise(none), LppaError);
+  EXPECT_THROW(PpbsLocation::build_conflict_graph(none, 1), LppaError);
+  EXPECT_THROW(PpbsLocation::build_conflict_graph(none, 4), LppaError);
+
+  // One SU: a single node, no self-edge.
+  const std::vector<LocationSubmission> one{protocol.submit({100, 100}, rng)};
+  const auto one_pairwise = PpbsLocation::build_conflict_graph_pairwise(one);
+  EXPECT_EQ(PpbsLocation::build_conflict_graph(one, 1), one_pairwise);
+  EXPECT_EQ(one_pairwise.num_users(), 1u);
+  EXPECT_FALSE(one_pairwise.conflicts(0, 0));
+
+  // All-identical locations: every pair conflicts, and (crucially for
+  // the hash-join) every digest bucket holds every SU.
+  std::vector<LocationSubmission> same;
+  for (int i = 0; i < 6; ++i) same.push_back(protocol.submit({64, 64}, rng));
+  const auto same_pairwise = PpbsLocation::build_conflict_graph_pairwise(same);
+  EXPECT_EQ(PpbsLocation::build_conflict_graph(same, 1), same_pairwise);
+  EXPECT_EQ(PpbsLocation::build_conflict_graph(same, 3), same_pairwise);
+  for (std::size_t i = 0; i < same.size(); ++i) {
+    for (std::size_t j = i + 1; j < same.size(); ++j) {
+      EXPECT_TRUE(same_pairwise.conflicts(i, j));
+    }
+  }
+
+  // Grid boundary: corners of the coordinate space, where loc±2λ clamps
+  // against 0 and the width limit.
+  const std::uint64_t hi = ((std::uint64_t{1} << width) - 1) - 2 * lambda;
+  std::vector<LocationSubmission> corners;
+  for (const auto& loc : std::vector<auction::SuLocation>{
+           {0, 0}, {0, hi}, {hi, 0}, {hi, hi}, {hi / 2, hi / 2}}) {
+    corners.push_back(protocol.submit(loc, rng));
+  }
+  const auto corner_pairwise =
+      PpbsLocation::build_conflict_graph_pairwise(corners);
+  EXPECT_EQ(PpbsLocation::build_conflict_graph(corners, 1), corner_pairwise);
+  EXPECT_EQ(PpbsLocation::build_conflict_graph(corners, 4), corner_pairwise);
+}
+
 LppaOutcome run_with_threads(std::size_t num_threads) {
   LppaConfig cfg;
   cfg.num_channels = 6;

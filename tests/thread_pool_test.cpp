@@ -85,6 +85,46 @@ TEST(ParallelForTest, PropagatesBodyException) {
                std::runtime_error);
 }
 
+TEST(ParallelForTest, LowestErroringIndexWinsDeterministically) {
+  // Several indices throw; the exception that reaches the caller must be
+  // the one from the LOWEST index, for every thread count — otherwise a
+  // fault in a parallel submission loop would be attributed to a
+  // different SU from run to run.
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{5}, std::size_t{16}}) {
+    try {
+      parallel_for(10'000, threads, [](std::size_t i) {
+        if (i % 1000 == 7) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected an exception with " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "7") << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, IndicesBelowTheErrorAlwaysRun) {
+  // The deterministic-capture contract: indices below the winning error
+  // are always executed; indices above it may be skipped.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::size_t n = 5'000;
+    const std::size_t bad = 2'500;
+    std::vector<std::atomic<int>> hits(n);
+    try {
+      parallel_for(n, threads, [&](std::size_t i) {
+        if (i == bad) throw std::runtime_error("bad");
+        hits[i].fetch_add(1);
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error&) {
+    }
+    for (std::size_t i = 0; i < bad; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " skipped with "
+                                   << threads << " threads";
+    }
+  }
+}
+
 TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1u);
   EXPECT_GE(ThreadPool::shared().worker_count(), 1u);
