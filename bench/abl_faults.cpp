@@ -9,6 +9,7 @@
 // layer: graceful degradation keeps every cell "yes" until the retry
 // budget itself is exhausted.
 #include <algorithm>
+#include <fstream>
 
 #include "bench_util.h"
 #include "proto/fault.h"
@@ -19,9 +20,27 @@ using namespace lppa;
 namespace {
 
 struct FaultCell {
+  double drop = 0.0;
+  std::size_t byzantine = 0;
   proto::RoundReport report;
   bool awards_match_restricted = false;
 };
+
+// Machine-readable dump: one object per sweep cell, the full RoundReport
+// via its stable to_json() schema.  Default path BENCH_abl_faults.json.
+void write_json(const std::string& path, const std::vector<FaultCell>& cells) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const FaultCell& c = cells[i];
+    out << "  {\"drop\": " << c.drop << ", \"byzantine\": " << c.byzantine
+        << ", \"awards_match_restricted\": "
+        << (c.awards_match_restricted ? "true" : "false")
+        << ", \"report\": " << c.report.to_json() << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
 
 // One hardened round under `spec` with `byzantine` marked, compared
 // against the fault-free round that excludes exactly the parties lost.
@@ -32,6 +51,8 @@ FaultCell run_cell(const core::LppaConfig& config,
                    const std::vector<std::size_t>& byzantine,
                    std::uint64_t seed) {
   FaultCell cell;
+  cell.drop = spec.drop;
+  cell.byzantine = byzantine.size();
 
   core::TrustedThirdParty ttp(config.bid, 77 + seed);
   proto::MessageBus bus;
@@ -77,6 +98,7 @@ int main(int argc, char** argv) {
 
   Table table({"drop", "byzantine", "survivors", "retry_waves", "rejected",
                "faults_injected", "completed", "awards_match_restricted"});
+  std::vector<FaultCell> cells;
   const std::vector<double> drop_rates{0.0, 0.05, 0.10, 0.20, 0.30};
   const std::vector<std::size_t> byzantine_counts{0, 2};
   for (std::size_t nb : byzantine_counts) {
@@ -99,8 +121,11 @@ int main(int argc, char** argv) {
                        f.delays),
            cell.report.completed ? "yes" : "NO",
            cell.awards_match_restricted ? "yes" : "NO"});
+      cells.push_back(cell);
     }
   }
+  write_json(args.json_path.empty() ? "BENCH_abl_faults.json" : args.json_path,
+             cells);
   bench::emit(table, args,
               "Hardened round under drop + Byzantine faults "
               "(awards vs fault-free run restricted to survivors)");

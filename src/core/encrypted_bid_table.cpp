@@ -64,6 +64,68 @@ std::optional<auction::UserId> EncryptedBidTable::argmax_in_column(
 
 bool EncryptedBidTable::empty() const noexcept { return live_ == 0; }
 
+Bytes EncryptedBidTable::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(users_));
+  w.u32(static_cast<std::uint32_t>(channels_));
+  for (const auto& s : *submissions_) {
+    w.bytes(s.serialize());
+  }
+  w.u64(live_);
+  // Presence bitmap packed 8 cells per byte, row-major like idx().
+  Bytes packed((present_.size() + 7) / 8, 0);
+  for (std::size_t k = 0; k < present_.size(); ++k) {
+    if (present_[k]) packed[k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
+  }
+  w.raw(packed);
+  return w.take();
+}
+
+EncryptedBidTable EncryptedBidTable::deserialize(
+    std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  EncryptedBidTable table;
+  table.users_ = r.u32();
+  table.channels_ = r.u32();
+  LPPA_PROTOCOL_CHECK(table.users_ > 0 && table.channels_ > 0,
+                      "bid table image has no users or channels");
+  auto submissions = std::make_shared<std::vector<BidSubmission>>();
+  submissions->reserve(table.users_);
+  for (std::size_t u = 0; u < table.users_; ++u) {
+    BidSubmission s = BidSubmission::deserialize(r.bytes());
+    LPPA_PROTOCOL_CHECK(s.channels.size() == table.channels_,
+                        "bid table image channel count mismatch");
+    submissions->push_back(std::move(s));
+  }
+  const std::uint64_t stored_live = r.u64();
+  const std::size_t cells = table.users_ * table.channels_;
+  const Bytes packed = r.raw((cells + 7) / 8);
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after bid table image");
+  table.present_.assign(cells, false);
+  std::size_t live = 0;
+  for (std::size_t k = 0; k < cells; ++k) {
+    if ((packed[k / 8] >> (k % 8)) & 1u) {
+      table.present_[k] = true;
+      ++live;
+    }
+  }
+  // Unused trailing bits of the last byte must be zero — a flip there
+  // would otherwise be silently accepted.
+  for (std::size_t b = cells; b < packed.size() * 8; ++b) {
+    LPPA_PROTOCOL_CHECK(((packed[b / 8] >> (b % 8)) & 1u) == 0,
+                        "bid table image has garbage padding bits");
+  }
+  // The live counter is what keeps empty() O(1); restoring it wrong
+  // would stall or truncate the allocation loop, so cross-check it
+  // against the bitmap instead of trusting either side alone.
+  LPPA_PROTOCOL_CHECK(stored_live == live,
+                      "bid table image live-cell count mismatch");
+  table.live_ = live;
+  table.owned_ = std::move(submissions);
+  table.submissions_ = table.owned_.get();
+  return table;
+}
+
 const ChannelBidSubmission& EncryptedBidTable::entry(UserId u,
                                                      ChannelId r) const {
   LPPA_REQUIRE(u < users_ && r < channels_, "bid table index out of range");

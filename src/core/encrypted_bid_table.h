@@ -6,6 +6,7 @@
 // intersections instead of integer comparison.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "auction/allocate.h"
@@ -37,12 +38,30 @@ class EncryptedBidTable final : public auction::BidTableView {
   /// queries for the TTP.
   const ChannelBidSubmission& entry(UserId u, ChannelId r) const;
 
+  /// Serializes the full table state — the masked submissions plus the
+  /// presence bitmap (packed, with the live-cell count cross-checked at
+  /// restore time) — so a recovering auctioneer can rebuild the table
+  /// exactly as the allocator left it.  serialize→deserialize→serialize
+  /// is byte-identical, which the round-trip property test pins.
+  Bytes serialize() const;
+
+  /// Inverse of serialize().  The restored table OWNS its submissions
+  /// (the wire image is self-contained), unlike the referencing
+  /// constructor.  Throws LppaError(kProtocol) on truncation, corruption,
+  /// or a live-cell count that disagrees with the bitmap.
+  static EncryptedBidTable deserialize(std::span<const std::uint8_t> wire);
+
  private:
+  EncryptedBidTable() = default;  ///< used by deserialize only
+
   std::size_t idx(UserId u, ChannelId r) const;
 
-  const std::vector<BidSubmission>* submissions_;
-  std::size_t users_;
-  std::size_t channels_;
+  const std::vector<BidSubmission>* submissions_ = nullptr;
+  /// Engaged when the table owns its submissions (deserialize path); the
+  /// shared_ptr keeps submissions_ stable across copies and moves.
+  std::shared_ptr<const std::vector<BidSubmission>> owned_;
+  std::size_t users_ = 0;
+  std::size_t channels_ = 0;
   std::vector<bool> present_;
   std::size_t live_ = 0;  ///< count of set bits in present_, so empty()
                           ///< is O(1) instead of an O(n·m) bitmap scan

@@ -67,6 +67,44 @@ FaultDecision FaultInjector::decide(const Address& from, const Address&) {
   return d;
 }
 
+CrashInjector CrashInjector::seeded(std::uint64_t seed, double crash_prob,
+                                    std::size_t max_crashes) {
+  LPPA_REQUIRE(crash_prob >= 0.0 && crash_prob <= 1.0,
+               "crash probability must be in [0, 1]");
+  CrashInjector injector;
+  injector.rng_.emplace(seed);
+  injector.crash_prob_ = crash_prob;
+  injector.max_crashes_ = max_crashes;
+  return injector;
+}
+
+void CrashInjector::arm(CrashPoint point, std::size_t nth) {
+  armed_.push_back({point, nth, false});
+}
+
+void CrashInjector::checkpoint(CrashPoint point) {
+  const std::size_t hit = hits_[static_cast<std::size_t>(point)]++;
+  for (Armed& a : armed_) {
+    if (!a.fired && a.point == point && a.nth == hit) {
+      a.fired = true;
+      ++crashes_;
+      throw CrashSignal{point, hit};
+    }
+  }
+  // Seeded mode consumes one draw per checkpoint whether or not it
+  // fires, so the schedule is a pure function of the checkpoint sequence.
+  if (rng_ && crashes_ < max_crashes_ && rng_->bernoulli(crash_prob_)) {
+    ++crashes_;
+    throw CrashSignal{point, hit};
+  }
+}
+
+std::size_t CrashInjector::total_hits() const noexcept {
+  std::size_t total = 0;
+  for (const std::size_t h : hits_) total += h;
+  return total;
+}
+
 void FaultInjector::corrupt_in_place(Bytes& message) {
   if (message.empty()) {
     message.push_back(static_cast<std::uint8_t>(rng_.below(256)));

@@ -14,9 +14,12 @@
 // decide() per send and applies the verdict (see proto/bus.h).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -93,6 +96,74 @@ class FaultInjector {
   std::map<std::pair<std::uint8_t, std::size_t>, FaultSpec> overrides_;
   std::set<std::pair<std::uint8_t, std::size_t>> byzantine_;
   FaultCounters counters_;
+};
+
+/// Where the recoverable session (proto/session.h) may lose the
+/// auctioneer process.  Each point sits just after the matching journal
+/// record is durable, so a crash there loses all in-memory state but
+/// never the log — the atomicity contract of a write-ahead design.
+enum class CrashPoint : std::uint8_t {
+  kAfterIngest = 0,       ///< after an accepted submission was journaled
+  kAfterFinalize = 1,     ///< after the admission phase commit
+  kAfterAllocation = 2,   ///< after the allocation snapshot commit
+  kAfterChargeCommit = 3, ///< after a charge-result batch was journaled
+  kBeforePublish = 4,     ///< charging complete, announcement not yet out
+};
+inline constexpr std::size_t kNumCrashPoints = 5;
+
+/// Thrown by CrashInjector::checkpoint to model the auctioneer process
+/// dying.  Deliberately NOT an LppaError: protocol-boundary code catches
+/// LppaError to classify peer garbage, and a crash must tear through
+/// those handlers like a real process death would.
+struct CrashSignal {
+  CrashPoint point = CrashPoint::kAfterIngest;
+  std::size_t hit = 0;  ///< which occurrence of the point fired
+};
+
+/// CrashInjector: kills the auctioneer at seeded or explicitly armed
+/// crash points.  Sibling of FaultInjector — the injector owns the crash
+/// schedule so a crashy run is a pure function of (seed / armed points,
+/// checkpoint sequence), independent of the parties' randomness.
+///
+/// Three modes:
+///   * default-constructed: pure counter (never crashes) — a dry run
+///     measures how many times each point is reached, which the
+///     crash-matrix test sweeps exhaustively;
+///   * arm(point, nth): crash exactly at the nth hit of a point, once;
+///   * seeded(seed, prob, max): each checkpoint crashes with probability
+///     `prob` until `max` crashes fired — the multi-round sim schedule.
+class CrashInjector {
+ public:
+  CrashInjector() = default;
+
+  static CrashInjector seeded(std::uint64_t seed, double crash_prob,
+                              std::size_t max_crashes);
+
+  /// Arms one crash: the nth (0-based) future hit of `point` throws.
+  void arm(CrashPoint point, std::size_t nth);
+
+  /// Counts the hit and throws CrashSignal when the schedule says so.
+  void checkpoint(CrashPoint point);
+
+  std::size_t hits(CrashPoint point) const noexcept {
+    return hits_[static_cast<std::size_t>(point)];
+  }
+  std::size_t total_hits() const noexcept;
+  std::size_t crashes_fired() const noexcept { return crashes_; }
+
+ private:
+  struct Armed {
+    CrashPoint point;
+    std::size_t nth;
+    bool fired = false;
+  };
+
+  std::array<std::size_t, kNumCrashPoints> hits_{};
+  std::vector<Armed> armed_;
+  std::optional<Rng> rng_;  ///< engaged in seeded mode
+  double crash_prob_ = 0.0;
+  std::size_t max_crashes_ = 0;
+  std::size_t crashes_ = 0;
 };
 
 }  // namespace lppa::proto

@@ -1,0 +1,123 @@
+#include "proto/journal.h"
+
+#include "crypto/sha256.h"
+
+namespace lppa::proto {
+
+namespace {
+
+std::uint32_t body_checksum(std::span<const std::uint8_t> body) {
+  const crypto::Digest d = crypto::Sha256::hash(body);
+  return static_cast<std::uint32_t>(d.bytes[0]) |
+         (static_cast<std::uint32_t>(d.bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(d.bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(d.bytes[3]) << 24);
+}
+
+bool known_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(JournalRecordType::kRoundStart) &&
+         raw <= static_cast<std::uint8_t>(JournalRecordType::kCommitted);
+}
+
+}  // namespace
+
+JournalRecord::UserNote JournalRecord::user_note() const {
+  LPPA_REQUIRE(type == JournalRecordType::kStrike ||
+                   type == JournalRecordType::kEquivocation,
+               "record carries no user note");
+  ByteReader r(payload);
+  UserNote note;
+  note.user = r.u64();
+  const Bytes detail = r.bytes();
+  note.detail.assign(detail.begin(), detail.end());
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after journal user note");
+  return note;
+}
+
+JournalRecord::Nack JournalRecord::nack() const {
+  LPPA_REQUIRE(type == JournalRecordType::kNackSent,
+               "record is not a nack record");
+  ByteReader r(payload);
+  Nack nack;
+  nack.user = r.u64();
+  nack.mask = r.u8();
+  nack.wave = r.u64();
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after journal nack");
+  return nack;
+}
+
+std::uint64_t JournalRecord::round_start_users() const {
+  LPPA_REQUIRE(type == JournalRecordType::kRoundStart,
+               "record is not a round-start record");
+  ByteReader r(payload);
+  const std::uint64_t n = r.u64();
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after journal round start");
+  return n;
+}
+
+void RoundJournal::append(JournalRecordType type,
+                          std::span<const std::uint8_t> payload) {
+  ByteWriter body;
+  body.u8(static_cast<std::uint8_t>(type));
+  body.raw(payload);
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  frame.raw(body.data());
+  frame.u32(body_checksum(body.data()));
+  const Bytes framed = frame.take();
+  log_.insert(log_.end(), framed.begin(), framed.end());
+  ++records_;
+}
+
+void RoundJournal::append_round_start(std::uint64_t num_users) {
+  ByteWriter w;
+  w.u64(num_users);
+  append(JournalRecordType::kRoundStart, w.data());
+}
+
+void RoundJournal::append_user_note(JournalRecordType type, std::uint64_t user,
+                                    std::string_view detail) {
+  LPPA_REQUIRE(type == JournalRecordType::kStrike ||
+                   type == JournalRecordType::kEquivocation,
+               "user notes are strike or equivocation records");
+  ByteWriter w;
+  w.u64(user);
+  w.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(detail.data()), detail.size()));
+  append(type, w.data());
+}
+
+void RoundJournal::append_nack(std::uint64_t user, std::uint8_t mask,
+                               std::uint64_t wave) {
+  ByteWriter w;
+  w.u64(user);
+  w.u8(mask);
+  w.u64(wave);
+  append(JournalRecordType::kNackSent, w.data());
+}
+
+std::vector<JournalRecord> RoundJournal::read(
+    std::span<const std::uint8_t> wire) {
+  std::vector<JournalRecord> records;
+  ByteReader r(wire);
+  while (!r.at_end()) {
+    LPPA_PROTOCOL_CHECK(r.remaining() >= 4,
+                        "journal record shorter than its length prefix");
+    const std::uint32_t body_len = r.u32();
+    LPPA_PROTOCOL_CHECK(body_len >= 1, "journal record body is empty");
+    LPPA_PROTOCOL_CHECK(r.remaining() >= static_cast<std::size_t>(body_len) + 4,
+                        "journal record truncated");
+    const Bytes body = r.raw(body_len);
+    const std::uint32_t stored = r.u32();
+    LPPA_PROTOCOL_CHECK(stored == body_checksum(body),
+                        "journal record checksum mismatch");
+    LPPA_PROTOCOL_CHECK(known_type(body[0]), "unknown journal record type");
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(body[0]);
+    record.payload.assign(body.begin() + 1, body.end());
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace lppa::proto

@@ -82,7 +82,9 @@ AuctioneerSession::IngestResult AuctioneerSession::classify_and_store(
   // with duplicate/equivocation classification.  The parse/validate step
   // runs BEFORE the duplicate check so that a corrupted redelivery of an
   // already-accepted submission counts as a transit-damaged message (a
-  // strike), never as equivocation.
+  // strike), never as equivocation.  Every state change is journaled
+  // before it is applied (write-ahead), so a crash between transitions
+  // always finds the log covering the session's in-memory state.
   const auto slot = [&](auto parsed, auto& store, auto& wire,
                         const char* what) -> IngestResult {
     if (store[u].has_value()) {
@@ -90,14 +92,33 @@ AuctioneerSession::IngestResult AuctioneerSession::classify_and_store(
         fail(std::string("duplicate ") + what + " submission");
         return IngestResult::kDuplicateRedelivery;
       }
-      equivocated_[u] = true;
       last_error_[u] = std::string("conflicting ") + what + " submissions";
+      if (journal_ != nullptr) {
+        journal_->append_user_note(JournalRecordType::kEquivocation, u,
+                                   last_error_[u]);
+      }
+      equivocated_[u] = true;
       fail(last_error_[u]);
       return IngestResult::kEquivocation;
+    }
+    if (journal_ != nullptr) {
+      journal_->append(JournalRecordType::kAccepted, envelope_bytes);
     }
     store[u] = std::move(parsed);
     wire[u] = envelope_bytes;
     return IngestResult::kAccepted;
+  };
+
+  // An attributable invalid message is a state change (strikes decide
+  // the kInvalid-vs-kTimeout exclusion reason), so it is journaled too.
+  const auto strike = [&](const std::string& detail) {
+    last_error_[u] = detail;
+    if (journal_ != nullptr) {
+      journal_->append_user_note(JournalRecordType::kStrike, u, detail);
+    }
+    ++strikes_[u];
+    fail(last_error_[u]);
+    return IngestResult::kRejected;
   };
 
   switch (e.type) {
@@ -106,16 +127,10 @@ AuctioneerSession::IngestResult AuctioneerSession::classify_and_store(
       try {
         s = core::LocationSubmission::deserialize(e.payload);
       } catch (const LppaError& err) {
-        ++strikes_[u];
-        last_error_[u] = err.what();
-        fail(last_error_[u]);
-        return IngestResult::kRejected;
+        return strike(err.what());
       }
       if (auto verr = validator_.validate_location(s)) {
-        ++strikes_[u];
-        last_error_[u] = "invalid location submission: " + *verr;
-        fail(last_error_[u]);
-        return IngestResult::kRejected;
+        return strike("invalid location submission: " + *verr);
       }
       return slot(std::move(s), locations_, location_wire_, "location");
     }
@@ -124,16 +139,10 @@ AuctioneerSession::IngestResult AuctioneerSession::classify_and_store(
       try {
         s = core::BidSubmission::deserialize(e.payload);
       } catch (const LppaError& err) {
-        ++strikes_[u];
-        last_error_[u] = err.what();
-        fail(last_error_[u]);
-        return IngestResult::kRejected;
+        return strike(err.what());
       }
       if (auto verr = validator_.validate_bid(s)) {
-        ++strikes_[u];
-        last_error_[u] = "invalid bid submission: " + *verr;
-        fail(last_error_[u]);
-        return IngestResult::kRejected;
+        return strike("invalid bid submission: " + *verr);
       }
       return slot(std::move(s), bids_, bid_wire_, "bid");
     }
@@ -141,6 +150,20 @@ AuctioneerSession::IngestResult AuctioneerSession::classify_and_store(
       fail("unexpected message type for auctioneer");
       return IngestResult::kRejected;
   }
+}
+
+void AuctioneerSession::replay_strike(std::size_t user,
+                                      const std::string& detail) {
+  LPPA_REQUIRE(user < num_users_, "user index out of range");
+  ++strikes_[user];
+  last_error_[user] = detail;
+}
+
+void AuctioneerSession::replay_equivocation(std::size_t user,
+                                            const std::string& detail) {
+  LPPA_REQUIRE(user < num_users_, "user index out of range");
+  equivocated_[user] = true;
+  last_error_[user] = detail;
 }
 
 void AuctioneerSession::ingest(const Bytes& envelope_bytes) {
@@ -188,40 +211,53 @@ std::vector<std::size_t> AuctioneerSession::missing_users() const {
 }
 
 void AuctioneerSession::finalize_participants(RoundReport& report) {
-  if (finalized_) return;
+  if (!finalized_) {
+    for (std::size_t u = 0; u < num_users_; ++u) {
+      if (!equivocated_[u] && locations_[u].has_value() &&
+          bids_[u].has_value()) {
+        participants_.push_back(u);
+      }
+    }
+    finalized_ = true;
+    if (journal_ != nullptr) {
+      journal_->append(JournalRecordType::kFinalized);
+    }
+  }
+
+  // The report section is rebuilt from state on every call, so a
+  // recovered session (restored from a snapshot that is already
+  // finalized) can still account for its exclusions.
   report.num_users = num_users_;
+  report.excluded.clear();
+  std::size_t next_participant = 0;
   for (std::size_t u = 0; u < num_users_; ++u) {
+    if (next_participant < participants_.size() &&
+        participants_[next_participant] == u) {
+      ++next_participant;
+      continue;
+    }
     if (equivocated_[u]) {
       report.excluded.push_back(
           {u, RoundReport::ExclusionReason::kEquivocation, last_error_[u]});
-    } else if (!locations_[u].has_value() || !bids_[u].has_value()) {
+    } else {
       const auto reason = strikes_[u] > 0
                               ? RoundReport::ExclusionReason::kInvalid
                               : RoundReport::ExclusionReason::kTimeout;
       report.excluded.push_back({u, reason, last_error_[u]});
-    } else {
-      participants_.push_back(u);
     }
   }
   report.survivors = participants_;
-  finalized_ = true;
   LPPA_PROTOCOL_CHECK(!participants_.empty(),
                       "no valid participants survived the round");
 }
 
-void AuctioneerSession::run_allocation(Rng& rng) {
-  LPPA_REQUIRE(!allocated_, "allocation already ran");
-  if (!finalized_) {
-    LPPA_REQUIRE(ready(), "submissions still missing");
-    participants_.resize(num_users_);
-    std::iota(participants_.begin(), participants_.end(), std::size_t{0});
-    finalized_ = true;
-  }
-
+void AuctioneerSession::compact_participants() {
   // Compact the participants to contiguous indices: the conflict graph,
   // bid table and allocator all run over [0, m); awards are mapped back
   // to original SU ids afterwards.  A fault-free full round compacts to
-  // the identity, so the legacy path is bit-for-bit unchanged.
+  // the identity, so the legacy path is bit-for-bit unchanged.  The
+  // conflict-graph rebuild involves no randomness, which is what lets a
+  // restored session recompute it instead of journaling the edges.
   const std::size_t m = participants_.size();
   compact_index_.assign(num_users_, kNoSlot);
   std::vector<core::LocationSubmission> locations;
@@ -236,13 +272,28 @@ void AuctioneerSession::run_allocation(Rng& rng) {
   }
   conflicts_ =
       core::PpbsLocation::build_conflict_graph(locations, config_.num_threads);
-  core::EncryptedBidTable table(bid_store_, config_.num_channels);
-  awards_ = auction::greedy_allocate(table, *conflicts_, rng);
+}
+
+void AuctioneerSession::run_allocation(Rng& rng) {
+  LPPA_REQUIRE(!allocated_, "allocation already ran");
+  if (!finalized_) {
+    LPPA_REQUIRE(ready(), "submissions still missing");
+    participants_.resize(num_users_);
+    std::iota(participants_.begin(), participants_.end(), std::size_t{0});
+    finalized_ = true;
+  }
+
+  compact_participants();
+  table_.emplace(bid_store_, config_.num_channels);
+  awards_ = auction::greedy_allocate(*table_, *conflicts_, rng);
   for (auto& award : awards_) {
     award.user = participants_[award.user];
   }
   charge_done_.assign(awards_.size(), false);
   allocated_ = true;
+  if (journal_ != nullptr) {
+    journal_->append(JournalRecordType::kAllocated, snapshot());
+  }
 }
 
 const core::BidSubmission& AuctioneerSession::bid_of(
@@ -295,7 +346,26 @@ void AuctioneerSession::ingest_charge_results(const Bytes& envelope_bytes) {
   const Envelope e = Envelope::deserialize(envelope_bytes);
   LPPA_PROTOCOL_CHECK(e.type == MessageType::kChargeResultBatch,
                       "expected a charge-result batch");
-  for (const auto& res : deserialize_charge_results(e.payload)) {
+  const auto results = deserialize_charge_results(e.payload);
+  // Journal before applying (write-ahead); a duplicate batch — one that
+  // prices no award for the first time — changes nothing and is NOT
+  // journaled, which keeps redeliveries after a recovery from bloating
+  // the log.
+  if (journal_ != nullptr) {
+    bool advances = false;
+    for (const auto& res : results) {
+      for (std::size_t i = 0; i < awards_.size(); ++i) {
+        if (awards_[i].user == res.user && awards_[i].channel == res.channel &&
+            !charge_done_[i]) {
+          advances = true;
+        }
+      }
+    }
+    if (advances) {
+      journal_->append(JournalRecordType::kChargeCommit, envelope_bytes);
+    }
+  }
+  for (const auto& res : results) {
     bool matched = false;
     for (std::size_t i = 0; i < awards_.size(); ++i) {
       auto& award = awards_[i];
@@ -329,6 +399,159 @@ Bytes AuctioneerSession::winner_announcement() const {
 const auction::ConflictGraph& AuctioneerSession::conflicts() const {
   LPPA_REQUIRE(conflicts_.has_value(), "allocation has not run yet");
   return *conflicts_;
+}
+
+namespace {
+constexpr std::uint8_t kSnapHasLocation = 1;
+constexpr std::uint8_t kSnapHasBid = 2;
+constexpr std::uint8_t kSnapEquivocated = 4;
+}  // namespace
+
+Bytes AuctioneerSession::snapshot() const {
+  ByteWriter w;
+  w.u64(num_users_);
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const std::uint8_t flags =
+        (locations_[u].has_value() ? kSnapHasLocation : 0) |
+        (bids_[u].has_value() ? kSnapHasBid : 0) |
+        (equivocated_[u] ? kSnapEquivocated : 0);
+    w.u8(flags);
+    // The accepted wire bytes carry the submissions (they re-parse on
+    // restore through the same checksummed envelope path they arrived
+    // by), and double as the dedupe reference for post-recovery
+    // redeliveries.
+    w.bytes(location_wire_[u]);
+    w.bytes(bid_wire_[u]);
+    w.u64(strikes_[u]);
+    const std::string& err = last_error_[u];
+    w.bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(err.data()), err.size()));
+  }
+  w.u8(finalized_ ? 1 : 0);
+  if (finalized_) {
+    w.u32(static_cast<std::uint32_t>(participants_.size()));
+    for (const std::size_t u : participants_) w.u64(u);
+  }
+  w.u8(allocated_ ? 1 : 0);
+  if (allocated_) {
+    w.bytes(table_->serialize());
+    w.u32(static_cast<std::uint32_t>(awards_.size()));
+    for (std::size_t i = 0; i < awards_.size(); ++i) {
+      const auto& a = awards_[i];
+      w.u64(a.user);
+      w.u64(a.channel);
+      w.u64(a.charge);
+      w.u8(a.valid ? 1 : 0);
+      w.u8(charge_done_[i] ? 1 : 0);
+    }
+  }
+  return w.take();
+}
+
+void AuctioneerSession::restore_from(std::span<const std::uint8_t> wire) {
+  if (finalized_ || allocated_) {
+    detail::raise(ErrorKind::kState,
+                  "restore_from requires a freshly constructed session");
+  }
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    if (locations_[u].has_value() || bids_[u].has_value()) {
+      detail::raise(ErrorKind::kState,
+                    "restore_from requires a freshly constructed session");
+    }
+  }
+
+  ByteReader r(wire);
+  LPPA_PROTOCOL_CHECK(r.u64() == num_users_,
+                      "session snapshot population size mismatch");
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const std::uint8_t flags = r.u8();
+    LPPA_PROTOCOL_CHECK(
+        flags <= (kSnapHasLocation | kSnapHasBid | kSnapEquivocated),
+        "unknown session snapshot flags");
+    const Bytes loc_wire = r.bytes();
+    const Bytes bid_wire = r.bytes();
+    if (flags & kSnapHasLocation) {
+      const Envelope e = Envelope::deserialize(loc_wire);
+      LPPA_PROTOCOL_CHECK(
+          e.type == MessageType::kLocationSubmission && e.sender == u,
+          "snapshot location envelope does not match its slot");
+      locations_[u] = core::LocationSubmission::deserialize(e.payload);
+      location_wire_[u] = loc_wire;
+    } else {
+      LPPA_PROTOCOL_CHECK(loc_wire.empty(),
+                          "snapshot carries bytes for an absent location");
+    }
+    if (flags & kSnapHasBid) {
+      const Envelope e = Envelope::deserialize(bid_wire);
+      LPPA_PROTOCOL_CHECK(
+          e.type == MessageType::kBidSubmission && e.sender == u,
+          "snapshot bid envelope does not match its slot");
+      bids_[u] = core::BidSubmission::deserialize(e.payload);
+      bid_wire_[u] = bid_wire;
+    } else {
+      LPPA_PROTOCOL_CHECK(bid_wire.empty(),
+                          "snapshot carries bytes for an absent bid");
+    }
+    equivocated_[u] = (flags & kSnapEquivocated) != 0;
+    strikes_[u] = r.u64();
+    const Bytes err = r.bytes();
+    last_error_[u].assign(err.begin(), err.end());
+  }
+
+  const std::uint8_t finalized = r.u8();
+  LPPA_PROTOCOL_CHECK(finalized <= 1, "invalid snapshot finalized flag");
+  if (finalized != 0) {
+    const std::uint32_t m = r.u32();
+    LPPA_PROTOCOL_CHECK(m >= 1 && m <= num_users_,
+                        "snapshot participant count out of range");
+    std::size_t prev = 0;
+    for (std::uint32_t k = 0; k < m; ++k) {
+      const std::uint64_t u = r.u64();
+      LPPA_PROTOCOL_CHECK(u < num_users_ && (k == 0 || u > prev),
+                          "snapshot participants not strictly ascending");
+      LPPA_PROTOCOL_CHECK(locations_[u].has_value() && bids_[u].has_value() &&
+                              !equivocated_[u],
+                          "snapshot participant lacks valid submissions");
+      participants_.push_back(u);
+      prev = u;
+    }
+    finalized_ = true;
+  }
+
+  const std::uint8_t allocated = r.u8();
+  LPPA_PROTOCOL_CHECK(allocated <= 1, "invalid snapshot allocated flag");
+  if (allocated != 0) {
+    LPPA_PROTOCOL_CHECK(finalized_, "snapshot allocated without finalizing");
+    // The conflict graph is rebuilt from the restored location
+    // submissions — deterministic, no randomness — so only the bid
+    // table's consumed-cell state needs the serialized image.
+    compact_participants();
+    table_ = core::EncryptedBidTable::deserialize(r.bytes());
+    LPPA_PROTOCOL_CHECK(table_->num_users() == participants_.size() &&
+                            table_->num_channels() == config_.num_channels,
+                        "snapshot bid table dimensions mismatch");
+    const std::uint32_t num_awards = r.u32();
+    awards_.reserve(num_awards);
+    for (std::uint32_t i = 0; i < num_awards; ++i) {
+      auction::Award a;
+      a.user = r.u64();
+      a.channel = r.u64();
+      a.charge = r.u64();
+      const std::uint8_t valid = r.u8();
+      const std::uint8_t done = r.u8();
+      LPPA_PROTOCOL_CHECK(valid <= 1 && done <= 1,
+                          "invalid snapshot award flags");
+      LPPA_PROTOCOL_CHECK(a.user < num_users_ &&
+                              compact_index_[a.user] != kNoSlot &&
+                              a.channel < config_.num_channels,
+                          "snapshot award outside the participant set");
+      a.valid = valid != 0;
+      awards_.push_back(a);
+      charge_done_.push_back(done != 0);
+    }
+    allocated_ = true;
+  }
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after session snapshot");
 }
 
 // ------------------------------------------------------------ TtpService

@@ -14,6 +14,7 @@
 #include "core/encrypted_bid_table.h"
 #include "core/lppa_auction.h"
 #include "core/submission_validator.h"
+#include "proto/journal.h"
 #include "proto/messages.h"
 #include "proto/round_report.h"
 
@@ -77,6 +78,21 @@ class AuctioneerSession {
   IngestResult try_ingest(const Bytes& envelope_bytes,
                           std::string* error = nullptr);
 
+  /// Attaches (or detaches, with nullptr) a write-ahead journal: from
+  /// then on every state transition — accepted submissions, strikes,
+  /// equivocations, the admission and allocation phase commits, accepted
+  /// charge batches — is appended *as part of* the transition, so a
+  /// crash at any point between transitions finds the log complete.
+  /// The journal is not owned; attach it AFTER replaying an old log
+  /// (replay must not re-journal what is already durable).
+  void attach_journal(RoundJournal* journal) noexcept { journal_ = journal; }
+
+  /// Journal-replay hooks: re-apply a recorded strike / equivocation
+  /// verdict without re-seeing the offending message (only accepted
+  /// envelopes are journaled in full).  Used by the recovery driver.
+  void replay_strike(std::size_t user, const std::string& detail);
+  void replay_equivocation(std::size_t user, const std::string& detail);
+
   /// True once every user's location and bid submission has arrived.
   bool ready() const noexcept;
 
@@ -117,6 +133,29 @@ class AuctioneerSession {
   /// True once every award has a TTP charge result.
   bool charging_complete() const noexcept;
 
+  /// True once finalize_participants() (or a restore past it) happened.
+  bool admission_closed() const noexcept { return finalized_; }
+
+  /// True once run_allocation() (or a restore of its snapshot) happened.
+  bool allocation_done() const noexcept { return allocated_; }
+
+  /// Serializes the complete session state — accepted submission wire
+  /// bytes (the conflict-graph inputs), strikes and exclusion verdicts,
+  /// the finalized participant set, and after allocation the
+  /// EncryptedBidTable image plus awards and charge progress — into a
+  /// self-contained byte image.  The journal stores this as the
+  /// allocation phase commit; snapshot→restore_from→snapshot is
+  /// byte-identical.
+  Bytes snapshot() const;
+
+  /// Inverse of snapshot(), applied to a freshly constructed session of
+  /// the same config and population size.  Throws LppaError(kProtocol)
+  /// on a damaged image and LppaError(kState) if the session already
+  /// holds state.  The conflict graph is rebuilt deterministically from
+  /// the restored location submissions (no randomness is involved), so
+  /// a restored session continues the round byte-identically.
+  void restore_from(std::span<const std::uint8_t> wire);
+
   /// The published outcome; requires charging_complete().
   Bytes winner_announcement() const;
   const std::vector<auction::Award>& awards() const noexcept {
@@ -131,6 +170,7 @@ class AuctioneerSession {
   IngestResult classify_and_store(const Bytes& envelope_bytes,
                                   std::string* error);
   const core::BidSubmission& bid_of(auction::UserId user) const;
+  void compact_participants();
 
   core::LppaConfig config_;
   std::size_t num_users_;
@@ -147,9 +187,15 @@ class AuctioneerSession {
   bool finalized_ = false;
   std::vector<core::BidSubmission> bid_store_;  ///< participants, compacted
   std::optional<auction::ConflictGraph> conflicts_;
+  /// The masked bid table as the allocator left it (cells consumed).
+  /// References bid_store_ on the run_allocation path and owns its
+  /// submissions on the restore path; the session is used in place by
+  /// the drivers, never moved, so the reference stays valid.
+  std::optional<core::EncryptedBidTable> table_;
   std::vector<auction::Award> awards_;
   std::vector<bool> charge_done_;  ///< per-award TTP result received
   bool allocated_ = false;
+  RoundJournal* journal_ = nullptr;  ///< not owned; may be null
 };
 
 /// The periodically-available TTP endpoint.

@@ -30,8 +30,78 @@ std::string RoundReport::summary() const {
       << ", rejected=" << rejected_messages
       << ", faults[drop=" << faults.drops << " dup=" << faults.duplicates
       << " reorder=" << faults.reorders << " corrupt=" << faults.corruptions
-      << " delay=" << faults.delays << "]"
-      << (completed ? ", completed" : ", INCOMPLETE");
+      << " delay=" << faults.delays << "]";
+  if (crash_recoveries > 0) {
+    out << ", recoveries=" << crash_recoveries << " (replayed "
+        << replayed_records << " of " << journal_records << " records)";
+  }
+  if (degraded) {
+    out << ", DEGRADED (deadline " << deadline_ticks << " ticks, used "
+        << ticks_used << ")";
+  }
+  out << (completed ? ", completed" : ", INCOMPLETE");
+  return out.str();
+}
+
+namespace {
+
+/// Minimal JSON string escaping for the detail fields (quotes,
+/// backslashes, control bytes); everything else the reports emit is
+/// plain ASCII.
+void append_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+              << "0123456789abcdef"[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string RoundReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"round\": " << round << ", \"num_users\": " << num_users
+      << ", \"completed\": " << (completed ? "true" : "false")
+      << ", \"degraded\": " << (degraded ? "true" : "false")
+      << ", \"survivors\": [";
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    out << (i ? ", " : "") << survivors[i];
+  }
+  out << "], \"excluded\": [";
+  for (std::size_t i = 0; i < excluded.size(); ++i) {
+    const Exclusion& e = excluded[i];
+    out << (i ? ", " : "") << "{\"user\": " << e.user << ", \"reason\": \""
+        << to_string(e.reason) << "\", \"detail\": ";
+    append_json_string(out, e.detail);
+    out << "}";
+  }
+  out << "], \"retry_waves\": " << retry_waves
+      << ", \"charge_attempts\": " << charge_attempts
+      << ", \"rejected_messages\": " << rejected_messages
+      << ", \"duplicate_redeliveries\": " << duplicate_redeliveries
+      << ", \"crash_recoveries\": " << crash_recoveries
+      << ", \"journal_records\": " << journal_records
+      << ", \"journal_bytes\": " << journal_bytes
+      << ", \"replayed_records\": " << replayed_records
+      << ", \"deadline_ticks\": " << deadline_ticks
+      << ", \"ticks_used\": " << ticks_used << ", \"faults\": {\"messages\": "
+      << faults.messages << ", \"drops\": " << faults.drops
+      << ", \"duplicates\": " << faults.duplicates
+      << ", \"reorders\": " << faults.reorders
+      << ", \"corruptions\": " << faults.corruptions
+      << ", \"delays\": " << faults.delays << "}}";
   return out.str();
 }
 

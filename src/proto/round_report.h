@@ -41,11 +41,29 @@ struct RoundReport {
   std::size_t rejected_messages = 0;  ///< unparseable or invalid messages seen
   std::size_t duplicate_redeliveries = 0;  ///< benign identical re-arrivals
 
+  // --- Crash recovery (proto::run_recoverable_wire_auction) -------------
+  std::size_t crash_recoveries = 0;  ///< auctioneer restarts this round
+  std::size_t journal_records = 0;   ///< journal records written by round end
+  std::size_t journal_bytes = 0;     ///< durable journal size in bytes
+  std::size_t replayed_records = 0;  ///< records replayed across recoveries
+
+  // --- Deadline / quorum degradation -------------------------------------
+  /// True when the round deadline expired (typically while recovering)
+  /// and the session committed with the quorum of journaled submissions
+  /// instead of waiting out further retry waves.
+  bool degraded = false;
+  std::size_t deadline_ticks = 0;  ///< configured round deadline (0 = none)
+  std::size_t ticks_used = 0;      ///< bus ticks the round consumed
+
   /// Injected-fault totals for the round (zero when no injector attached).
   FaultCounters faults;
 
   /// One-line human-readable summary for logs.
   std::string summary() const;
+
+  /// The report as one JSON object, schema-stable for the BENCH_*.json
+  /// sweeps (bench/abl_faults, bench/abl_recovery).
+  std::string to_json() const;
 };
 
 /// Log label of an exclusion reason ("timeout" / "invalid" /

@@ -1,8 +1,25 @@
 #include "proto/session.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "proto/fault.h"
+#include "proto/journal.h"
 
 namespace lppa::proto {
+
+std::size_t HardenedSessionConfig::backoff_ticks(
+    std::size_t wave) const noexcept {
+  if (backoff_base_ticks == 0) return 0;
+  // base * 2^wave overflows exactly when base > max >> wave; comparing
+  // that way never shifts by more than the word size and never wraps.
+  if (wave >= static_cast<std::size_t>(
+                  std::numeric_limits<std::size_t>::digits) ||
+      backoff_base_ticks > (max_backoff_ticks >> wave)) {
+    return max_backoff_ticks;
+  }
+  return backoff_base_ticks << wave;
+}
 
 WireAuctionResult run_wire_auction(
     const core::LppaConfig& config, core::TrustedThirdParty& ttp,
@@ -152,7 +169,7 @@ HardenedWireResult run_hardened_wire_auction(
       bus.send(auctioneer, Address::su(u), nack.serialize());
     }
     // Exponential backoff: waiting also flushes delay-faulted messages.
-    bus.advance(hardened.backoff_base_ticks << wave);
+    bus.advance(hardened.backoff_ticks(wave));
 
     // SU endpoints answer nacks with their cached envelope bytes.  A
     // damaged nack still triggers a full resend — over-answering is safe,
@@ -175,7 +192,7 @@ HardenedWireResult run_hardened_wire_auction(
         }
       }
     }
-    bus.advance(hardened.backoff_base_ticks << wave);
+    bus.advance(hardened.backoff_ticks(wave));
   }
 
   session.finalize_participants(report);
@@ -223,6 +240,314 @@ HardenedWireResult run_hardened_wire_auction(
     report.faults = injector->counters();
   }
   return result;
+}
+
+namespace {
+
+/// Rebuilds a crashed auctioneer's state from the journal.  Post-
+/// allocation crashes restore the snapshot in the last kAllocated commit
+/// and re-apply later charge batches; earlier crashes replay the record
+/// stream through the same ingest path the bytes originally took.
+/// Returns the wave the retry schedule should resume at.  The journal is
+/// NOT attached to the session yet — replay must not re-journal what is
+/// already durable.
+std::size_t replay_journal(const RoundJournal& journal,
+                           AuctioneerSession& session, std::size_t num_users,
+                           RoundReport& report) {
+  const std::vector<JournalRecord> records = RoundJournal::read(journal.data());
+  if (records.empty()) return 0;
+  LPPA_PROTOCOL_CHECK(records.front().type == JournalRecordType::kRoundStart &&
+                          records.front().round_start_users() == num_users,
+                      "journal does not open this round");
+
+  std::size_t last_alloc = records.size();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type == JournalRecordType::kAllocated) last_alloc = i;
+  }
+
+  if (last_alloc != records.size()) {
+    session.restore_from(records[last_alloc].payload);
+    ++report.replayed_records;
+    for (std::size_t i = last_alloc + 1; i < records.size(); ++i) {
+      const JournalRecord& rec = records[i];
+      LPPA_PROTOCOL_CHECK(rec.type == JournalRecordType::kChargeCommit,
+                          "unexpected journal record after allocation commit");
+      session.ingest_charge_results(rec.payload);
+      ++report.replayed_records;
+    }
+    session.finalize_participants(report);  // rebuild the exclusion section
+    return 0;  // admission is long closed; the wave counter is moot
+  }
+
+  std::size_t resume_wave = 0;
+  for (const JournalRecord& rec : records) {
+    switch (rec.type) {
+      case JournalRecordType::kRoundStart:
+        break;
+      case JournalRecordType::kAccepted: {
+        std::string error;
+        const auto outcome = session.try_ingest(rec.payload, &error);
+        LPPA_PROTOCOL_CHECK(
+            outcome == AuctioneerSession::IngestResult::kAccepted,
+            "journaled submission failed re-ingest: " + error);
+        break;
+      }
+      case JournalRecordType::kStrike: {
+        const auto note = rec.user_note();
+        session.replay_strike(note.user, note.detail);
+        break;
+      }
+      case JournalRecordType::kEquivocation: {
+        const auto note = rec.user_note();
+        session.replay_equivocation(note.user, note.detail);
+        break;
+      }
+      case JournalRecordType::kNackSent:
+        resume_wave = std::max(resume_wave,
+                               static_cast<std::size_t>(rec.nack().wave) + 1);
+        break;
+      case JournalRecordType::kFinalized:
+        session.finalize_participants(report);
+        break;
+      default:
+        LPPA_PROTOCOL_CHECK(false,
+                            "journal record out of phase before allocation");
+    }
+    ++report.replayed_records;
+  }
+  return resume_wave;
+}
+
+}  // namespace
+
+RecoverableWireResult run_recoverable_wire_auction(
+    const core::LppaConfig& config, core::TrustedThirdParty& ttp,
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<auction::BidVector>& bids, MessageBus& bus,
+    std::uint64_t seed, const RecoverableSessionConfig& recov,
+    CrashInjector* crashes, const std::vector<std::size_t>& exclude) {
+  LPPA_REQUIRE(locations.size() == bids.size(),
+               "one location per bid vector required");
+  LPPA_REQUIRE(!bids.empty(), "auction requires at least one bidder");
+  LPPA_REQUIRE(recov.min_quorum >= 1, "a round needs a quorum of at least 1");
+
+  const std::size_t n = bids.size();
+  const HardenedSessionConfig& hardened = recov.hardened;
+  const Address auctioneer = Address::auctioneer();
+  const Address ttp_addr = Address::ttp();
+
+  std::vector<bool> participating(n, true);
+  for (const std::size_t u : exclude) {
+    LPPA_REQUIRE(u < n, "excluded SU index out of range");
+    participating[u] = false;
+  }
+
+  RecoverableWireResult result;
+  RoundReport& report = result.report;
+  report.num_users = n;
+  report.deadline_ticks = recov.deadline_ticks;
+
+  // --- SU side: mask and transmit exactly once ---------------------------
+  // The SU endpoints survive auctioneer crashes; their envelopes are
+  // built and sent once, before any attempt, and only ever leave the
+  // endpoint again as nack-answering retransmissions of the SAME bytes.
+  // Same RNG discipline as the hardened session, so a crash-free run is
+  // byte-equivalent to run_hardened_wire_auction over Rng(seed).
+  const core::SuKeyBundle keys = ttp.su_keys();
+  struct SuEndpoint {
+    Bytes location;
+    Bytes bid;
+  };
+  std::vector<SuEndpoint> endpoints(n);
+  {
+    Rng boot(seed);
+    Rng su_master = boot.fork();
+    for (std::size_t u = 0; u < n; ++u) {
+      Rng su_rng = su_master.fork();
+      if (!participating[u]) continue;
+      const SuClient client(u, config, keys);
+      endpoints[u].location = client.location_envelope(locations[u], su_rng);
+      endpoints[u].bid = client.bid_envelope(bids[u], su_rng);
+      bus.send(Address::su(u), auctioneer, endpoints[u].location);
+      bus.send(Address::su(u), auctioneer, endpoints[u].bid);
+    }
+  }
+
+  // --- Durable state: what a crash cannot erase --------------------------
+  RoundJournal journal;
+  TtpService service(ttp);
+  std::size_t ticks = 0;
+  const auto advance = [&](std::size_t t) {
+    bus.advance(t);
+    ticks += t;
+  };
+  const auto deadline_expired = [&] {
+    return recov.deadline_ticks > 0 && ticks >= recov.deadline_ticks;
+  };
+
+  for (;;) {
+    try {
+      // Each attempt reconstructs the full generator from the seed (the
+      // SU-side fork is spent above and discarded here) so the
+      // allocation stream is identical no matter how many attempts died.
+      Rng master(seed);
+      (void)master.fork();
+
+      AuctioneerSession session(config, n);
+      const std::size_t resume_wave =
+          replay_journal(journal, session, n, report);
+      session.attach_journal(&journal);
+      if (journal.empty()) journal.append_round_start(n);
+
+      const auto drain_auctioneer = [&] {
+        while (auto message = bus.receive(auctioneer)) {
+          switch (session.try_ingest(*message)) {
+            case AuctioneerSession::IngestResult::kAccepted:
+              if (crashes != nullptr) {
+                crashes->checkpoint(CrashPoint::kAfterIngest);
+              }
+              break;
+            case AuctioneerSession::IngestResult::kDuplicateRedelivery:
+              ++report.duplicate_redeliveries;
+              break;
+            case AuctioneerSession::IngestResult::kRejected:
+            case AuctioneerSession::IngestResult::kEquivocation:
+              ++report.rejected_messages;
+              break;
+          }
+        }
+      };
+
+      if (!session.allocation_done()) {
+        if (!session.admission_closed()) {
+          for (std::size_t wave = resume_wave;; ++wave) {
+            drain_auctioneer();
+            std::vector<std::size_t> missing;
+            for (const std::size_t u : session.missing_users()) {
+              if (participating[u]) missing.push_back(u);
+            }
+            if (missing.empty()) break;
+            if (deadline_expired()) {
+              // Deadline gone (typically eaten by recoveries): commit
+              // with the quorum of journaled submissions instead of
+              // waiting out the remaining waves.
+              report.degraded = true;
+              break;
+            }
+            if (wave >= hardened.max_retries) break;
+            report.retry_waves = std::max(report.retry_waves, wave + 1);
+
+            for (const std::size_t u : missing) {
+              Envelope nack;
+              nack.type = MessageType::kRetransmitRequest;
+              RetransmitRequest request;
+              request.mask = static_cast<std::uint8_t>(
+                  (session.has_location(u) ? 0 : RetransmitRequest::kLocation) |
+                  (session.has_bid(u) ? 0 : RetransmitRequest::kBid));
+              nack.payload = request.serialize();
+              journal.append_nack(u, request.mask, wave);
+              bus.send(auctioneer, Address::su(u), nack.serialize());
+            }
+            advance(hardened.backoff_ticks(wave));
+
+            for (std::size_t u = 0; u < n; ++u) {
+              if (!participating[u]) continue;
+              while (auto message = bus.receive(Address::su(u))) {
+                std::uint8_t mask =
+                    RetransmitRequest::kLocation | RetransmitRequest::kBid;
+                try {
+                  const Envelope e = Envelope::deserialize(*message);
+                  if (e.type != MessageType::kRetransmitRequest) continue;
+                  mask = RetransmitRequest::deserialize(e.payload).mask;
+                } catch (const LppaError&) {
+                }
+                if (mask & RetransmitRequest::kLocation) {
+                  bus.send(Address::su(u), auctioneer, endpoints[u].location);
+                }
+                if (mask & RetransmitRequest::kBid) {
+                  bus.send(Address::su(u), auctioneer, endpoints[u].bid);
+                }
+              }
+            }
+            advance(hardened.backoff_ticks(wave));
+          }
+        } else {
+          // Admission was already committed before the crash; whatever
+          // is still on the bus can only be a redelivery.
+          drain_auctioneer();
+        }
+
+        session.finalize_participants(report);
+        LPPA_PROTOCOL_CHECK(
+            session.participants().size() >= recov.min_quorum,
+            "round below quorum: " + std::to_string(recov.min_quorum) +
+                " participants required");
+        if (crashes != nullptr) crashes->checkpoint(CrashPoint::kAfterFinalize);
+
+        session.run_allocation(master);
+        if (crashes != nullptr) {
+          crashes->checkpoint(CrashPoint::kAfterAllocation);
+        }
+      }
+
+      // --- Charging: identical discipline to the hardened session ------
+      const std::vector<Bytes> query_envelopes =
+          session.charge_query_envelopes();
+      while (!session.charging_complete()) {
+        LPPA_PROTOCOL_CHECK(
+            report.charge_attempts < hardened.max_charge_attempts,
+            "TTP unreachable: charging incomplete after retry budget");
+        ++report.charge_attempts;
+        for (const auto& query_envelope : query_envelopes) {
+          bus.send(auctioneer, ttp_addr, query_envelope);
+        }
+        advance(hardened.backoff_base_ticks);
+        while (auto message = bus.receive(ttp_addr)) {
+          try {
+            bus.send(ttp_addr, auctioneer, service.handle(*message));
+          } catch (const LppaError&) {
+            ++report.rejected_messages;
+          }
+        }
+        advance(hardened.backoff_base_ticks);
+        while (auto message = bus.receive(auctioneer)) {
+          try {
+            session.ingest_charge_results(*message);
+            // CrashSignal is not an LppaError, so a crash here tears
+            // through this handler like a real process death.
+            if (crashes != nullptr) {
+              crashes->checkpoint(CrashPoint::kAfterChargeCommit);
+            }
+          } catch (const LppaError&) {
+            ++report.rejected_messages;
+          }
+        }
+      }
+
+      if (crashes != nullptr) crashes->checkpoint(CrashPoint::kBeforePublish);
+      journal.append(JournalRecordType::kCommitted);
+
+      const Bytes announcement = session.winner_announcement();
+      const Envelope e = Envelope::deserialize(announcement);
+      result.awards = WinnerAnnouncement::deserialize(e.payload).awards;
+      result.announcement = announcement;
+      result.journal = journal.data();
+      report.completed = true;
+      report.journal_records = journal.num_records();
+      report.journal_bytes = journal.data().size();
+      report.ticks_used = ticks;
+      if (const FaultInjector* injector = bus.fault_injector()) {
+        report.faults = injector->counters();
+      }
+      return result;
+    } catch (const CrashSignal&) {
+      // The auctioneer process died.  Its in-memory session is gone; the
+      // journal and the bus (the outside world) survive.  Restarting
+      // costs ticks, which is how crashes erode the deadline.
+      ++report.crash_recoveries;
+      ticks += recov.recovery_cost_ticks;
+    }
+  }
 }
 
 }  // namespace lppa::proto

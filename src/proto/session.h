@@ -40,10 +40,20 @@ struct HardenedSessionConfig {
   /// Ticks waited before the first retry wave; doubles every wave
   /// (exponential backoff), which gives delayed messages time to land.
   std::size_t backoff_base_ticks = 1;
+  /// Ceiling on any single backoff wait.  Doubling per wave would
+  /// overflow (and shift past the word size, which is undefined) for
+  /// large retry budgets; the schedule therefore plateaus here.
+  std::size_t max_backoff_ticks = 4096;
   /// Send attempts per charge-query batch before the TTP is declared
   /// unreachable (which aborts the round — charging has no graceful
   /// fallback, the TTP is the round's root of trust).
   std::size_t max_charge_attempts = 8;
+
+  /// The backoff wait for retry wave `wave`:
+  /// min(backoff_base_ticks * 2^wave, max_backoff_ticks), computed
+  /// without ever shifting past the word size — well-defined for any
+  /// wave, however large.
+  std::size_t backoff_ticks(std::size_t wave) const noexcept;
 };
 
 struct HardenedWireResult {
@@ -70,6 +80,59 @@ HardenedWireResult run_hardened_wire_auction(
     const std::vector<auction::SuLocation>& locations,
     const std::vector<auction::BidVector>& bids, MessageBus& bus, Rng& rng,
     const HardenedSessionConfig& hardened = {},
+    const std::vector<std::size_t>& exclude = {});
+
+/// Policy of the crash-tolerant session (hardened policy + round deadline
+/// and recovery accounting).
+struct RecoverableSessionConfig {
+  HardenedSessionConfig hardened;
+  /// Round deadline in bus ticks; 0 disables it.  When the deadline
+  /// expires while submissions are still missing (typically because
+  /// recoveries consumed the tick budget), the round degrades: it commits
+  /// with the quorum of journaled submissions instead of waiting out the
+  /// remaining retry waves, and the report records the degradation.
+  std::size_t deadline_ticks = 0;
+  /// Minimum number of participants a (possibly degraded) commit needs;
+  /// below it the round aborts with LppaError(kProtocol).
+  std::size_t min_quorum = 1;
+  /// Bus ticks each auctioneer restart costs (journal re-read, state
+  /// rebuild) — this is what makes crashes eat into the deadline.
+  std::size_t recovery_cost_ticks = 1;
+};
+
+struct RecoverableWireResult {
+  /// TTP-validated awards; Award::user carries original SU ids.
+  std::vector<auction::Award> awards;
+  RoundReport report;
+  /// The durable journal as it stands at round commit.
+  Bytes journal;
+  /// The published kWinnerAnnouncement envelope, for byte-identity
+  /// assertions across crashy and crash-free runs.
+  Bytes announcement;
+};
+
+/// Runs one crash-tolerant auction round: every AuctioneerSession state
+/// transition is write-ahead journaled, and when `crashes` fires a
+/// CrashSignal at one of its checkpoints the auctioneer is rebuilt from
+/// the journal alone — accepted envelopes re-ingested, exclusion
+/// verdicts replayed, the allocation snapshot restored — and the round
+/// continues.  Recovery is deterministic: the same `seed` produces the
+/// same awards and the same announcement bytes whether the round crashed
+/// zero times or at every checkpoint, and the SUs never resubmit (only
+/// already-sent bytes are redelivered, deduped as benign).
+///
+/// Takes a seed rather than an Rng& deliberately: every restart must
+/// reconstruct the identical allocation stream, which a caller-owned
+/// generator (partially consumed by the dead attempt) could not provide.
+///
+/// With no injector and recov.deadline_ticks == 0 this is byte-equivalent
+/// to run_hardened_wire_auction over Rng(seed).
+RecoverableWireResult run_recoverable_wire_auction(
+    const core::LppaConfig& config, core::TrustedThirdParty& ttp,
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<auction::BidVector>& bids, MessageBus& bus,
+    std::uint64_t seed, const RecoverableSessionConfig& recov = {},
+    CrashInjector* crashes = nullptr,
     const std::vector<std::size_t>& exclude = {});
 
 }  // namespace lppa::proto

@@ -27,12 +27,29 @@ namespace lppa::sim {
 /// resulting RoundReports land in MultiRoundResult::reports.  A fresh
 /// bus per round models session-scoped channels — stale delayed traffic
 /// from round k cannot masquerade as a round-k+1 submission.
+/// Optional crash layer on top of the fault layer: when enabled, each
+/// wire round runs the crash-tolerant session
+/// (proto::run_recoverable_wire_auction) with a per-round seeded
+/// CrashInjector, so the auctioneer dies and recovers mid-round on a
+/// reproducible schedule.  Per-round recovery counts, journal sizes and
+/// degradations land in the round's RoundReport.
+struct MultiRoundCrashes {
+  bool enabled = false;
+  std::uint64_t seed = 7;          ///< crash-schedule Rng seed base
+  double crash_prob = 0.0;         ///< per-checkpoint crash probability
+  std::size_t max_per_round = 1;   ///< crash budget per round
+  std::size_t deadline_ticks = 0;  ///< round deadline (0 = none)
+  std::size_t min_quorum = 1;      ///< degraded-commit quorum floor
+  std::size_t recovery_cost_ticks = 1;  ///< ticks each restart costs
+};
+
 struct MultiRoundFaults {
   bool enabled = false;
   std::uint64_t seed = 99;               ///< injector Rng seed base
   proto::FaultSpec link;                 ///< default per-sender fault rates
   std::vector<std::size_t> byzantine;    ///< SU indices that always corrupt
   proto::HardenedSessionConfig session;  ///< retry / backoff policy
+  MultiRoundCrashes crashes;             ///< auctioneer crash schedule
 };
 
 struct MultiRoundConfig {

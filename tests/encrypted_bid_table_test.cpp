@@ -108,5 +108,99 @@ TEST_F(EncryptedTableTest, FullAllocationParityWithPlaintext) {
   }
 }
 
+TEST_F(EncryptedTableTest, SerializeRestoreRoundTripsByteIdentically) {
+  // Property sweep over random scenarios: any mid-allocation table state
+  // (varying population, channel count, padding level, and a random set
+  // of consumed cells) must serialize -> deserialize -> serialize into
+  // byte-identical images, with the restored table answering every query
+  // like the original — including the O(1) empty() via the live counter.
+  Rng sweep(2024);
+  for (int scenario = 0; scenario < 12; ++scenario) {
+    const std::size_t n = 1 + sweep.below(7);
+    const std::size_t k = 1 + sweep.below(5);
+    // Vary the padding parameters so the submission wire sizes differ
+    // across scenarios (rd in [1,4], cr in [k, k+4]).
+    const PpbsBidConfig scenario_cfg = PpbsBidConfig::advanced(
+        15, 1 + sweep.below(4), k + sweep.below(5),
+        ZeroDisguisePolicy::none(15));
+    BidSubmitter scenario_submitter{scenario_cfg, gb, gc};
+    std::vector<BidSubmission> subs;
+    for (std::size_t u = 0; u < n; ++u) {
+      auction::BidVector bv(k);
+      for (auto& b : bv) b = sweep.below(16);
+      subs.push_back(scenario_submitter.submit(bv, sweep));
+    }
+
+    EncryptedBidTable table(subs, k);
+    const std::size_t removals = sweep.below(n * k + 1);
+    for (std::size_t i = 0; i < removals; ++i) {
+      table.remove(sweep.below(n), sweep.below(k));
+    }
+    if (sweep.bernoulli(0.3)) table.remove_user(sweep.below(n));
+
+    const Bytes image = table.serialize();
+    const EncryptedBidTable restored = EncryptedBidTable::deserialize(image);
+    EXPECT_EQ(restored.serialize(), image) << "scenario " << scenario;
+    EXPECT_EQ(restored.num_users(), n);
+    EXPECT_EQ(restored.num_channels(), k);
+    EXPECT_EQ(restored.empty(), table.empty()) << "scenario " << scenario;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t r = 0; r < k; ++r) {
+        ASSERT_EQ(restored.has(u, r), table.has(u, r))
+            << "scenario " << scenario << " cell " << u << "," << r;
+      }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      EXPECT_EQ(restored.argmax_in_column(r), table.argmax_in_column(r))
+          << "scenario " << scenario << " column " << r;
+    }
+
+    // Draining the restored copy keeps the live counter consistent all
+    // the way to empty() — the property that guards the allocation loop.
+    EncryptedBidTable drained = EncryptedBidTable::deserialize(image);
+    for (std::size_t u = 0; u < n; ++u) drained.remove_user(u);
+    EXPECT_TRUE(drained.empty()) << "scenario " << scenario;
+  }
+}
+
+TEST_F(EncryptedTableTest, DeserializeRejectsDamagedImages) {
+  const auto subs = make({{5, 1}, {9, 2}});
+  EncryptedBidTable table(subs, 2);
+  table.remove(0, 1);
+  const Bytes image = table.serialize();
+
+  // Truncation, garbage padding bits, and a lying live counter are all
+  // typed protocol errors (the live counter is cross-checked against the
+  // bitmap — trusting either side alone could stall the allocator).
+  for (const std::size_t len : {std::size_t{0}, std::size_t{4},
+                                image.size() - 1}) {
+    try {
+      EncryptedBidTable::deserialize(
+          std::span<const std::uint8_t>(image.data(), len));
+      FAIL() << "truncation at " << len << " accepted";
+    } catch (const LppaError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kProtocol);
+    }
+  }
+  Bytes lying_live = image;
+  // The u64 live counter sits 9 bytes before the end (8 counter bytes +
+  // one packed-bitmap byte for the 4 cells).
+  lying_live[lying_live.size() - 9] ^= 1;
+  try {
+    EncryptedBidTable::deserialize(lying_live);
+    FAIL() << "live-counter mismatch accepted";
+  } catch (const LppaError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kProtocol);
+  }
+  Bytes garbage_padding = image;
+  garbage_padding.back() |= 0xF0;  // bits past the 4 real cells
+  try {
+    EncryptedBidTable::deserialize(garbage_padding);
+    FAIL() << "garbage padding bits accepted";
+  } catch (const LppaError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kProtocol);
+  }
+}
+
 }  // namespace
 }  // namespace lppa::core
