@@ -19,6 +19,7 @@ namespace lppa::bench {
 
 struct BenchArgs {
   bool full = false;
+  bool smoke = false;        ///< --smoke: tiny workload for the perfsmoke ctest
   bool csv = false;
   std::string json_path;     ///< --json <path>: machine-readable dump target
   std::size_t threads = 0;   ///< --threads N: worker threads (0 = hardware)
@@ -27,6 +28,7 @@ struct BenchArgs {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+      else if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
       else if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
       else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
         args.json_path = argv[++i];
@@ -34,8 +36,9 @@ struct BenchArgs {
         args.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::cout << "usage: " << argv[0]
-                  << " [--full] [--csv] [--json <path>] [--threads N]\n"
+                  << " [--full] [--smoke] [--csv] [--json <path>] [--threads N]\n"
                   << "  --full        paper-scale workload (slower)\n"
+                  << "  --smoke       small-n workload (perfsmoke regression gate)\n"
                   << "  --csv         machine-readable output\n"
                   << "  --json <path> write results as JSON to <path>\n"
                   << "  --threads N   worker threads for parallel phases"

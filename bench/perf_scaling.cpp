@@ -86,6 +86,9 @@ int main(int argc, char** argv) {
 
   std::vector<std::size_t> sizes = {100, 400, 1600, 6400};
   if (args.full) sizes.push_back(12800);
+  // The perfsmoke ctest (tools/bench_compare.py) wants a run that
+  // finishes in seconds; the small sizes still exercise every phase.
+  if (args.smoke) sizes = {100, 400};
   // The all-pairs reference is quadratic; past this it stops being a
   // baseline and starts being a space heater.
   const std::size_t pairwise_cap = 6400;
@@ -166,13 +169,44 @@ int main(int argc, char** argv) {
     }
 
     {
-      Rng alloc_rng = rng.fork();
-      std::vector<auction::Award> awards;
-      const double ms = time_ms([&] {
-        core::EncryptedBidTable table(bid_subs, num_channels);
-        awards = auction::greedy_allocate(table, indexed, alloc_rng);
-      });
-      samples.push_back(sample("auction", n, 1, ms));
+      // "auction" is the production path (sorted-column argmax; the table
+      // construction, including the one-off O(n log n) column sort, is
+      // inside the timed region).  "auction_scan" is the seed per-query
+      // tournament, kept as the reference both for the speedup headline
+      // and for the in-bench differential check: identical channel draws
+      // must yield identical awards on both strategies.
+      const Rng alloc_rng = rng.fork();
+      std::vector<auction::Award> sorted_awards;
+      for (const std::size_t t : thread_counts) {
+        Rng run_rng = alloc_rng;  // replay the same channel-draw stream
+        std::vector<auction::Award> awards;
+        const double ms = time_ms([&] {
+          core::EncryptedBidTable table(bid_subs, num_channels,
+                                        core::ArgmaxStrategy::kSortedColumns, t);
+          awards = auction::greedy_allocate(table, indexed, run_rng);
+        });
+        samples.push_back(sample("auction", n, t, ms));
+        if (t == thread_counts.front()) {
+          sorted_awards = std::move(awards);
+        } else if (!(awards == sorted_awards)) {
+          std::cerr << "FATAL: auction awards differ across thread counts\n";
+          return 1;
+        }
+      }
+      {
+        Rng run_rng = alloc_rng;
+        std::vector<auction::Award> awards;
+        const double ms = time_ms([&] {
+          core::EncryptedBidTable table(bid_subs, num_channels,
+                                        core::ArgmaxStrategy::kTournamentScan);
+          awards = auction::greedy_allocate(table, indexed, run_rng);
+        });
+        samples.push_back(sample("auction_scan", n, 1, ms));
+        if (!(awards == sorted_awards)) {
+          std::cerr << "FATAL: sorted-column and tournament-scan awards differ\n";
+          return 1;
+        }
+      }
     }
   }
 
@@ -198,9 +232,41 @@ int main(int argc, char** argv) {
     const double s1 = wall_of(samples, "submit", big, 1);
     const double st = wall_of(samples, "submit", big, multi);
     if (st > 0.0) {
+      const double speedup = s1 / st;
       std::cout << "submit speedup at n=" << big << " with " << multi
-                << " threads: " << s1 / st << "x\n";
+                << " threads: " << speedup << "x\n";
+      // Thread-scaling gate.  Submission is embarrassingly parallel
+      // (per-SU RNG streams, per-slot writes, immutable shared HMAC key
+      // contexts), so on real multicore hardware 4 workers must beat 1 by
+      // a wide margin; <1.5x would mean contention crept back in.  The
+      // gate only arms when the host actually HAS >=4 cores and the
+      // workload is big enough to drown scheduling overhead: the seed
+      // baseline's flat line (4 threads == 1 thread at n>=1600) was
+      // recorded on a 1-core container, where a CPU-bound phase cannot
+      // scale no matter how it is written — hardware, not contention
+      // (docs/performance.md, "Thread scaling").
+      const bool gate_armed =
+          ThreadPool::hardware_threads() >= 4 && multi >= 4 && big >= 1600;
+      if (gate_armed && speedup < 1.5) {
+        std::cerr << "FATAL: submit speedup " << speedup << "x with " << multi
+                  << " threads on " << ThreadPool::hardware_threads()
+                  << " cores is below the 1.5x floor\n";
+        return 1;
+      }
+      if (!gate_armed) {
+        std::cout << "(scaling gate not armed: "
+                  << ThreadPool::hardware_threads() << " hardware core(s), "
+                  << multi << " workers, largest n=" << big
+                  << " — a CPU-bound phase cannot beat the physical core "
+                     "count; see docs/performance.md)\n";
+      }
     }
+  }
+  const double auc_ms = wall_of(samples, "auction", big, 1);
+  const double scan_ms = wall_of(samples, "auction_scan", big, 1);
+  if (auc_ms > 0.0 && scan_ms > 0.0) {
+    std::cout << "sorted-column vs tournament-scan auction speedup at n="
+              << big << ": " << scan_ms / auc_ms << "x\n";
   }
 
   const std::string json_path =

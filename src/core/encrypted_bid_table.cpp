@@ -1,12 +1,55 @@
 #include "core/encrypted_bid_table.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
 namespace lppa::core {
 
+namespace {
+
+/// Bottom-up stable merge sort over user ids.  Deliberately hand-rolled
+/// instead of std::stable_sort: the comparator runs masked membership
+/// tests over UNTRUSTED digests, and a Byzantine submission can make the
+/// induced relation inconsistent (not a strict weak ordering).  Feeding
+/// that to std::stable_sort is undefined behaviour; a plain merge
+/// consumes each element exactly once whatever the comparator answers,
+/// so the worst an adversary buys is a scrambled order for the column
+/// their forged digests live in — never UB on the auctioneer.
+template <typename Greater>
+void stable_merge_sort(std::vector<std::uint32_t>& items,
+                       const Greater& greater) {
+  const std::size_t n = items.size();
+  if (n < 2) return;
+  std::vector<std::uint32_t> buf(n);
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const std::size_t mid = lo + width;
+      const std::size_t hi = std::min(n, mid + width);
+      std::size_t a = lo, b = mid, o = lo;
+      while (a < mid && b < hi) {
+        // The right run overtakes only when strictly greater, which keeps
+        // the sort stable: equal masked bids stay in increasing-id order.
+        buf[o++] = greater(items[b], items[a]) ? items[b++] : items[a++];
+      }
+      while (a < mid) buf[o++] = items[a++];
+      while (b < hi) buf[o++] = items[b++];
+      std::copy(buf.begin() + static_cast<std::ptrdiff_t>(lo),
+                buf.begin() + static_cast<std::ptrdiff_t>(hi),
+                items.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+  }
+}
+
+}  // namespace
+
 EncryptedBidTable::EncryptedBidTable(
-    const std::vector<BidSubmission>& submissions, std::size_t num_channels)
+    const std::vector<BidSubmission>& submissions, std::size_t num_channels,
+    ArgmaxStrategy strategy, std::size_t sort_threads)
     : submissions_(&submissions),
       users_(submissions.size()),
-      channels_(num_channels) {
+      channels_(num_channels),
+      strategy_(strategy) {
   LPPA_REQUIRE(users_ > 0, "EncryptedBidTable requires at least one user");
   LPPA_REQUIRE(channels_ > 0, "EncryptedBidTable requires at least one channel");
   for (const auto& s : submissions) {
@@ -15,6 +58,28 @@ EncryptedBidTable::EncryptedBidTable(
   }
   present_.assign(users_ * channels_, true);
   live_ = users_ * channels_;
+  if (strategy_ == ArgmaxStrategy::kSortedColumns) {
+    build_column_orders(sort_threads);
+  }
+}
+
+void EncryptedBidTable::build_column_orders(std::size_t sort_threads) {
+  order_.assign(channels_, {});
+  head_.assign(channels_, 0);
+  // Columns are fully independent, so the per-column sorts parallelise
+  // with no shared mutable state and a thread-count-independent result.
+  parallel_for(channels_, sort_threads, [&](std::size_t r) {
+    auto& ord = order_[r];
+    ord.resize(users_);
+    for (std::size_t u = 0; u < users_; ++u) {
+      ord[u] = static_cast<std::uint32_t>(u);
+    }
+    const auto& subs = *submissions_;
+    stable_merge_sort(ord, [&](std::uint32_t u, std::uint32_t v) {
+      // u strictly greater than v in the masked order:  NOT (v >= u).
+      return !encrypted_ge(subs[v].channels[r], subs[u].channels[r]);
+    });
+  });
 }
 
 std::size_t EncryptedBidTable::idx(UserId u, ChannelId r) const {
@@ -45,6 +110,24 @@ void EncryptedBidTable::remove_user(UserId u) {
 }
 
 std::optional<auction::UserId> EncryptedBidTable::argmax_in_column(
+    ChannelId r) const {
+  return strategy_ == ArgmaxStrategy::kSortedColumns ? argmax_sorted(r)
+                                                     : argmax_scan(r);
+}
+
+std::optional<auction::UserId> EncryptedBidTable::argmax_sorted(
+    ChannelId r) const {
+  LPPA_REQUIRE(r < channels_, "bid table index out of range");
+  const auto& ord = order_[r];
+  std::size_t& h = head_[r];
+  // Skip tombstones.  Cells are never resurrected, so the skip is sound
+  // memoisation; total cursor movement over a round is O(n) per column.
+  while (h < ord.size() && !present_[ord[h] * channels_ + r]) ++h;
+  if (h == ord.size()) return std::nullopt;
+  return static_cast<UserId>(ord[h]);
+}
+
+std::optional<auction::UserId> EncryptedBidTable::argmax_scan(
     ChannelId r) const {
   std::optional<UserId> best;
   for (std::size_t u = 0; u < users_; ++u) {
@@ -82,7 +165,8 @@ Bytes EncryptedBidTable::serialize() const {
 }
 
 EncryptedBidTable EncryptedBidTable::deserialize(
-    std::span<const std::uint8_t> wire) {
+    std::span<const std::uint8_t> wire, ArgmaxStrategy strategy,
+    std::size_t sort_threads) {
   ByteReader r(wire);
   EncryptedBidTable table;
   table.users_ = r.u32();
@@ -123,6 +207,14 @@ EncryptedBidTable EncryptedBidTable::deserialize(
   table.live_ = live;
   table.owned_ = std::move(submissions);
   table.submissions_ = table.owned_.get();
+  // Column orders are a pure function of the submissions, so they are
+  // rebuilt rather than shipped: the wire format stays byte-identical to
+  // the seed, and a restored table answers argmax exactly like the one
+  // that was snapshotted (cursors re-advance past tombstones lazily).
+  table.strategy_ = strategy;
+  if (strategy == ArgmaxStrategy::kSortedColumns) {
+    table.build_column_orders(sort_threads);
+  }
   return table;
 }
 

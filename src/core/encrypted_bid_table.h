@@ -4,6 +4,17 @@
 // so PSD's greedy allocator (auction/allocate.h) runs unchanged; the only
 // difference is that argmax_in_column compares bids via prefix-membership
 // intersections instead of integer comparison.
+//
+// The masked encoding is order-preserving (a >= b iff a's value family
+// intersects b's range cover), so the pairwise test induces a total
+// preorder on each column.  The default strategy exploits that: each
+// column's descending order is built ONCE with O(n log n) masked
+// comparisons, and argmax_in_column becomes an amortised O(1) pop that
+// skips tombstoned (removed) entries — instead of the seed's O(n)
+// tournament re-run every Algorithm-3 iteration (O(n² · w) per round).
+// The tournament scan is kept as an explicit strategy because it is the
+// differential-testing reference the sorted path must match award-for-
+// award, including across serialize → deserialize mid-allocation.
 #pragma once
 
 #include <memory>
@@ -14,12 +25,29 @@
 
 namespace lppa::core {
 
+/// How argmax_in_column finds the masked column maximum.
+enum class ArgmaxStrategy : std::uint8_t {
+  /// Build each column's total order up front (O(n log n) masked
+  /// comparisons, optionally parallelised across columns), then pop the
+  /// first still-present entry per query.  Default.
+  kSortedColumns,
+  /// The seed implementation: a fresh O(n) masked tournament per query.
+  /// Kept as the differential-testing reference and perf baseline.
+  kTournamentScan,
+};
+
 class EncryptedBidTable final : public auction::BidTableView {
  public:
   /// Holds a reference to the submissions for the duration of the
-  /// allocation; the caller keeps them alive.
+  /// allocation; the caller keeps them alive.  `sort_threads` spreads the
+  /// per-column order construction over the shared thread pool (1 =
+  /// serial, 0 = hardware concurrency); columns are sorted independently,
+  /// so the resulting orders — and every argmax answer — are identical
+  /// for any thread count.
   EncryptedBidTable(const std::vector<BidSubmission>& submissions,
-                    std::size_t num_channels);
+                    std::size_t num_channels,
+                    ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
+                    std::size_t sort_threads = 1);
 
   std::size_t num_users() const noexcept override { return users_; }
   std::size_t num_channels() const noexcept override { return channels_; }
@@ -28,11 +56,14 @@ class EncryptedBidTable final : public auction::BidTableView {
   void remove(UserId u, ChannelId r) override;
   void remove_user(UserId u) override;
 
-  /// Single-pass tournament: keep the running max, replacing it whenever
-  /// the candidate's masked encoding dominates.  O(n) intersections.
+  /// Column maximum under the masked order; ties break to the lowest
+  /// user id on both strategies (the sort is stable, the scan keeps the
+  /// first-seen user).
   std::optional<UserId> argmax_in_column(ChannelId r) const override;
 
   bool empty() const noexcept override;
+
+  ArgmaxStrategy strategy() const noexcept { return strategy_; }
 
   /// The masked entry (still present or not); used when assembling charge
   /// queries for the TTP.
@@ -42,19 +73,31 @@ class EncryptedBidTable final : public auction::BidTableView {
   /// presence bitmap (packed, with the live-cell count cross-checked at
   /// restore time) — so a recovering auctioneer can rebuild the table
   /// exactly as the allocator left it.  serialize→deserialize→serialize
-  /// is byte-identical, which the round-trip property test pins.
+  /// is byte-identical, which the round-trip property test pins.  The
+  /// column orders and cursors are NOT serialized: they are a pure
+  /// function of the submissions and are rebuilt on restore, keeping the
+  /// wire format identical to the seed (PR 3 recovery images stay valid).
   Bytes serialize() const;
 
   /// Inverse of serialize().  The restored table OWNS its submissions
   /// (the wire image is self-contained), unlike the referencing
   /// constructor.  Throws LppaError(kProtocol) on truncation, corruption,
   /// or a live-cell count that disagrees with the bitmap.
-  static EncryptedBidTable deserialize(std::span<const std::uint8_t> wire);
+  static EncryptedBidTable deserialize(
+      std::span<const std::uint8_t> wire,
+      ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
+      std::size_t sort_threads = 1);
 
  private:
   EncryptedBidTable() = default;  ///< used by deserialize only
 
   std::size_t idx(UserId u, ChannelId r) const;
+
+  /// Builds order_/head_ for every column (kSortedColumns only).
+  void build_column_orders(std::size_t sort_threads);
+
+  std::optional<UserId> argmax_scan(ChannelId r) const;
+  std::optional<UserId> argmax_sorted(ChannelId r) const;
 
   const std::vector<BidSubmission>* submissions_ = nullptr;
   /// Engaged when the table owns its submissions (deserialize path); the
@@ -66,6 +109,17 @@ class EncryptedBidTable final : public auction::BidTableView {
   std::size_t live_ = 0;  ///< count of set bits in present_, so empty()
                           ///< is O(1) instead of an O(n·m) bitmap scan
                           ///< per allocation iteration
+
+  ArgmaxStrategy strategy_ = ArgmaxStrategy::kSortedColumns;
+  /// order_[r]: user ids of column r, descending by masked bid (stable on
+  /// ties, so equal bids keep increasing-id order).  Entries are never
+  /// reordered after construction; removal is a tombstone in present_.
+  std::vector<std::vector<std::uint32_t>> order_;
+  /// head_[r]: cursor into order_[r].  Everything before it is known
+  /// tombstoned.  Cells are never resurrected, so the cursor only moves
+  /// forward; mutable because advancing it from const argmax queries is
+  /// pure memoisation (it never skips a present entry).
+  mutable std::vector<std::size_t> head_;
 };
 
 }  // namespace lppa::core

@@ -68,7 +68,8 @@ LppaOutcome LppaAuction::run(
   }
   view.conflicts =
       PpbsLocation::build_conflict_graph(view.locations, config_.num_threads);
-  EncryptedBidTable table(view.bids, config_.num_channels);
+  EncryptedBidTable table(view.bids, config_.num_channels,
+                          config_.argmax_strategy, config_.num_threads);
   std::vector<auction::Award> awards =
       auction::greedy_allocate(table, view.conflicts, rng);
 

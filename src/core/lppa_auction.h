@@ -37,6 +37,12 @@ struct LppaConfig {
   /// here; the wire session (proto/) relies on the same validator to
   /// reject Byzantine submissions.
   bool validate_submissions = true;
+  /// How the EncryptedBidTable answers column-max queries.  The sorted
+  /// default turns the allocation loop from O(n²·w) masked comparisons
+  /// into an O(n log n) one-off sort plus O(1) pops; kTournamentScan is
+  /// the seed path, kept selectable for differential testing (both yield
+  /// byte-identical awards/charges on honest submissions).
+  ArgmaxStrategy argmax_strategy = ArgmaxStrategy::kSortedColumns;
 };
 
 /// Everything the auctioneer (and hence a curious-but-honest attacker)

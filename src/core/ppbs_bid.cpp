@@ -1,6 +1,7 @@
 #include "core/ppbs_bid.h"
 
 #include <cmath>
+#include <mutex>
 #include <numeric>
 
 #include "common/math_util.h"
@@ -166,11 +167,21 @@ crypto::SecretKey derive_channel_key(const crypto::SecretKey& gb_master,
   return per_channel_keys ? gb_master.derive("gb", r) : gb_master;
 }
 
+/// Grow-only memo of per-channel HmacKeyCtx values.  Readers take a
+/// snapshot shared_ptr under the mutex (one lock per submit call, not per
+/// digest); growth copies the old vector so existing snapshots stay valid.
+struct BidSubmitter::KeyCtxCache {
+  std::mutex mutex;
+  std::shared_ptr<const std::vector<crypto::HmacKeyCtx>> ctxs =
+      std::make_shared<const std::vector<crypto::HmacKeyCtx>>();
+};
+
 BidSubmitter::BidSubmitter(PpbsBidConfig config, crypto::SecretKey gb_master,
                            crypto::SecretKey gc)
     : config_(std::move(config)),
       gb_master_(gb_master),
-      box_(gc, config_.sealed_cipher) {
+      box_(gc, config_.sealed_cipher),
+      key_ctxs_(std::make_shared<KeyCtxCache>()) {
   config_.enc.validate();
   LPPA_REQUIRE(config_.policy.bmax() == config_.enc.bmax,
                "disguise policy must cover exactly 0..bmax");
@@ -180,8 +191,33 @@ crypto::SecretKey BidSubmitter::channel_key(ChannelId r) const {
   return derive_channel_key(gb_master_, r, config_.per_channel_keys);
 }
 
+std::shared_ptr<const std::vector<crypto::HmacKeyCtx>>
+BidSubmitter::channel_ctxs(std::size_t k) const {
+  // Without per-channel keys every channel shares gb_master, so one
+  // context suffices regardless of k.
+  const std::size_t need = config_.per_channel_keys ? k : std::min<std::size_t>(k, 1);
+  std::lock_guard<std::mutex> lock(key_ctxs_->mutex);
+  if (key_ctxs_->ctxs->size() < need) {
+    auto grown = std::make_shared<std::vector<crypto::HmacKeyCtx>>(
+        *key_ctxs_->ctxs);
+    grown->reserve(need);
+    for (std::size_t r = grown->size(); r < need; ++r) {
+      grown->emplace_back(channel_key(r));
+    }
+    key_ctxs_->ctxs = std::move(grown);
+  }
+  return key_ctxs_->ctxs;
+}
+
 ChannelBidSubmission BidSubmitter::encode_bid(ChannelId r, Money true_bid,
                                               Rng& rng) const {
+  const auto ctxs = channel_ctxs(r + 1);
+  return encode_bid_with((*ctxs)[config_.per_channel_keys ? r : 0], true_bid,
+                         rng);
+}
+
+ChannelBidSubmission BidSubmitter::encode_bid_with(
+    const crypto::HmacKeyCtx& key_ctx, Money true_bid, Rng& rng) const {
   const auto& enc = config_.enc;
   LPPA_REQUIRE(true_bid <= enc.bmax, "bid exceeds bmax");
 
@@ -202,12 +238,11 @@ ChannelBidSubmission BidSubmitter::encode_bid(ChannelId r, Money true_bid,
   const std::uint64_t scaled = enc.cr * effective + rng.below(enc.cr);
 
   const int width = enc.scaled_width();
-  const crypto::SecretKey key = channel_key(r);
 
   ChannelBidSubmission out;
-  out.value_family = prefix::HashedPrefixSet::of_value(key, scaled, width);
+  out.value_family = prefix::HashedPrefixSet::of_value(key_ctx, scaled, width);
   out.range_set =
-      prefix::HashedPrefixSet::of_range(key, scaled, enc.scaled_max(), width);
+      prefix::HashedPrefixSet::of_range(key_ctx, scaled, enc.scaled_max(), width);
   if (config_.pad_range_sets) {
     out.range_set.pad_to(prefix::max_range_prefixes(width), rng);
   }
@@ -219,10 +254,14 @@ ChannelBidSubmission BidSubmitter::encode_bid(ChannelId r, Money true_bid,
 }
 
 BidSubmission BidSubmitter::submit(const BidVector& bids, Rng& rng) const {
+  // One cache lookup for the whole vector; the snapshot keeps every
+  // channel context alive for the duration of the encode loop.
+  const auto ctxs = channel_ctxs(bids.size());
   BidSubmission out;
   out.channels.reserve(bids.size());
   for (ChannelId r = 0; r < bids.size(); ++r) {
-    out.channels.push_back(encode_bid(r, bids[r], rng));
+    out.channels.push_back(encode_bid_with(
+        (*ctxs)[config_.per_channel_keys ? r : 0], bids[r], rng));
   }
   return out;
 }

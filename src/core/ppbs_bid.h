@@ -21,6 +21,7 @@
 // ablation bench isolates each fix.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "auction/bid.h"
@@ -151,7 +152,9 @@ struct BidSubmission {
   bool operator==(const BidSubmission&) const = default;
 };
 
-/// SU-side encoder.
+/// SU-side encoder.  Thread-safe for concurrent submit() calls: the
+/// per-channel HMAC key contexts are memoised in a grow-only cache behind
+/// a mutex, and everything else is immutable after construction.
 class BidSubmitter {
  public:
   BidSubmitter(PpbsBidConfig config, crypto::SecretKey gb_master,
@@ -170,9 +173,20 @@ class BidSubmitter {
   const PpbsBidConfig& config() const noexcept { return config_; }
 
  private:
+  /// Midstate-cached HMAC contexts for channels [0, k): derived once per
+  /// submitter (not once per SU bid), then shared.  Returns a snapshot
+  /// covering at least `k` channels.
+  std::shared_ptr<const std::vector<crypto::HmacKeyCtx>> channel_ctxs(
+      std::size_t k) const;
+
+  ChannelBidSubmission encode_bid_with(const crypto::HmacKeyCtx& key_ctx,
+                                       Money true_bid, Rng& rng) const;
+
   PpbsBidConfig config_;
   crypto::SecretKey gb_master_;
   crypto::SealedBox box_;
+  struct KeyCtxCache;
+  std::shared_ptr<KeyCtxCache> key_ctxs_;  ///< shared across copies
 };
 
 /// Auctioneer-side order test within one channel column:

@@ -30,7 +30,7 @@ LocationSubmission LocationSubmission::deserialize(
 
 PpbsLocation::PpbsLocation(const crypto::SecretKey& g0, int coord_width,
                            std::uint64_t lambda, bool pad_ranges)
-    : g0_(g0), coord_width_(coord_width), lambda_(lambda),
+    : g0_ctx_(g0), coord_width_(coord_width), lambda_(lambda),
       pad_ranges_(pad_ranges) {
   LPPA_REQUIRE(coord_width >= 1 && coord_width <= prefix::kMaxWidth,
                "coordinate width out of range");
@@ -53,12 +53,12 @@ LocationSubmission PpbsLocation::submit(const auction::SuLocation& loc,
   };
 
   LocationSubmission s;
-  s.x_family = prefix::HashedPrefixSet::of_value(g0_, loc.x, coord_width_);
-  s.y_family = prefix::HashedPrefixSet::of_value(g0_, loc.y, coord_width_);
+  s.x_family = prefix::HashedPrefixSet::of_value(g0_ctx_, loc.x, coord_width_);
+  s.y_family = prefix::HashedPrefixSet::of_value(g0_ctx_, loc.y, coord_width_);
   s.x_range = prefix::HashedPrefixSet::of_range(
-      g0_, clamp_lo(loc.x), loc.x + 2 * lambda_, coord_width_);
+      g0_ctx_, clamp_lo(loc.x), loc.x + 2 * lambda_, coord_width_);
   s.y_range = prefix::HashedPrefixSet::of_range(
-      g0_, clamp_lo(loc.y), loc.y + 2 * lambda_, coord_width_);
+      g0_ctx_, clamp_lo(loc.y), loc.y + 2 * lambda_, coord_width_);
   if (pad_ranges_) {
     const std::size_t target = prefix::max_range_prefixes(coord_width_);
     s.x_range.pad_to(target, rng);

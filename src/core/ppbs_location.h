@@ -74,7 +74,11 @@ class PpbsLocation {
   std::uint64_t lambda() const noexcept { return lambda_; }
 
  private:
-  crypto::SecretKey g0_;
+  /// Midstate-cached HMAC context for g0: every submission hashes ~4w
+  /// prefixes under the same key, so the key schedule is absorbed once
+  /// here instead of once per digest.  Immutable, hence safe to share
+  /// across the parallel submission loop.
+  crypto::HmacKeyCtx g0_ctx_;
   int coord_width_;
   std::uint64_t lambda_;
   bool pad_ranges_;

@@ -2,41 +2,32 @@
 
 #include <cstring>
 
+#include "common/error.h"
+
 namespace lppa::crypto {
 
 namespace {
 constexpr std::size_t kBlockSize = 64;
 }
 
-HmacSha256::HmacSha256(const SecretKey& key) noexcept {
+void HmacKeyCtx::init(std::span<const std::uint8_t> padded_key) noexcept {
+  std::array<std::uint8_t, kBlockSize> pad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) pad[i] = padded_key[i] ^ 0x36;
+  inner_mid_.update(std::span<const std::uint8_t>(pad));
+  for (std::size_t i = 0; i < kBlockSize; ++i) pad[i] = padded_key[i] ^ 0x5c;
+  outer_mid_.update(std::span<const std::uint8_t>(pad));
+}
+
+HmacKeyCtx::HmacKeyCtx(const SecretKey& key) noexcept {
   // Keys are always 32 bytes (< block size), so no pre-hashing needed.
-  std::array<std::uint8_t, kBlockSize> ipad_key{};
-  opad_key_.fill(0x5c);
-  ipad_key.fill(0x36);
+  std::array<std::uint8_t, kBlockSize> padded{};
   const auto kb = key.bytes();
-  for (std::size_t i = 0; i < kb.size(); ++i) {
-    ipad_key[i] ^= kb[i];
-    opad_key_[i] ^= kb[i];
-  }
-  inner_.update(std::span<const std::uint8_t>(ipad_key));
+  std::memcpy(padded.data(), kb.data(), kb.size());
+  init(padded);
 }
 
-Digest HmacSha256::finalize() noexcept {
-  const Digest inner_digest = inner_.finalize();
-  Sha256 outer;
-  outer.update(std::span<const std::uint8_t>(opad_key_));
-  outer.update(std::span<const std::uint8_t>(inner_digest.bytes));
-  return outer.finalize();
-}
-
-Digest hmac_sha256(const SecretKey& key, std::span<const std::uint8_t> message) {
-  HmacSha256 mac(key);
-  mac.update(message);
-  return mac.finalize();
-}
-
-Digest hmac_sha256_raw_key(std::span<const std::uint8_t> key,
-                           std::span<const std::uint8_t> message) {
+HmacKeyCtx HmacKeyCtx::from_raw_key(
+    std::span<const std::uint8_t> key) noexcept {
   std::array<std::uint8_t, kBlockSize> padded{};
   if (key.size() > kBlockSize) {
     const Digest hashed = Sha256::hash(key);
@@ -44,21 +35,50 @@ Digest hmac_sha256_raw_key(std::span<const std::uint8_t> key,
   } else {
     std::memcpy(padded.data(), key.data(), key.size());
   }
+  HmacKeyCtx ctx;
+  ctx.init(padded);
+  return ctx;
+}
 
-  std::array<std::uint8_t, kBlockSize> ipad_key{};
-  std::array<std::uint8_t, kBlockSize> opad_key{};
-  for (std::size_t i = 0; i < kBlockSize; ++i) {
-    ipad_key[i] = padded[i] ^ 0x36;
-    opad_key[i] = padded[i] ^ 0x5c;
-  }
-  Sha256 inner;
-  inner.update(std::span<const std::uint8_t>(ipad_key));
-  inner.update(message);
-  const Digest inner_digest = inner.finalize();
-  Sha256 outer;
-  outer.update(std::span<const std::uint8_t>(opad_key));
+Digest HmacKeyCtx::finish_outer(const Digest& inner_digest) const noexcept {
+  Sha256 outer = outer_mid_;
   outer.update(std::span<const std::uint8_t>(inner_digest.bytes));
   return outer.finalize();
+}
+
+Digest HmacKeyCtx::mac(std::span<const std::uint8_t> message) const noexcept {
+  Sha256 inner = inner_mid_;
+  inner.update(message);
+  return finish_outer(inner.finalize());
+}
+
+Digest HmacKeyCtx::mac_u64(std::uint64_t value) const noexcept {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  return mac(std::span<const std::uint8_t>(buf, 8));
+}
+
+void HmacKeyCtx::mac_u64_batch(std::span<const std::uint64_t> values,
+                               std::span<Digest> out) const {
+  LPPA_REQUIRE(values.size() == out.size(),
+               "hmac batch output span must match input size");
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = mac_u64(values[i]);
+}
+
+HmacSha256::HmacSha256(const SecretKey& key) noexcept
+    : ctx_(key), inner_(ctx_.inner_midstate()) {}
+
+Digest HmacSha256::finalize() noexcept {
+  return ctx_.finish_outer(inner_.finalize());
+}
+
+Digest hmac_sha256(const SecretKey& key, std::span<const std::uint8_t> message) {
+  return HmacKeyCtx(key).mac(message);
+}
+
+Digest hmac_sha256_raw_key(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) {
+  return HmacKeyCtx::from_raw_key(key).mac(message);
 }
 
 Digest hmac_sha256(const SecretKey& key, std::string_view message) {
@@ -69,9 +89,13 @@ Digest hmac_sha256(const SecretKey& key, std::string_view message) {
 }
 
 Digest hmac_sha256_u64(const SecretKey& key, std::uint64_t value) {
-  std::uint8_t buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
-  return hmac_sha256(key, std::span<const std::uint8_t>(buf, 8));
+  return HmacKeyCtx(key).mac_u64(value);
+}
+
+void hmac_sha256_u64_batch(const SecretKey& key,
+                           std::span<const std::uint64_t> values,
+                           std::span<Digest> out) {
+  HmacKeyCtx(key).mac_u64_batch(values, out);
 }
 
 }  // namespace lppa::crypto

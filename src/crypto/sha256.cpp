@@ -3,6 +3,12 @@
 #include <bit>
 #include <cstring>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
+#include <immintrin.h>
+#define LPPA_SHA_NI_DISPATCH 1
+#endif
+
 namespace lppa::crypto {
 
 namespace {
@@ -27,6 +33,84 @@ constexpr std::array<std::uint32_t, 8> kInitialState = {
 inline std::uint32_t rotr(std::uint32_t x, int n) noexcept {
   return std::rotr(x, n);
 }
+
+#ifdef LPPA_SHA_NI_DISPATCH
+
+// Hardware compression via the x86 SHA extensions (sha256rnds2 does two
+// rounds per instruction; sha256msg1/msg2 run the message schedule).
+// Register layout follows Intel's reference: STATE0 holds {A,B,E,F},
+// STATE1 holds {C,D,G,H}, and the schedule keeps four 4-word message
+// blocks rotating through msgs[0..3].  Bit-identical to the scalar path —
+// the RFC/FIPS vector tests exercise whichever path dispatch picks.
+__attribute__((target("sha,sse4.1,ssse3"))) void process_block_shani(
+    std::array<std::uint32_t, 8>& state, const std::uint8_t* block) noexcept {
+  const __m128i kBswapMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  __m128i msgs[4];
+  for (int g = 0; g < 16; ++g) {
+    __m128i x0;
+    if (g < 4) {
+      x0 = _mm_shuffle_epi8(
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(block + 16 * g)),
+          kBswapMask);
+      msgs[g] = x0;
+    } else {
+      x0 = msgs[g & 3];
+    }
+    __m128i msg = _mm_add_epi32(
+        x0, _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(&kRoundConstants[4 * g])));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    if (g >= 3 && g < 15) {
+      // W[4(g+1)..4(g+1)+3] = msg2(msg1-partial + W[i-7] terms, x0).
+      const __m128i w_im7 = _mm_alignr_epi8(x0, msgs[(g + 3) & 3], 4);
+      msgs[(g + 1) & 3] = _mm_sha256msg2_epu32(
+          _mm_add_epi32(msgs[(g + 1) & 3], w_im7), x0);
+    }
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    if (g >= 1 && g < 13) {
+      msgs[(g + 3) & 3] = _mm_sha256msg1_epu32(msgs[(g + 3) & 3], x0);
+    }
+  }
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);      // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);         // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool detect_sha_ni() noexcept {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (!__get_cpuid_count(7, 0, &a, &b, &c, &d)) return false;
+  const bool sha = (b >> 29) & 1u;
+  if (!__get_cpuid(1, &a, &b, &c, &d)) return false;
+  const bool ssse3 = (c >> 9) & 1u;
+  const bool sse41 = (c >> 19) & 1u;
+  return sha && ssse3 && sse41;
+}
+
+const bool kHasShaNi = detect_sha_ni();
+
+#endif  // LPPA_SHA_NI_DISPATCH
 
 }  // namespace
 
@@ -73,6 +157,12 @@ void Sha256::update(std::span<const std::uint8_t> data) noexcept {
 }
 
 void Sha256::process_block(const std::uint8_t* block) noexcept {
+#ifdef LPPA_SHA_NI_DISPATCH
+  if (kHasShaNi) {
+    process_block_shani(state_, block);
+    return;
+  }
+#endif
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
@@ -144,6 +234,14 @@ Digest Sha256::hash(std::string_view data) noexcept {
   Sha256 h;
   h.update(data);
   return h.finalize();
+}
+
+bool Sha256::accelerated() noexcept {
+#ifdef LPPA_SHA_NI_DISPATCH
+  return kHasShaNi;
+#else
+  return false;
+#endif
 }
 
 }  // namespace lppa::crypto

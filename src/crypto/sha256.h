@@ -48,6 +48,11 @@ class Sha256 {
   static Digest hash(std::span<const std::uint8_t> data) noexcept;
   static Digest hash(std::string_view data) noexcept;
 
+  /// True when the compression function dispatches to a hardware
+  /// implementation (x86 SHA extensions) on this machine.  Purely
+  /// informational — both paths compute the same FIPS 180-4 function.
+  static bool accelerated() noexcept;
+
  private:
   void process_block(const std::uint8_t* block) noexcept;
 

@@ -6,13 +6,13 @@ namespace lppa::prefix {
 
 namespace {
 
-std::vector<crypto::Digest> hash_prefixes(const crypto::SecretKey& key,
+std::vector<crypto::Digest> hash_prefixes(const crypto::HmacKeyCtx& ctx,
                                           const std::vector<Prefix>& prefixes) {
-  std::vector<crypto::Digest> out;
-  out.reserve(prefixes.size());
-  for (const auto& p : prefixes) {
-    out.push_back(crypto::hmac_sha256_u64(key, numericalize(p)));
-  }
+  std::vector<std::uint64_t> nums;
+  nums.reserve(prefixes.size());
+  for (const auto& p : prefixes) nums.push_back(numericalize(p));
+  std::vector<crypto::Digest> out(nums.size());
+  ctx.mac_u64_batch(nums, out);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -21,16 +21,27 @@ std::vector<crypto::Digest> hash_prefixes(const crypto::SecretKey& key,
 
 HashedPrefixSet HashedPrefixSet::of_value(const crypto::SecretKey& key,
                                           std::uint64_t x, int width) {
-  HashedPrefixSet s;
-  s.digests_ = hash_prefixes(key, prefix_family(x, width));
-  return s;
+  return of_value(crypto::HmacKeyCtx(key), x, width);
 }
 
 HashedPrefixSet HashedPrefixSet::of_range(const crypto::SecretKey& key,
                                           std::uint64_t a, std::uint64_t b,
                                           int width) {
+  return of_range(crypto::HmacKeyCtx(key), a, b, width);
+}
+
+HashedPrefixSet HashedPrefixSet::of_value(const crypto::HmacKeyCtx& ctx,
+                                          std::uint64_t x, int width) {
   HashedPrefixSet s;
-  s.digests_ = hash_prefixes(key, range_prefixes(a, b, width));
+  s.digests_ = hash_prefixes(ctx, prefix_family(x, width));
+  return s;
+}
+
+HashedPrefixSet HashedPrefixSet::of_range(const crypto::HmacKeyCtx& ctx,
+                                          std::uint64_t a, std::uint64_t b,
+                                          int width) {
+  HashedPrefixSet s;
+  s.digests_ = hash_prefixes(ctx, range_prefixes(a, b, width));
   return s;
 }
 

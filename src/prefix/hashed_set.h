@@ -30,6 +30,16 @@ class HashedPrefixSet {
   static HashedPrefixSet of_range(const crypto::SecretKey& key,
                                   std::uint64_t a, std::uint64_t b, int width);
 
+  /// Midstate-cached variants: same digests, but the HMAC key schedule is
+  /// paid once per HmacKeyCtx instead of once per prefix.  Protocol-side
+  /// callers that hash several sets under one key (a value family plus
+  /// its range cover, or every submission under g0) hold one context and
+  /// batch-hash through it.
+  static HashedPrefixSet of_value(const crypto::HmacKeyCtx& ctx,
+                                  std::uint64_t x, int width);
+  static HashedPrefixSet of_range(const crypto::HmacKeyCtx& ctx,
+                                  std::uint64_t a, std::uint64_t b, int width);
+
   /// Builds from raw digests (deserialisation path).
   static HashedPrefixSet from_digests(std::vector<crypto::Digest> digests);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "auction/bid_matrix.h"
+#include "core/lppa_auction.h"
 #include "crypto/sealed_box.h"
 
 namespace lppa::core {
@@ -160,6 +161,194 @@ TEST_F(EncryptedTableTest, SerializeRestoreRoundTripsByteIdentically) {
     EncryptedBidTable drained = EncryptedBidTable::deserialize(image);
     for (std::size_t u = 0; u < n; ++u) drained.remove_user(u);
     EXPECT_TRUE(drained.empty()) << "scenario " << scenario;
+  }
+}
+
+TEST_F(EncryptedTableTest, SortedAndScanStrategiesAgreeOnEveryQuery) {
+  // The sorted-column index is a pure acceleration structure: for any
+  // submission set and any interleaving of removals, every
+  // argmax_in_column answer must match the seed tournament scan
+  // bit-for-bit (ties included — the sort is stable on user id, which is
+  // exactly the scan's first-seen-wins rule).
+  Rng sweep(4242);
+  for (int scenario = 0; scenario < 15; ++scenario) {
+    const std::size_t n = 2 + sweep.below(10);
+    const std::size_t k = 1 + sweep.below(4);
+    std::vector<auction::BidVector> bids(n, auction::BidVector(k));
+    for (auto& bv : bids) {
+      // below(4) forces heavy ties; below(16) gives near-distinct columns.
+      const auction::Money hi = sweep.bernoulli(0.5) ? 4 : 16;
+      for (auto& b : bv) b = sweep.below(hi);
+    }
+    const auto subs = make(bids);
+    EncryptedBidTable sorted(subs, k, ArgmaxStrategy::kSortedColumns);
+    EncryptedBidTable scan(subs, k, ArgmaxStrategy::kTournamentScan);
+    for (int step = 0; step < 40 && !sorted.empty(); ++step) {
+      const std::size_t r = sweep.below(k);
+      ASSERT_EQ(sorted.argmax_in_column(r), scan.argmax_in_column(r))
+          << "scenario " << scenario << " step " << step << " column " << r;
+      if (sweep.bernoulli(0.5)) {
+        const std::size_t u = sweep.below(n);
+        sorted.remove_user(u);
+        scan.remove_user(u);
+      } else {
+        const std::size_t u = sweep.below(n);
+        sorted.remove(u, r);
+        scan.remove(u, r);
+      }
+    }
+    EXPECT_EQ(sorted.empty(), scan.empty()) << "scenario " << scenario;
+  }
+}
+
+TEST_F(EncryptedTableTest, SortedStrategyAllocationStreamMatchesScan) {
+  // End-to-end differential over the greedy allocator: the full award
+  // stream (winner order, channels, prices) must be identical under both
+  // strategies for the same channel-draw randomness.
+  Rng world(99);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 10, k = 3;
+    std::vector<auction::SuLocation> locs;
+    std::vector<auction::BidVector> bids(n, auction::BidVector(k));
+    for (auto& bv : bids) {
+      for (auto& b : bv) b = world.below(15);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      locs.push_back({world.below(300), world.below(300)});
+    }
+    const auto g = auction::ConflictGraph::from_locations(locs, 70);
+    const auto subs = make(bids);
+
+    EncryptedBidTable sorted(subs, k, ArgmaxStrategy::kSortedColumns);
+    Rng rng_sorted(round + 500);
+    const auto sorted_awards = auction::greedy_allocate(sorted, g, rng_sorted);
+
+    EncryptedBidTable scan(subs, k, ArgmaxStrategy::kTournamentScan);
+    Rng rng_scan(round + 500);
+    const auto scan_awards = auction::greedy_allocate(scan, g, rng_scan);
+
+    EXPECT_EQ(sorted_awards, scan_awards) << "round " << round;
+  }
+}
+
+TEST_F(EncryptedTableTest, MidAllocationSnapshotRestoresIdenticallyUnderBothStrategies) {
+  // The PR 3 recovery path serializes a partially-consumed table and
+  // resumes allocation after restart.  A snapshot taken mid-allocation
+  // must restore into a table whose remaining allocation stream is
+  // identical regardless of which argmax strategy the restored process
+  // picks — the wire image carries no strategy state, and the sorted
+  // index must rebuild around the already-consumed cells.
+  Rng world(321);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = 9, k = 3;
+    std::vector<auction::SuLocation> locs;
+    std::vector<auction::BidVector> bids(n, auction::BidVector(k));
+    for (auto& bv : bids) {
+      for (auto& b : bv) b = world.below(15);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      locs.push_back({world.below(300), world.below(300)});
+    }
+    const auto g = auction::ConflictGraph::from_locations(locs, 70);
+    const auto subs = make(bids);
+
+    // Consume a prefix of the allocation by hand: pop some winners the
+    // way greedy_allocate would (remove the winner row and one random
+    // conflicting neighbour's cell), then snapshot.
+    EncryptedBidTable live(subs, k, ArgmaxStrategy::kSortedColumns);
+    const std::size_t consumed = 1 + world.below(4);
+    for (std::size_t i = 0; i < consumed && !live.empty(); ++i) {
+      const std::size_t r = world.below(k);
+      const auto winner = live.argmax_in_column(r);
+      if (!winner) continue;
+      live.remove_user(*winner);
+      live.remove(world.below(n), world.below(k));
+    }
+    const Bytes image = live.serialize();
+
+    EncryptedBidTable restored_sorted = EncryptedBidTable::deserialize(
+        image, ArgmaxStrategy::kSortedColumns);
+    EncryptedBidTable restored_scan = EncryptedBidTable::deserialize(
+        image, ArgmaxStrategy::kTournamentScan);
+
+    Rng rng_a(round + 900);
+    Rng rng_b(round + 900);
+    const auto awards_sorted =
+        auction::greedy_allocate(restored_sorted, g, rng_a);
+    const auto awards_scan = auction::greedy_allocate(restored_scan, g, rng_b);
+    EXPECT_EQ(awards_sorted, awards_scan) << "round " << round;
+  }
+}
+
+TEST_F(EncryptedTableTest, FullRoundOutcomeIdenticalAcrossStrategies) {
+  // Highest-level differential: a complete LppaAuction round (submission,
+  // conflict graph, allocation, TTP charging) configured with each
+  // strategy must publish identical awards AND identical TTP-validated
+  // charges — the sorted index may not perturb anything downstream.
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t n = 14, k = 3;
+    Rng world(round + 77);
+    std::vector<auction::SuLocation> locs;
+    std::vector<auction::BidVector> bids(n, auction::BidVector(k));
+    for (auto& bv : bids) {
+      for (auto& b : bv) b = world.below(15);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      locs.push_back({world.below(1000), world.below(1000)});
+    }
+
+    core::LppaConfig cfg;
+    cfg.num_channels = k;
+    cfg.lambda = 100;
+    cfg.coord_width = 12;
+    cfg.bid = PpbsBidConfig::advanced(15, 3, 4, ZeroDisguisePolicy::none(15));
+
+    cfg.argmax_strategy = ArgmaxStrategy::kSortedColumns;
+    core::LppaAuction auction_sorted(cfg, /*ttp_seed=*/round + 1);
+    Rng rng_sorted(round + 5000);
+    const auto out_sorted = auction_sorted.run(locs, bids, rng_sorted);
+
+    cfg.argmax_strategy = ArgmaxStrategy::kTournamentScan;
+    core::LppaAuction auction_scan(cfg, /*ttp_seed=*/round + 1);
+    Rng rng_scan(round + 5000);
+    const auto out_scan = auction_scan.run(locs, bids, rng_scan);
+
+    EXPECT_EQ(out_sorted.outcome.awards, out_scan.outcome.awards)
+        << "round " << round;
+    EXPECT_EQ(out_sorted.view.awards, out_scan.view.awards)
+        << "round " << round;
+    EXPECT_EQ(out_sorted.outcome.winning_bid_sum(),
+              out_scan.outcome.winning_bid_sum())
+        << "round " << round;
+    EXPECT_EQ(out_sorted.manipulations_detected,
+              out_scan.manipulations_detected)
+        << "round " << round;
+  }
+}
+
+TEST_F(EncryptedTableTest, ParallelSortMatchesSerialSort) {
+  // The column sort fans out across the ThreadPool when sort_threads > 1;
+  // each column is sorted by exactly one worker, so the resulting order
+  // (and hence every argmax answer) must be independent of thread count.
+  const std::size_t n = 24, k = 6;
+  Rng world(55);
+  std::vector<auction::BidVector> bids(n, auction::BidVector(k));
+  for (auto& bv : bids) {
+    for (auto& b : bv) b = world.below(8);  // plenty of ties
+  }
+  const auto subs = make(bids);
+  EncryptedBidTable serial(subs, k, ArgmaxStrategy::kSortedColumns, 1);
+  EncryptedBidTable threaded(subs, k, ArgmaxStrategy::kSortedColumns, 4);
+  for (std::size_t r = 0; r < k; ++r) {
+    EXPECT_EQ(serial.argmax_in_column(r), threaded.argmax_in_column(r)) << r;
+  }
+  for (std::size_t u = 0; u < n; u += 2) {
+    serial.remove_user(u);
+    threaded.remove_user(u);
+    for (std::size_t r = 0; r < k; ++r) {
+      ASSERT_EQ(serial.argmax_in_column(r), threaded.argmax_in_column(r))
+          << "after removing user " << u << " column " << r;
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "common/rng.h"
 
 namespace lppa::crypto {
@@ -137,6 +138,105 @@ TEST(HmacIncremental, MatchesOneShot) {
   mac.update(std::span<const std::uint8_t>(msg.data(), 6));
   mac.update(std::span<const std::uint8_t>(msg.data() + 6, msg.size() - 6));
   EXPECT_EQ(mac.finalize(), hmac_sha256(key, msg));
+}
+
+// ------------------------------------------------------------------ ctx
+
+// Every RFC 4231 case, driven explicitly through HmacKeyCtx::from_raw_key
+// so the midstate-cached path (not just the convenience wrappers built on
+// it) is pinned against the published vectors.  Covers short keys
+// (zero-padding), an oversized key (pre-hashing), and messages shorter
+// and longer than one compression block.
+TEST(HmacKeyCtxRfc4231, AllCasesThroughMidstatePath) {
+  struct Case {
+    Bytes key;
+    Bytes msg;
+    const char* hex;
+  };
+  Bytes case4_key(25);
+  for (std::size_t i = 0; i < case4_key.size(); ++i) {
+    case4_key[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const Case cases[] = {
+      {Bytes(20, 0x0b), str_bytes("Hi There"),
+       "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"},
+      {str_bytes("Jefe"), str_bytes("what do ya want for nothing?"),
+       "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"},
+      {Bytes(20, 0xaa), Bytes(50, 0xdd),
+       "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"},
+      {case4_key, Bytes(50, 0xcd),
+       "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"},
+      {Bytes(131, 0xaa),
+       str_bytes("Test Using Larger Than Block-Size Key - Hash Key First"),
+       "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"},
+      {Bytes(131, 0xaa),
+       str_bytes("This is a test using a larger than block-size key "
+                 "and a larger than block-size data. The key needs "
+                 "to be hashed before being used by the HMAC "
+                 "algorithm."),
+       "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"},
+  };
+  for (const Case& c : cases) {
+    const HmacKeyCtx ctx = HmacKeyCtx::from_raw_key(c.key);
+    EXPECT_EQ(ctx.mac(c.msg).hex(), c.hex);
+    // The context is reusable: a second mac() from the same midstates
+    // must not be perturbed by the first.
+    EXPECT_EQ(ctx.mac(c.msg).hex(), c.hex);
+  }
+}
+
+TEST(HmacKeyCtx, SecretKeyCtorMatchesRawKeyCtor) {
+  lppa::Rng rng(9);
+  const SecretKey key = SecretKey::generate(rng);
+  const HmacKeyCtx a(key);
+  const HmacKeyCtx b = HmacKeyCtx::from_raw_key(key.bytes());
+  const Bytes msg = str_bytes("midstate");
+  EXPECT_EQ(a.mac(msg), b.mac(msg));
+}
+
+TEST(HmacKeyCtx, MacU64MatchesOneShot) {
+  lppa::Rng rng(10);
+  const SecretKey key = SecretKey::generate(rng);
+  const HmacKeyCtx ctx(key);
+  for (std::uint64_t v : {0ull, 1ull, 0xffull, 0x0123456789abcdefull, ~0ull}) {
+    EXPECT_EQ(ctx.mac_u64(v), hmac_sha256_u64(key, v)) << v;
+  }
+}
+
+// Property: the batch API is digest-for-digest identical to per-call
+// hmac_sha256_u64 for random keys and values — this is what lets
+// prefix/hashed_set switch to the batched path without any behavioural
+// review of its callers.
+TEST(HmacBatch, EquivalentToPerCallForRandomKeysAndValues) {
+  lppa::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const SecretKey key = SecretKey::generate(rng);
+    const std::size_t count = static_cast<std::size_t>(rng.below(65));
+    std::vector<std::uint64_t> values(count);
+    for (auto& v : values) v = rng.next();
+    std::vector<Digest> batch(count);
+    hmac_sha256_u64_batch(key, values, batch);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(batch[i], hmac_sha256_u64(key, values[i]))
+          << "trial " << trial << " index " << i;
+    }
+  }
+}
+
+TEST(HmacBatch, EmptyBatchIsANoop) {
+  lppa::Rng rng(12);
+  const SecretKey key = SecretKey::generate(rng);
+  hmac_sha256_u64_batch(key, {}, {});
+}
+
+TEST(HmacBatch, MismatchedSpansThrow) {
+  lppa::Rng rng(13);
+  const SecretKey key = SecretKey::generate(rng);
+  const std::uint64_t v = 7;
+  std::vector<Digest> out(2);
+  EXPECT_THROW(
+      hmac_sha256_u64_batch(key, std::span<const std::uint64_t>(&v, 1), out),
+      lppa::LppaError);
 }
 
 }  // namespace

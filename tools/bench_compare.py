@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf_scaling.json files and fail on regressions.
+
+Each file is a JSON array of samples::
+
+    {"phase": str, "n": int, "threads": int, "wall_ms": float, ...}
+
+Samples are matched on (phase, n, threads).  A candidate sample whose
+wall_ms exceeds the baseline's by more than --threshold (default 20%)
+is a regression; any regression makes the script exit 1, which is what
+lets ctest use it as a perf-smoke gate.
+
+Keys present in only one file are reported but are not failures: the
+baseline may predate a new phase, and a sanitizer or --smoke run may
+skip the large sizes.
+
+Usage::
+
+    bench_compare.py baseline.json candidate.json [--threshold 0.2]
+    bench_compare.py baseline.json --run-bench "./bench/perf_scaling --smoke"
+
+With --run-bench the candidate is produced by running the given command
+(appending --json <tmpfile>), so ctest needs just one entry point.
+"""
+
+import argparse
+import json
+import os
+import shlex
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def load_samples(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a JSON array of samples")
+    out = {}
+    for sample in data:
+        try:
+            key = (sample["phase"], int(sample["n"]), int(sample["threads"]))
+            wall = float(sample["wall_ms"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"{path}: malformed sample {sample!r}: {exc}")
+        if key in out:
+            raise SystemExit(f"{path}: duplicate sample key {key}")
+        out[key] = wall
+    return out
+
+
+def fmt_key(key):
+    phase, n, threads = key
+    return f"{phase} n={n} threads={threads}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two perf_scaling JSON dumps, fail on regressions")
+    parser.add_argument("baseline", help="baseline BENCH_perf_scaling.json")
+    parser.add_argument("candidate", nargs="?",
+                        help="candidate JSON (or use --run-bench)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated fractional wall_ms increase "
+                             "(default 0.20 = +20%%)")
+    parser.add_argument("--min-wall-ms", type=float, default=10.0,
+                        help="skip samples where both sides are below this "
+                             "floor — sub-10ms phases are scheduler noise, "
+                             "not signal (default 10)")
+    parser.add_argument("--run-bench", metavar="CMD",
+                        help="produce the candidate by running CMD "
+                             "--json <tmpfile>")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="with --run-bench, run the bench this many "
+                             "times and keep each sample's best wall_ms — "
+                             "the minimum is the least noise-contaminated "
+                             "estimate of the code's true cost (default 3)")
+    args = parser.parse_args()
+
+    if (args.candidate is None) == (args.run_bench is None):
+        parser.error("provide exactly one of: candidate file, --run-bench")
+
+    if args.run_bench:
+        candidate = {}
+        for rep in range(max(1, args.repeats)):
+            with tempfile.NamedTemporaryFile(suffix=".json",
+                                             delete=False) as tmp:
+                candidate_path = tmp.name
+            cmd = shlex.split(args.run_bench) + ["--json", candidate_path]
+            print(f"running ({rep + 1}/{args.repeats}):", " ".join(cmd),
+                  flush=True)
+            proc = subprocess.run(cmd)
+            if proc.returncode != 0:
+                raise SystemExit(f"bench command failed with {proc.returncode}")
+            for key, wall in load_samples(candidate_path).items():
+                candidate[key] = min(wall, candidate.get(key, wall))
+    else:
+        candidate = load_samples(args.candidate)
+
+    baseline = load_samples(args.baseline)
+
+    regressions = []
+    improvements = 0
+    skipped_noise = 0
+    for key in sorted(baseline.keys() & candidate.keys()):
+        base, cand = baseline[key], candidate[key]
+        if base <= 0.0:
+            continue
+        if base < args.min_wall_ms and cand < args.min_wall_ms:
+            skipped_noise += 1
+            print(f"  {fmt_key(key):50s} {base:10.3f} -> {cand:10.3f} ms "
+                  f"(below {args.min_wall_ms:g} ms noise floor, skipped)")
+            continue
+        if key[2] > (os.cpu_count() or 1):
+            # More workers than physical cores: the OS scheduler, not the
+            # code, decides these timings.  Compared only on hosts that
+            # can actually run the workers in parallel.
+            skipped_noise += 1
+            print(f"  {fmt_key(key):50s} {base:10.3f} -> {cand:10.3f} ms "
+                  f"({key[2]} workers > {os.cpu_count()} cores, skipped)")
+            continue
+        ratio = cand / base
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            regressions.append((key, base, cand, ratio))
+        elif ratio < 1.0:
+            improvements += 1
+        print(f"  {fmt_key(key):50s} {base:10.3f} -> {cand:10.3f} ms "
+              f"({ratio:5.2f}x)  {status}")
+
+    for key in sorted(baseline.keys() - candidate.keys()):
+        print(f"  {fmt_key(key):50s} only in baseline (skipped)")
+    for key in sorted(candidate.keys() - baseline.keys()):
+        print(f"  {fmt_key(key):50s} only in candidate (new)")
+
+    shared = len(baseline.keys() & candidate.keys()) - skipped_noise
+    print(f"compared {shared} samples ({skipped_noise} below noise floor): "
+          f"{improvements} faster, {len(regressions)} regressed beyond "
+          f"+{args.threshold * 100:.0f}%")
+    if regressions:
+        for key, base, cand, ratio in regressions:
+            print(f"FAIL: {fmt_key(key)} slowed {base:.3f} -> {cand:.3f} ms "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    if shared == 0:
+        print("FAIL: no overlapping samples to compare", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
