@@ -27,43 +27,54 @@ struct FaultCell {
 };
 
 // Machine-readable dump: one object per sweep cell, the full RoundReport
-// via its stable to_json() schema.  Default path BENCH_abl_faults.json.
+// spliced in via its stable to_json() schema (the same obs::json emitter
+// end to end).  Default path BENCH_abl_faults.json.
 void write_json(const std::string& path, const std::vector<FaultCell>& cells) {
-  std::ofstream out(path);
-  out << "[\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const FaultCell& c = cells[i];
-    out << "  {\"drop\": " << c.drop << ", \"byzantine\": " << c.byzantine
-        << ", \"awards_match_restricted\": "
-        << (c.awards_match_restricted ? "true" : "false")
-        << ", \"report\": " << c.report.to_json() << "}"
-        << (i + 1 < cells.size() ? "," : "") << "\n";
+  std::ofstream out = bench::open_output_or_die(path);
+  obs::JsonWriter w(out, /*indent=*/2);
+  w.begin_array();
+  for (const FaultCell& c : cells) {
+    w.begin_object()
+        .field("drop", c.drop)
+        .field("byzantine", c.byzantine)
+        .field("awards_match_restricted", c.awards_match_restricted);
+    w.key("report").raw(c.report.to_json());
+    w.end_object();
   }
-  out << "]\n";
+  w.end_array();
+  out << "\n";
+  bench::close_output_or_die(out, path);
 }
 
 // One hardened round under `spec` with `byzantine` marked, compared
 // against the fault-free round that excludes exactly the parties lost.
+// `metrics` (nullable) observes the faulty run only: bus traffic, fault
+// verdicts, TTP batches, session ingest verdicts, wire-phase spans.
 FaultCell run_cell(const core::LppaConfig& config,
                    const std::vector<auction::SuLocation>& locations,
                    const std::vector<auction::BidVector>& bids,
                    const proto::FaultSpec& spec,
                    const std::vector<std::size_t>& byzantine,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, obs::MetricsRegistry* metrics) {
   FaultCell cell;
   cell.drop = spec.drop;
   cell.byzantine = byzantine.size();
 
   core::TrustedThirdParty ttp(config.bid, 77 + seed);
+  ttp.set_metrics(metrics);
   proto::MessageBus bus;
+  bus.set_metrics(metrics);
   proto::FaultInjector injector(seed, spec);
+  injector.set_metrics(metrics);
   for (std::size_t b : byzantine) {
     injector.mark_byzantine(proto::Address::su(b));
   }
   bus.set_fault_injector(&injector);
+  core::LppaConfig observed = config;
+  observed.metrics = metrics;
   Rng rng(5 + seed);
   const auto faulty = proto::run_hardened_wire_auction(
-      config, ttp, locations, bids, bus, rng);
+      observed, ttp, locations, bids, bus, rng);
   cell.report = faulty.report;
 
   std::vector<std::size_t> lost;
@@ -99,6 +110,7 @@ int main(int argc, char** argv) {
   Table table({"drop", "byzantine", "survivors", "retry_waves", "rejected",
                "faults_injected", "completed", "awards_match_restricted"});
   std::vector<FaultCell> cells;
+  obs::MetricsRegistry registry;  // aggregated across all faulty cells
   const std::vector<double> drop_rates{0.0, 0.05, 0.10, 0.20, 0.30};
   const std::vector<std::size_t> byzantine_counts{0, 2};
   for (std::size_t nb : byzantine_counts) {
@@ -109,8 +121,9 @@ int main(int argc, char** argv) {
     for (double drop : drop_rates) {
       proto::FaultSpec spec;
       spec.drop = drop;
-      const FaultCell cell = run_cell(lcfg, scenario.locations(),
-                                      scenario.bids(), spec, byzantine, 4242);
+      const FaultCell cell =
+          run_cell(lcfg, scenario.locations(), scenario.bids(), spec,
+                   byzantine, 4242, &registry);
       const auto& f = cell.report.faults;
       table.add_row(
           {Table::cell(drop, 2), Table::cell(nb),
@@ -126,6 +139,7 @@ int main(int argc, char** argv) {
   }
   write_json(args.json_path.empty() ? "BENCH_abl_faults.json" : args.json_path,
              cells);
+  bench::dump_metrics(registry, args);
   bench::emit(table, args,
               "Hardened round under drop + Byzantine faults "
               "(awards vs fault-free run restricted to survivors)");

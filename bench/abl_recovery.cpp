@@ -51,13 +51,18 @@ struct TimedRun {
 TimedRun run_once(const core::LppaConfig& config,
                   const std::vector<auction::SuLocation>& locations,
                   const std::vector<auction::BidVector>& bids,
-                  proto::CrashInjector* crashes, std::uint64_t seed) {
+                  proto::CrashInjector* crashes, std::uint64_t seed,
+                  obs::MetricsRegistry* metrics) {
   core::TrustedThirdParty ttp(config.bid, 77 + seed);
+  ttp.set_metrics(metrics);
   proto::MessageBus bus;
+  bus.set_metrics(metrics);
+  core::LppaConfig observed = config;
+  observed.metrics = metrics;
   const auto t0 = std::chrono::steady_clock::now();
   TimedRun run;
   run.result = proto::run_recoverable_wire_auction(
-      config, ttp, locations, bids, bus, 5 + seed, {}, crashes);
+      observed, ttp, locations, bids, bus, 5 + seed, {}, crashes);
   const auto t1 = std::chrono::steady_clock::now();
   run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   return run;
@@ -65,20 +70,24 @@ TimedRun run_once(const core::LppaConfig& config,
 
 void write_json(const std::string& path,
                 const std::vector<RecoveryCell>& cells) {
-  std::ofstream out(path);
-  out << "[\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const RecoveryCell& c = cells[i];
-    out << "  {\"n\": " << c.n << ", \"crash_point\": \"" << c.crash_point
-        << "\", \"wall_ms\": " << c.wall_ms
-        << ", \"clean_wall_ms\": " << c.clean_wall_ms
-        << ", \"journal_bytes\": " << c.journal_bytes
-        << ", \"replayed_records\": " << c.replayed_records
-        << ", \"awards_match\": " << (c.awards_match ? "true" : "false")
-        << ", \"report\": " << c.report.to_json() << "}"
-        << (i + 1 < cells.size() ? "," : "") << "\n";
+  std::ofstream out = bench::open_output_or_die(path);
+  obs::JsonWriter w(out, /*indent=*/2);
+  w.begin_array();
+  for (const RecoveryCell& c : cells) {
+    w.begin_object()
+        .field("n", c.n)
+        .field("crash_point", std::string_view(c.crash_point))
+        .field("wall_ms", c.wall_ms)
+        .field("clean_wall_ms", c.clean_wall_ms)
+        .field("journal_bytes", c.journal_bytes)
+        .field("replayed_records", c.replayed_records)
+        .field("awards_match", c.awards_match);
+    w.key("report").raw(c.report.to_json());
+    w.end_object();
   }
-  out << "]\n";
+  w.end_array();
+  out << "\n";
+  bench::close_output_or_die(out, path);
 }
 
 }  // namespace
@@ -90,6 +99,7 @@ int main(int argc, char** argv) {
       args.full ? std::vector<std::size_t>{20, 40, 80}
                 : std::vector<std::size_t>{10, 20, 40};
   std::vector<RecoveryCell> cells;
+  obs::MetricsRegistry registry;  // aggregated across every run
   Table table({"n", "crash_point", "wall_ms", "overhead_vs_clean",
                "journal_bytes", "replayed", "awards_match"});
 
@@ -110,8 +120,8 @@ int main(int argc, char** argv) {
     // recover.  The counting injector doubles as the per-point census
     // for the crashed runs below.
     proto::CrashInjector counter;
-    const TimedRun clean =
-        run_once(lcfg, scenario.locations(), scenario.bids(), &counter, n);
+    const TimedRun clean = run_once(lcfg, scenario.locations(),
+                                    scenario.bids(), &counter, n, &registry);
     RecoveryCell base;
     base.n = n;
     base.crash_point = "none";
@@ -133,8 +143,9 @@ int main(int argc, char** argv) {
       // a half-done phase rather than the cheap first hit.
       proto::CrashInjector injector;
       injector.arm(point, counter.hits(point) / 2);
-      const TimedRun crashed =
-          run_once(lcfg, scenario.locations(), scenario.bids(), &injector, n);
+      const TimedRun crashed = run_once(lcfg, scenario.locations(),
+                                        scenario.bids(), &injector, n,
+                                        &registry);
 
       RecoveryCell cell;
       cell.n = n;
@@ -161,6 +172,7 @@ int main(int argc, char** argv) {
 
   write_json(args.json_path.empty() ? "BENCH_recovery.json" : args.json_path,
              cells);
+  bench::dump_metrics(registry, args);
   bench::emit(table, args,
               "Crash-recovery overhead per crash point "
               "(wall time vs crash-free recoverable round)");

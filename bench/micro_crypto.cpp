@@ -40,16 +40,21 @@ double time_ms(Fn&& fn) {
 }
 
 void write_json(const std::string& path, const std::vector<Sample>& samples) {
-  std::ofstream out(path);
-  out << "[\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    out << "  {\"bench\": \"" << s.bench << "\", \"iters\": " << s.iters
-        << ", \"wall_ms\": " << s.wall_ms << ", \"throughput\": "
-        << s.throughput << ", \"unit\": \"" << s.unit << "\"}"
-        << (i + 1 < samples.size() ? "," : "") << "\n";
+  std::ofstream out = bench::open_output_or_die(path);
+  obs::JsonWriter w(out, /*indent=*/2);
+  w.begin_array();
+  for (const Sample& s : samples) {
+    w.begin_object()
+        .field("bench", std::string_view(s.bench))
+        .field("iters", s.iters)
+        .field("wall_ms", s.wall_ms)
+        .field("throughput", s.throughput)
+        .field("unit", std::string_view(s.unit))
+        .end_object();
   }
-  out << "]\n";
+  w.end_array();
+  out << "\n";
+  bench::close_output_or_die(out, path);
 }
 
 }  // namespace
@@ -82,9 +87,7 @@ int main(int argc, char** argv) {
     s.bench = "sha256_stream";
     s.iters = buf.size() / 64;  // compression-function invocations
     s.wall_ms = ms;
-    s.throughput = ms > 0.0
-                       ? static_cast<double>(stream_mib) * 1000.0 / ms
-                       : 0.0;
+    s.throughput = bench::rate_per_sec(static_cast<double>(stream_mib), ms);
     s.unit = "MB/s";
     samples.push_back(s);
     // Keep the digest observable so the hash is not dead code.
@@ -104,8 +107,7 @@ int main(int argc, char** argv) {
       }
     });
     samples.push_back({"hmac_u64_oneshot", hmac_iters, ms,
-                       ms > 0.0 ? 1000.0 * static_cast<double>(hmac_iters) / ms
-                                : 0.0,
+                       bench::rate_per_sec(static_cast<double>(hmac_iters), ms),
                        "ops/s"});
   }
   {
@@ -116,8 +118,7 @@ int main(int argc, char** argv) {
       }
     });
     samples.push_back({"hmac_u64_midstate", hmac_iters, ms,
-                       ms > 0.0 ? 1000.0 * static_cast<double>(hmac_iters) / ms
-                                : 0.0,
+                       bench::rate_per_sec(static_cast<double>(hmac_iters), ms),
                        "ops/s"});
   }
 
@@ -129,8 +130,7 @@ int main(int argc, char** argv) {
     });
     for (const auto& d : out) batch_acc ^= d.fingerprint();
     samples.push_back({"hmac_u64_batch", hmac_iters, ms,
-                       ms > 0.0 ? 1000.0 * static_cast<double>(hmac_iters) / ms
-                                : 0.0,
+                       bench::rate_per_sec(static_cast<double>(hmac_iters), ms),
                        "ops/s"});
   }
 
@@ -160,5 +160,12 @@ int main(int argc, char** argv) {
       args.json_path.empty() ? "BENCH_micro_crypto.json" : args.json_path;
   write_json(json_path, samples);
   std::cout << "wrote " << json_path << " (" << samples.size() << " samples)\n";
+
+  obs::MetricsRegistry registry;
+  for (const Sample& s : samples) {
+    registry.record_span("bench." + s.bench, registry.next_span_id(),
+                         /*parent=*/0, s.wall_ms * 1000.0);
+  }
+  lppa::bench::dump_metrics(registry, args);
   return 0;
 }

@@ -46,21 +46,26 @@ Sample sample(std::string phase, std::size_t n, std::size_t threads,
   s.n = n;
   s.threads = threads;
   s.wall_ms = wall_ms;
-  s.throughput = wall_ms > 0.0 ? 1000.0 * static_cast<double>(n) / wall_ms : 0.0;
+  s.throughput = bench::rate_per_sec(static_cast<double>(n), wall_ms);
   return s;
 }
 
 void write_json(const std::string& path, const std::vector<Sample>& samples) {
-  std::ofstream out(path);
-  out << "[\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    out << "  {\"phase\": \"" << s.phase << "\", \"n\": " << s.n
-        << ", \"threads\": " << s.threads << ", \"wall_ms\": " << s.wall_ms
-        << ", \"throughput\": " << s.throughput << "}"
-        << (i + 1 < samples.size() ? "," : "") << "\n";
+  std::ofstream out = bench::open_output_or_die(path);
+  obs::JsonWriter w(out, /*indent=*/2);
+  w.begin_array();
+  for (const Sample& s : samples) {
+    w.begin_object()
+        .field("phase", std::string_view(s.phase))
+        .field("n", s.n)
+        .field("threads", s.threads)
+        .field("wall_ms", s.wall_ms)
+        .field("throughput", s.throughput)
+        .end_object();
   }
-  out << "]\n";
+  w.end_array();
+  out << "\n";
+  bench::close_output_or_die(out, path);
 }
 
 double wall_of(const std::vector<Sample>& samples, const std::string& phase,
@@ -273,5 +278,15 @@ int main(int argc, char** argv) {
       args.json_path.empty() ? "BENCH_perf_scaling.json" : args.json_path;
   write_json(json_path, samples);
   std::cout << "wrote " << json_path << " (" << samples.size() << " samples)\n";
+
+  // Mirror the samples into an obs registry — one span per timed phase
+  // run, fed after the timed regions so the instrumentation itself costs
+  // the hot loops nothing — and honor --metrics.
+  obs::MetricsRegistry registry;
+  for (const Sample& s : samples) {
+    registry.record_span("bench." + s.phase, registry.next_span_id(),
+                         /*parent=*/0, s.wall_ms * 1000.0);
+  }
+  bench::dump_metrics(registry, args);
   return 0;
 }

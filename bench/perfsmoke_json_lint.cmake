@@ -1,0 +1,20 @@
+# ctest script behind perfsmoke_json_lint (bench/CMakeLists.txt): run
+# perf_scaling --smoke with both dump flags, then strict-lint the JSON
+# artifacts with bench_compare.py --validate.  Variables: BENCH_EXE,
+# COMPARE, PYTHON, OUT_DIR.
+set(json_out ${OUT_DIR}/lint_perf_scaling.json)
+set(metrics_out ${OUT_DIR}/lint_perf_scaling_metrics.json)
+
+execute_process(
+  COMMAND ${BENCH_EXE} --smoke --json ${json_out} --metrics ${metrics_out}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "perf_scaling --smoke failed with ${bench_rc}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} --validate ${json_out} ${metrics_out}
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "JSON lint failed with ${lint_rc}")
+endif()

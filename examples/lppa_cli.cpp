@@ -14,6 +14,9 @@
 #include <iostream>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/experiments.h"
 
 namespace {
@@ -28,6 +31,7 @@ struct CliOptions {
   bool second_price = false;
   bool sensing = false;
   double sensing_sigma = 2.0;
+  std::string metrics_path;
 };
 
 void print_help() {
@@ -41,6 +45,7 @@ void print_help() {
       "  --seed N          experiment seed (default 1)\n"
       "  --second-price    charge winners the column runner-up price\n"
       "  --sensing [SIGMA] use spectrum sensing for the initial phase\n"
+      "  --metrics PATH    write an obs metrics snapshot (.prom = Prometheus)\n"
       "  --help            this text\n";
 }
 
@@ -75,6 +80,8 @@ bool parse(int argc, char** argv, CliOptions& opts) {
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         opts.sensing_sigma = std::stod(argv[++i]);
       }
+    } else if (flag == "--metrics" && i + 1 < argc) {
+      opts.metrics_path = argv[++i];
     } else {
       std::cerr << "unknown or incomplete flag: " << flag << "\n";
       print_help();
@@ -102,6 +109,13 @@ int main(int argc, char** argv) {
   }
   sim::Scenario scenario(cfg);
 
+  // --metrics: the registry observes the run (top-level spans per
+  // experiment phase; under --second-price also the full auction-stack
+  // instrumentation) and is snapshotted to the requested path at exit.
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* const metrics =
+      opts.metrics_path.empty() ? nullptr : &registry;
+
   std::cout << "world: area " << opts.area << " ("
             << geo::area_preset(opts.area).name << "), " << opts.users
             << " users, " << opts.channels << " channels, seed "
@@ -109,7 +123,9 @@ int main(int argc, char** argv) {
             << (opts.sensing ? ", sensing initial phase" : "") << "\n\n";
 
   // --- attacks without LPPA ------------------------------------------------
+  obs::Span attacks_span(metrics, "cli.attacks");
   const auto plain = sim::run_attack_point(scenario, opts.channels, 0.5, 250);
+  attacks_span.end();
   std::cout << std::fixed << std::setprecision(3);
   std::cout << "without LPPA:\n"
             << "  BCM: " << plain.bcm.mean_possible_cells << " cells, "
@@ -122,8 +138,10 @@ int main(int argc, char** argv) {
   sim::DefenseOptions defense;
   defense.replace_prob = opts.replace;
   defense.top_fraction = opts.fraction;
+  obs::Span defense_span(metrics, "cli.defense");
   const auto protected_point =
       sim::run_defense_point(scenario, defense, opts.seed + 100);
+  defense_span.end();
   std::cout << "with LPPA (replace " << opts.replace << ", attacker top "
             << opts.fraction * 100 << "%):\n"
             << "  ranking attack: " << protected_point.lppa.mean_possible_cells
@@ -133,8 +151,10 @@ int main(int argc, char** argv) {
             << " km\n\n";
 
   // --- auction performance --------------------------------------------------
+  obs::Span perf_span(metrics, "cli.performance");
   const auto perf = sim::run_performance_point(
       scenario, opts.replace, 3, 4, /*rounds=*/2, opts.seed + 200);
+  perf_span.end();
   std::cout << "auction performance (LPPA / plain):\n"
             << "  revenue ratio:      " << perf.bid_sum_ratio << "\n"
             << "  satisfaction ratio: " << perf.satisfaction_ratio << "\n";
@@ -147,6 +167,7 @@ int main(int argc, char** argv) {
         cfg.bmax, 3, 4,
         core::ZeroDisguisePolicy::linear(cfg.bmax, opts.replace));
     lcfg.charging_rule = core::ChargingRule::kSecondPrice;
+    lcfg.metrics = metrics;
     core::LppaAuction engine(lcfg, opts.seed + 300);
     Rng rng(opts.seed + 400);
     const auto outcome =
@@ -154,6 +175,15 @@ int main(int argc, char** argv) {
     std::cout << "  second-price revenue: "
               << outcome.outcome.winning_bid_sum() << " over "
               << outcome.outcome.satisfied_winners() << " valid winners\n";
+  }
+
+  if (metrics != nullptr) {
+    std::string error;
+    if (!obs::write_metrics_file(registry, opts.metrics_path, &error)) {
+      std::cerr << "FATAL: " << error << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << opts.metrics_path << " (metrics snapshot)\n";
   }
   return 0;
 }

@@ -7,15 +7,36 @@
 // against what was really shipped.
 //
 // Build & run:  cmake --build build && ./build/examples/wire_session
+//               (add --metrics <path> for an obs snapshot; .prom suffix
+//               selects the Prometheus text format)
+#include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <string>
 
 #include "core/theorems.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "proto/session.h"
 #include "sim/scenario.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lppa;
+
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: " << argv[0] << " [--metrics <path>]\n"
+                << "  --metrics <path> write an obs metrics snapshot"
+                   " (.prom = Prometheus text)\n";
+      return 0;
+    } else {
+      std::cerr << "unknown or incomplete flag: " << argv[i] << "\n";
+      return 1;
+    }
+  }
 
   sim::ScenarioConfig world;
   world.area_id = 3;
@@ -24,6 +45,10 @@ int main() {
   world.seed = 515;
   sim::Scenario scenario(world);
 
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* const metrics =
+      metrics_path.empty() ? nullptr : &registry;
+
   core::LppaConfig cfg;
   cfg.num_channels = world.fcc.num_channels;
   cfg.lambda = world.lambda_m;
@@ -31,9 +56,12 @@ int main() {
   cfg.bid = core::PpbsBidConfig::advanced(
       world.bmax, 3, 4, core::ZeroDisguisePolicy::linear(world.bmax, 0.4));
   cfg.ttp_batch_size = 6;
+  cfg.metrics = metrics;
 
   core::TrustedThirdParty ttp(cfg.bid, 2026);
+  ttp.set_metrics(metrics);
   proto::MessageBus bus;
+  bus.set_metrics(metrics);
   Rng rng(9);
   const auto result = proto::run_wire_auction(
       cfg, ttp, scenario.locations(), scenario.bids(), bus, rng);
@@ -71,5 +99,14 @@ int main() {
             << " TTP batches\n"
             << "  every byte of this auction crossed the bus as a\n"
                "  serialized message and was parsed back on arrival.\n";
+
+  if (metrics != nullptr) {
+    std::string error;
+    if (!obs::write_metrics_file(registry, metrics_path, &error)) {
+      std::cerr << "FATAL: " << error << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << metrics_path << " (metrics snapshot)\n";
+  }
   return 0;
 }

@@ -11,6 +11,13 @@ inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 }
 }  // namespace
 
+std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                 std::uint64_t domain) noexcept {
+  SplitMix64 outer(seed);
+  SplitMix64 inner(outer.next() ^ domain);
+  return inner.next();
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   SplitMix64 sm(seed);
   for (auto& word : s_) word = sm.next();

@@ -36,6 +36,26 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derives the seed of an independent, domain-separated RNG stream from
+/// a base seed and a caller-chosen domain tag.
+///
+/// This replaces the old `seed ^ tag` idiom, which was not a derivation
+/// at all: XOR is invertible, so the adversarially-related seeds `s` and
+/// `s ^ tag` produced byte-identical "independent" streams (stream(s,
+/// tag) == stream(s ^ tag, 0)).  Here the base seed passes through a
+/// SplitMix64 finalisation round *before* the domain is mixed in, so a
+/// cross-seed/cross-domain collision requires mix(s1) ^ mix(s2) == d1 ^
+/// d2 — a ~2^-64 accident under the finaliser's avalanche, not a
+/// constructible identity.
+///
+/// Compat note: core::TrustedThirdParty switched its g0/gb_master/gc key
+/// streams to this derivation, so golden transcripts (exact masked
+/// digests, sealed payload bytes) recorded before the switch differ from
+/// current output.  Every invariant the tests pin (cross-run
+/// determinism, wire round-trips, allocation equivalences) is unchanged.
+std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                 std::uint64_t domain) noexcept;
+
 /// xoshiro256** with convenience distributions.  Satisfies
 /// UniformRandomBitGenerator so it can drive <random> and std::shuffle.
 class Rng {

@@ -2,6 +2,7 @@
 
 #include "common/thread_pool.h"
 #include "core/submission_validator.h"
+#include "obs/span.h"
 
 namespace lppa::core {
 
@@ -9,6 +10,7 @@ LppaAuction::LppaAuction(LppaConfig config, std::uint64_t ttp_seed)
     : config_(config), ttp_(config.bid, ttp_seed, config.charging_rule) {
   LPPA_REQUIRE(config_.num_channels > 0, "auction requires channels");
   LPPA_REQUIRE(config_.ttp_batch_size > 0, "TTP batch size must be positive");
+  ttp_.set_metrics(config_.metrics);
 }
 
 LppaOutcome LppaAuction::run(
@@ -20,6 +22,17 @@ LppaOutcome LppaAuction::run(
   for (const auto& bv : bids) {
     LPPA_REQUIRE(bv.size() == config_.num_channels,
                  "bid vectors must cover every auctioned channel");
+  }
+
+  obs::MetricsRegistry* const m = config_.metrics;
+  obs::Span round_span(m, "auction.round");
+  if (m != nullptr) {
+    m->counter("auction.rounds").inc();
+    m->counter("auction.submissions").inc(bids.size());
+    m->counter(config_.argmax_strategy == ArgmaxStrategy::kSortedColumns
+                   ? "auction.argmax.sorted_rounds"
+                   : "auction.argmax.scan_rounds")
+        .inc();
   }
 
   LppaOutcome result;
@@ -49,29 +62,45 @@ LppaOutcome LppaAuction::run(
 
   view.locations.resize(n);
   view.bids.resize(n);
-  parallel_for(n, config_.num_threads, [&](std::size_t i) {
-    view.locations[i] = location_protocol.submit(locations[i], su_rngs[i]);
-    view.bids[i] = submitter.submit(bids[i], su_rngs[i]);
-  });
+  {
+    obs::Span submit_span(m, "auction.submit", &round_span);
+    parallel_for(n, config_.num_threads, [&](std::size_t i) {
+      view.locations[i] = location_protocol.submit(locations[i], su_rngs[i]);
+      view.bids[i] = submitter.submit(bids[i], su_rngs[i]);
+    });
+  }
   for (std::size_t i = 0; i < n; ++i) {
     view.location_wire_bytes += view.locations[i].wire_size();
     view.bid_wire_bytes += view.bids[i].wire_size();
   }
+  if (m != nullptr) {
+    m->counter("auction.submission_bytes")
+        .inc(view.location_wire_bytes + view.bid_wire_bytes);
+  }
 
   // --- Auctioneer side: PSD ----------------------------------------------
   if (config_.validate_submissions) {
+    obs::Span validate_span(m, "auction.validate", &round_span);
     const SubmissionValidator validator(config_);
     for (std::size_t i = 0; i < n; ++i) {
       validator.check_location(view.locations[i]);
       validator.check_bid(view.bids[i]);
     }
   }
-  view.conflicts =
-      PpbsLocation::build_conflict_graph(view.locations, config_.num_threads);
+  {
+    obs::Span conflict_span(m, "auction.conflict_graph", &round_span);
+    view.conflicts =
+        PpbsLocation::build_conflict_graph(view.locations, config_.num_threads);
+  }
+  obs::Span allocate_span(m, "auction.allocate", &round_span);
   EncryptedBidTable table(view.bids, config_.num_channels,
                           config_.argmax_strategy, config_.num_threads);
   std::vector<auction::Award> awards =
       auction::greedy_allocate(table, view.conflicts, rng);
+  allocate_span.end();
+  if (m != nullptr) m->counter("auction.awards").inc(awards.size());
+
+  obs::Span charging_span(m, "auction.charging", &round_span);
 
   // --- Charging through the periodically-available TTP --------------------
   std::vector<ChargeQuery> pending;
@@ -121,6 +150,10 @@ LppaOutcome LppaAuction::run(
     if (pending.size() >= config_.ttp_batch_size) flush();
   }
   flush();
+  charging_span.end();
+  if (m != nullptr && result.manipulations_detected > 0) {
+    m->counter("auction.manipulations").inc(result.manipulations_detected);
+  }
 
   result.outcome.awards = awards;
   view.awards = std::move(awards);

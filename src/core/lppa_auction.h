@@ -16,6 +16,10 @@
 #include "core/ppbs_location.h"
 #include "core/ttp.h"
 
+namespace lppa::obs {
+class MetricsRegistry;
+}  // namespace lppa::obs
+
 namespace lppa::core {
 
 struct LppaConfig {
@@ -43,6 +47,13 @@ struct LppaConfig {
   /// the seed path, kept selectable for differential testing (both yield
   /// byte-identical awards/charges on honest submissions).
   ArgmaxStrategy argmax_strategy = ArgmaxStrategy::kSortedColumns;
+  /// Optional observability sink (obs/metrics.h): when set, every round
+  /// records per-phase spans (auction.round > submit / validate /
+  /// conflict_graph / allocate / charging), phase counters, and argmax
+  /// strategy counters into it.  Null (the default) makes every
+  /// instrumentation site a branch-and-skip.  Not owned; the caller
+  /// keeps the registry alive for the config's lifetime.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything the auctioneer (and hence a curious-but-honest attacker)

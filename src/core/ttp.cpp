@@ -2,24 +2,42 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lppa::core {
+
+namespace {
+// ttp.batch_size bucket ladder: powers of two around the default
+// ttp_batch_size (16), so over/under-filled batches are visible.
+constexpr double kBatchSizeBuckets[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}  // namespace
+
+namespace {
+
+// Domain tags for the TTP's three key streams (ASCII "g0", "gbmaster",
+// "gc").  Mixed through derive_stream_seed rather than XOR-ed into the
+// seed: under the old `seed ^ tag` scheme the related seeds s and
+// s ^ 0x6763 collapsed gc(s) onto g0(s ^ 0x6763) — one auction's sealing
+// key equal to another's location-masking key.  See common/rng.h for the
+// derivation and the golden-output compat note.
+constexpr std::uint64_t kDomainG0 = 0x6730ULL;
+constexpr std::uint64_t kDomainGbMaster = 0x67626d6173746572ULL;
+constexpr std::uint64_t kDomainGc = 0x6763ULL;
+
+crypto::SecretKey derive_key(std::uint64_t seed, std::uint64_t domain) {
+  Rng rng(derive_stream_seed(seed, domain));
+  return crypto::SecretKey::generate(rng);
+}
+
+}  // namespace
 
 TrustedThirdParty::TrustedThirdParty(PpbsBidConfig config, std::uint64_t seed,
                                      ChargingRule rule)
     : config_(std::move(config)),
       rule_(rule),
-      g0_([&] {
-        Rng rng(seed);
-        return crypto::SecretKey::generate(rng);
-      }()),
-      gb_master_([&] {
-        Rng rng(seed ^ 0x67626d6173746572ULL);  // independent streams
-        return crypto::SecretKey::generate(rng);
-      }()),
-      gc_([&] {
-        Rng rng(seed ^ 0x6763ULL);
-        return crypto::SecretKey::generate(rng);
-      }()),
+      g0_(derive_key(seed, kDomainG0)),
+      gb_master_(derive_key(seed, kDomainGbMaster)),
+      gc_(derive_key(seed, kDomainGc)),
       box_(gc_, config_.sealed_cipher) {
   config_.enc.validate();
 }
@@ -108,16 +126,19 @@ ChargeResult TrustedThirdParty::process(const ChargeQuery& query) const {
   ChargeResult result;
   result.user = query.user;
   result.channel = query.channel;
+  if (metrics_ != nullptr) metrics_->counter("ttp.queries").inc();
 
   const auto payload =
       open_and_verify(query.sealed, query.value_family, query.channel);
   if (!payload) {
     result.manipulated = true;
+    if (metrics_ != nullptr) metrics_->counter("ttp.manipulations").inc();
     return result;
   }
   if (payload->true_bid == 0) {
     // Disguised or true zero: the win is invalid, no charge (paper §V-B).
     result.valid = false;
+    if (metrics_ != nullptr) metrics_->counter("ttp.invalid_charges").inc();
     return result;
   }
   result.valid = true;
@@ -142,6 +163,7 @@ ChargeResult TrustedThirdParty::process(const ChargeQuery& query) const {
   if (!runner_up) {
     result.manipulated = true;
     result.valid = false;
+    if (metrics_ != nullptr) metrics_->counter("ttp.manipulations").inc();
     return result;
   }
   result.charge = std::min(runner_up->true_bid, payload->true_bid);
@@ -152,6 +174,11 @@ std::vector<ChargeResult> TrustedThirdParty::process_batch(
     const std::vector<ChargeQuery>& queries) {
   ++batches_;
   queries_ += queries.size();
+  if (metrics_ != nullptr) {
+    metrics_->counter("ttp.batches").inc();
+    metrics_->histogram("ttp.batch_size", kBatchSizeBuckets)
+        .observe(static_cast<double>(queries.size()));
+  }
   std::vector<ChargeResult> results;
   results.reserve(queries.size());
   for (const auto& q : queries) results.push_back(process(q));

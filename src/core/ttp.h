@@ -19,6 +19,10 @@
 
 #include "core/ppbs_bid.h"
 
+namespace lppa::obs {
+class MetricsRegistry;
+}  // namespace lppa::obs
+
 namespace lppa::core {
 
 /// The key material an SU receives from the TTP.
@@ -95,6 +99,16 @@ class TrustedThirdParty {
   std::size_t batches_processed() const noexcept { return batches_; }
   std::size_t queries_processed() const noexcept { return queries_; }
 
+  /// Attaches (or detaches, with nullptr) an observability sink.  Each
+  /// processed batch observes `ttp.batch_size`; each query increments
+  /// `ttp.queries`, plus `ttp.manipulations` when the payload failed
+  /// decrypt/verify or `ttp.invalid_charges` for disguised-/true-zero
+  /// wins.  Not owned; keep it alive while attached.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
  private:
   /// Decrypts and verifies one sealed payload against its submitted
   /// prefix family; nullopt on any integrity failure.
@@ -110,6 +124,7 @@ class TrustedThirdParty {
   crypto::SealedBox box_;
   std::size_t batches_ = 0;
   std::size_t queries_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace lppa::core

@@ -1,0 +1,33 @@
+#include "obs/export.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace lppa::obs {
+
+bool write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path, std::string* error) {
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "' for writing: " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  if (prometheus) {
+    registry.write_prometheus(out);
+  } else {
+    registry.write_json(out);
+  }
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lppa::obs

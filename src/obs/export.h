@@ -1,0 +1,24 @@
+// File exporters for MetricsRegistry snapshots — the implementation
+// behind every `--metrics <path>` flag (examples/lppa_cli,
+// examples/wire_session, bench/*).
+//
+// Format is chosen by extension: a path ending in ".prom" gets the
+// Prometheus text page, anything else the JSON snapshot.  Failures
+// (unwritable directory, disk full) are reported, never swallowed — a
+// silently dropped metrics dump is a lost result, the same bug class as
+// the silently dropped bench --json dump this PR fixes.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lppa::obs {
+
+/// Writes the snapshot to `path`.  Returns true on success; on failure
+/// returns false and, when `error` is non-null, stores a one-line
+/// description of what went wrong.
+bool write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path, std::string* error = nullptr);
+
+}  // namespace lppa::obs

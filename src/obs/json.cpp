@@ -1,0 +1,161 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lppa::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[(u >> 4) & 0xF];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Shortest decimal that parses back to the identical bits: try the
+  // 15/16/17 significant-digit forms in order.  %g never emits JSON-
+  // invalid forms for finite values (no hex floats, no leading '+').
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    out_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    LPPA_REQUIRE(!top_level_done_,
+                 "JsonWriter: a document holds exactly one top-level value");
+    top_level_done_ = true;
+    return;
+  }
+  Frame& frame = stack_.back();
+  if (frame.scope == Scope::kObject) {
+    LPPA_REQUIRE(frame.key_pending,
+                 "JsonWriter: object members need key() before the value");
+    frame.key_pending = false;
+    return;  // key() already emitted the separator and counted the item
+  }
+  if (frame.items++ > 0) out_ << (indent_ > 0 ? "," : ", ");
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  LPPA_REQUIRE(!stack_.empty() && stack_.back().scope == Scope::kObject,
+               "JsonWriter: key() outside an object");
+  Frame& frame = stack_.back();
+  LPPA_REQUIRE(!frame.key_pending, "JsonWriter: key() after a dangling key");
+  if (frame.items++ > 0) out_ << (indent_ > 0 ? "," : ", ");
+  newline_indent();
+  frame.key_pending = true;
+  out_ << json_quote(name) << ": ";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({Scope::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  LPPA_REQUIRE(!stack_.empty() && stack_.back().scope == Scope::kObject,
+               "JsonWriter: end_object() without a matching begin_object()");
+  LPPA_REQUIRE(!stack_.back().key_pending,
+               "JsonWriter: end_object() with a dangling key");
+  const bool had_items = stack_.back().items > 0;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({Scope::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  LPPA_REQUIRE(!stack_.empty() && stack_.back().scope == Scope::kArray,
+               "JsonWriter: end_array() without a matching begin_array()");
+  const bool had_items = stack_.back().items > 0;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ << json_quote(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  LPPA_REQUIRE(!json.empty(), "JsonWriter: raw() needs a non-empty document");
+  before_value();
+  out_ << json;
+  return *this;
+}
+
+}  // namespace lppa::obs

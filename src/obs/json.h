@@ -1,0 +1,114 @@
+// obs::json — the repo's single strict JSON emitter.
+//
+// Every JSON artifact the library or the bench binaries produce
+// (RoundReport::to_json, BENCH_*.json dumps, metrics snapshots) goes
+// through this writer, so escaping and number formatting are decided in
+// exactly one place:
+//   * strings are escaped per RFC 8259 (quote, backslash, and every
+//     control byte below 0x20; other bytes pass through untouched, so
+//     UTF-8 payloads survive verbatim),
+//   * doubles are emitted with the shortest decimal form that parses
+//     back to the identical value, and non-finite values (inf/NaN, which
+//     JSON cannot represent) are emitted as `null` rather than producing
+//     an unparseable document.
+//
+// The writer is a push-style state machine over an ostream; misuse (a
+// value where a key is required, unbalanced scopes) throws
+// LppaError(kInvalidArgument) instead of silently emitting garbage.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lppa::obs {
+
+/// Appends the RFC 8259 escape of `s` (without surrounding quotes).
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// `s` as a quoted, escaped JSON string literal.
+std::string json_quote(std::string_view s);
+
+/// `v` in the shortest decimal form that round-trips, or "null" when
+/// non-finite.  Never emits "inf"/"nan", which strict parsers reject.
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.  `indent` > 0
+  /// pretty-prints with that many spaces per level (newline-separated
+  /// items), 0 emits the compact single-line form.
+  explicit JsonWriter(std::ostream& out, int indent = 0)
+      : out_(out), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be directly inside an object and must be
+  /// followed by exactly one value (or scope).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  template <typename T>
+    requires(std::integral<T> && !std::same_as<T, bool>)
+  JsonWriter& value(T v) {
+    before_value();
+    if constexpr (std::signed_integral<T>) {
+      out_ << static_cast<long long>(v);
+    } else {
+      out_ << static_cast<unsigned long long>(v);
+    }
+    return *this;
+  }
+
+  /// Splices pre-serialized JSON produced by another JsonWriter (e.g. a
+  /// RoundReport::to_json() string embedded in a bench dump).  The
+  /// caller vouches for its validity; no re-escaping happens.
+  JsonWriter& raw(std::string_view json);
+
+  /// Convenience: key(name) followed by value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once the single top-level value is complete and every scope is
+  /// closed — the moment the stream holds one well-formed document.
+  bool complete() const noexcept {
+    return stack_.empty() && top_level_done_;
+  }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    std::size_t items = 0;
+    bool key_pending = false;
+  };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& out_;
+  int indent_ = 0;
+  std::vector<Frame> stack_;
+  bool top_level_done_ = false;
+};
+
+}  // namespace lppa::obs

@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace lppa::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  LPPA_REQUIRE(!bounds_.empty(), "Histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    LPPA_REQUIRE(std::isfinite(bounds_[i]),
+                 "Histogram bucket bounds must be finite");
+    LPPA_REQUIRE(i == 0 || bounds_[i - 1] < bounds_[i],
+                 "Histogram bucket bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  // NaN observations are unattributable to any bucket; count them in
+  // +Inf so count() stays consistent with the bucket total.
+  std::size_t idx = bounds_.size();
+  if (!std::isnan(v)) {
+    idx = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(v)) sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  LPPA_REQUIRE(i <= bounds_.size(), "Histogram bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+std::span<const double> MetricsRegistry::default_time_buckets_us() noexcept {
+  static constexpr std::array<double, 19> kBuckets = {
+      10.0,      20.0,      50.0,       100.0,      200.0,
+      500.0,     1000.0,    2000.0,     5000.0,     10000.0,
+      20000.0,   50000.0,   100000.0,   200000.0,   500000.0,
+      1000000.0, 2000000.0, 5000000.0,  50000000.0};
+  return kBuckets;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = default_time_buckets_us();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          upper_bounds.begin(), upper_bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::record_span(std::string_view name, std::uint64_t id,
+                                  std::uint64_t parent, double wall_us) {
+  histogram(std::string("span.") + std::string(name) + ".us")
+      .observe(wall_us);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= kMaxSpans) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(SpanRecord{std::string(name), id, parent, wall_us});
+}
+
+std::vector<SpanRecord> MetricsRegistry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::uint64_t MetricsRegistry::spans_dropped() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_dropped_;
+}
+
+void MetricsRegistry::write_json(std::ostream& out, int indent) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w(out, indent);
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.field("count", h->count());
+    w.field("sum", h->sum());
+    w.key("buckets").begin_array();
+    const auto& bounds = h->upper_bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      w.begin_object();
+      if (i < bounds.size()) {
+        w.field("le", bounds[i]);
+      } else {
+        w.field("le", "+Inf");  // string: JSON has no infinity literal
+      }
+      w.field("count", h->bucket_count(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("spans").begin_array();
+  for (const SpanRecord& s : spans_) {
+    w.begin_object();
+    w.field("id", s.id);
+    w.field("parent", s.parent);
+    w.field("name", s.name);
+    w.field("wall_us", s.wall_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("spans_dropped", spans_dropped_);
+
+  w.end_object();
+  out << '\n';
+}
+
+std::string MetricsRegistry::json(int indent) const {
+  std::ostringstream out;
+  write_json(out, indent);
+  return out.str();
+}
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:] only; the registry's
+/// dotted names map dots (and anything else) to underscores.
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+/// Prometheus floats: unlike JSON the text format HAS +Inf/NaN spellings.
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json_number(v);
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prom_name(name);
+    out << "# TYPE " << pn << " counter\n" << pn << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = prom_name(name);
+    out << "# TYPE " << pn << " gauge\n"
+        << pn << " " << prom_number(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prom_name(name);
+    out << "# TYPE " << pn << " histogram\n";
+    const auto& bounds = h->upper_bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += h->bucket_count(i);
+      out << pn << "_bucket{le=\"" << prom_number(bounds[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    cumulative += h->bucket_count(bounds.size());
+    out << pn << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+        << pn << "_sum " << prom_number(h->sum()) << "\n"
+        << pn << "_count " << h->count() << "\n";
+  }
+}
+
+std::string MetricsRegistry::prometheus() const {
+  std::ostringstream out;
+  write_prometheus(out);
+  return out.str();
+}
+
+}  // namespace lppa::obs

@@ -1,0 +1,161 @@
+// obs::MetricsRegistry — lock-cheap operational metrics for a live
+// auction service.
+//
+// The registry owns three metric kinds, all updatable without taking any
+// lock once created:
+//   * Counter   — monotonic, relaxed atomic u64 (events, bytes, faults),
+//   * Gauge     — last-value double (journal size, queue depths),
+//   * Histogram — fixed upper-bound buckets with atomic counts plus a
+//                 running sum/count (latencies, batch sizes).
+//
+// The registry's mutex guards only metric *creation* and export
+// snapshots; hot paths resolve their metrics once (or per round) and
+// then touch only atomics.  Instrumented components take a nullable
+// `MetricsRegistry*` — a null registry means every instrumentation site
+// is a branch-and-skip, which is what keeps the enabled-vs-disabled
+// overhead under the perf gate.
+//
+// Exporters: write_json() (one snapshot object, strict obs::json) and
+// write_prometheus() (text exposition format, one page per scrape).
+// See docs/observability.md for the metric name catalogue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lppa::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value metric; may move in either direction.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (inclusive upper bound)
+/// semantics: observation v lands in the first bucket with v <= bound;
+/// anything above the last bound lands in the implicit +Inf bucket.
+/// Bucket counts are stored per-bucket (not cumulative) and cumulated at
+/// export time.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty, finite, and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+
+  /// Count of bucket i; i == upper_bounds().size() is the +Inf bucket.
+  std::uint64_t bucket_count(std::size_t i) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + Inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One completed span (obs/span.h): a named timed region with an
+/// explicit parent edge, forming the per-round phase tree.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  double wall_us = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates a metric.  References stay valid for the
+  /// registry's lifetime; hot paths should hold the reference instead of
+  /// re-resolving per event.  Metric names use lower-case dotted paths
+  /// ("bus.messages"); the Prometheus exporter maps dots to underscores.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// An empty `upper_bounds` selects default_time_buckets_us().  When the
+  /// histogram already exists the bounds argument is ignored — bounds are
+  /// fixed at first creation.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds = {});
+
+  /// The default latency ladder, in microseconds: 1, 2, 5 decades from
+  /// 10us to 50s.
+  static std::span<const double> default_time_buckets_us() noexcept;
+
+  // --- Span plumbing (driven by obs::Span) -------------------------------
+  std::uint64_t next_span_id() noexcept {
+    return 1 + span_ids_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Appends a completed span and feeds its duration into the
+  /// "span.<name>.us" histogram.  Keeps at most kMaxSpans records; the
+  /// histograms keep aggregating beyond that, and spans_dropped() says
+  /// how many trace records were shed.
+  void record_span(std::string_view name, std::uint64_t id,
+                   std::uint64_t parent, double wall_us);
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t spans_dropped() const noexcept;
+
+  static constexpr std::size_t kMaxSpans = 4096;
+
+  // --- Exporters ---------------------------------------------------------
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}, "spans": [...], "spans_dropped": n}.
+  /// Strict obs::json output; `indent` as in JsonWriter.
+  void write_json(std::ostream& out, int indent = 2) const;
+  std::string json(int indent = 2) const;
+
+  /// Prometheus text exposition format (counters as `_total`-suffix-free
+  /// counters, histograms with cumulative `le` buckets + _sum/_count).
+  void write_prometheus(std::ostream& out) const;
+  std::string prometheus() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<SpanRecord> spans_;
+  std::atomic<std::uint64_t> span_ids_{0};
+  std::uint64_t spans_dropped_ = 0;
+};
+
+}  // namespace lppa::obs

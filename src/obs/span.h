@@ -1,0 +1,75 @@
+// obs::Span — RAII phase timer with explicit parent handles.
+//
+// A span measures one named region (an auction phase, a retry wave, a
+// recovery replay) on the steady clock and records itself into a
+// MetricsRegistry when it ends: once as a trace record carrying its
+// parent edge (so a round's phases reconstruct as a tree) and once as an
+// observation of the "span.<name>.us" histogram (so latencies aggregate
+// across rounds).
+//
+// Parents are explicit — `Span child(reg, "allocate", &round)` — rather
+// than thread-local ambient state: the auction stack hops between the
+// caller's thread and the pool workers, and implicit context would
+// either tear or need TLS coordination the hot path cannot afford.
+//
+// A span built over a null registry is inert: no clock reads, no
+// allocation, nothing recorded.  Instrumented code therefore creates
+// spans unconditionally and lets disabled observability cost one branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace lppa::obs {
+
+class Span {
+ public:
+  /// Starts the span; `registry` may be null (inert span).  `parent` may
+  /// be null (root span) or any span that is still alive.
+  Span(MetricsRegistry* registry, std::string_view name,
+       const Span* parent = nullptr)
+      : registry_(registry),
+        parent_(parent != nullptr ? parent->id() : 0) {
+    if (registry_ == nullptr) return;
+    name_ = name;
+    id_ = registry_->next_span_id();
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Stops the clock and records the span; idempotent, so an explicit
+  /// end() before destruction pins the measured region exactly.
+  void end() noexcept {
+    if (registry_ == nullptr || ended_) return;
+    ended_ = true;
+    const auto stop = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(stop - start_).count();
+    try {
+      registry_->record_span(name_, id_, parent_, us);
+    } catch (...) {
+      // Observability must never take the round down with it.
+    }
+  }
+
+  /// 0 for inert spans, unique per registry otherwise.
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  bool ended_ = false;
+};
+
+}  // namespace lppa::obs

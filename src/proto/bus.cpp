@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "proto/fault.h"
 
 namespace lppa::proto {
+
+void MessageBus::set_metrics(obs::MetricsRegistry* metrics) noexcept {
+  metrics_ = metrics;
+}
 
 std::string Address::label() const {
   switch (kind) {
@@ -31,6 +36,15 @@ void MessageBus::send(const Address& from, const Address& to, Bytes message) {
   auto& stats = stats_[{from, to}];
   ++stats.messages;
   stats.bytes += message.size();
+  if (metrics_ != nullptr) {
+    metrics_->counter("bus.messages").inc();
+    metrics_->counter("bus.bytes").inc(message.size());
+    if (to.kind == Address::Kind::kAuctioneer) {
+      metrics_->counter("bus.to_auctioneer.messages").inc();
+    } else if (to.kind == Address::Kind::kTtp) {
+      metrics_->counter("bus.to_ttp.messages").inc();
+    }
+  }
 
   if (injector_ == nullptr) {
     deliver(to, std::move(message), /*front=*/false);
@@ -65,6 +79,7 @@ void MessageBus::advance(std::size_t ticks) {
     auto it = delayed_.begin();
     while (it != delayed_.end()) {
       if (--it->ticks_left == 0) {
+        if (metrics_ != nullptr) metrics_->counter("bus.delayed_flushed").inc();
         deliver(it->to, std::move(it->message), /*front=*/false);
         it = delayed_.erase(it);
       } else {

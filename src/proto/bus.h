@@ -16,6 +16,10 @@
 
 #include "common/bytes.h"
 
+namespace lppa::obs {
+class MetricsRegistry;
+}  // namespace lppa::obs
+
 namespace lppa::proto {
 
 class FaultInjector;  // proto/fault.h
@@ -65,6 +69,13 @@ class MessageBus {
   }
   FaultInjector* fault_injector() const noexcept { return injector_; }
 
+  /// Attaches (or detaches, with nullptr) an observability sink: every
+  /// send increments `bus.messages` / `bus.bytes`, deliveries into the
+  /// auctioneer and TTP are broken out as `bus.to_auctioneer.messages` /
+  /// `bus.to_ttp.messages`, and delay-buffer flushes count under
+  /// `bus.delayed_flushed`.  Not owned.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept;
+
   /// One unit of simulated network time: delayed messages whose timer
   /// expires are moved into their destination queues (in the order they
   /// were sent).  A no-op without delayed traffic.
@@ -93,6 +104,7 @@ class MessageBus {
   std::map<std::pair<Address, Address>, LinkStats> stats_;
   std::vector<Delayed> delayed_;
   FaultInjector* injector_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace lppa::proto

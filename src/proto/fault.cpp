@@ -1,5 +1,6 @@
 #include "proto/fault.h"
 
+#include "obs/metrics.h"
 #include "proto/bus.h"
 
 namespace lppa::proto {
@@ -25,6 +26,10 @@ void FaultInjector::mark_byzantine(const Address& party) {
 
 bool FaultInjector::is_byzantine(const Address& party) const {
   return byzantine_.count(key_of(party)) > 0;
+}
+
+void FaultInjector::set_metrics(obs::MetricsRegistry* metrics) noexcept {
+  metrics_ = metrics;
 }
 
 const FaultSpec& FaultInjector::spec_for(const Address& party) const {
@@ -64,6 +69,26 @@ FaultDecision FaultInjector::decide(const Address& from, const Address&) {
     case FaultDecision::Delivery::kNormal: break;
   }
   if (d.corrupt) ++counters_.corruptions;
+  if (metrics_ != nullptr) {
+    metrics_->counter("fault.messages").inc();
+    switch (d.delivery) {
+      case FaultDecision::Delivery::kDrop:
+        metrics_->counter("fault.drops").inc();
+        break;
+      case FaultDecision::Delivery::kDuplicate:
+        metrics_->counter("fault.duplicates").inc();
+        break;
+      case FaultDecision::Delivery::kReorder:
+        metrics_->counter("fault.reorders").inc();
+        break;
+      case FaultDecision::Delivery::kDelay:
+        metrics_->counter("fault.delays").inc();
+        break;
+      case FaultDecision::Delivery::kNormal:
+        break;
+    }
+    if (d.corrupt) metrics_->counter("fault.corruptions").inc();
+  }
   return d;
 }
 

@@ -24,6 +24,10 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 
+namespace lppa::obs {
+class MetricsRegistry;
+}  // namespace lppa::obs
+
 namespace lppa::proto {
 
 struct Address;  // proto/bus.h
@@ -88,6 +92,12 @@ class FaultInjector {
   const FaultCounters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = FaultCounters{}; }
 
+  /// Attaches (or detaches, with nullptr) an observability sink: decide()
+  /// mirrors FaultCounters into per-fault-type counters `fault.messages`
+  /// / `fault.drops` / `fault.duplicates` / `fault.reorders` /
+  /// `fault.corruptions` / `fault.delays`.  Not owned.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept;
+
  private:
   const FaultSpec& spec_for(const Address& party) const;
 
@@ -96,6 +106,7 @@ class FaultInjector {
   std::map<std::pair<std::uint8_t, std::size_t>, FaultSpec> overrides_;
   std::set<std::pair<std::uint8_t, std::size_t>> byzantine_;
   FaultCounters counters_;
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< not owned; may be null
 };
 
 /// Where the recoverable session (proto/session.h) may lose the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace lppa::proto {
 
 namespace {
@@ -166,15 +168,37 @@ void AuctioneerSession::replay_equivocation(std::size_t user,
   last_error_[user] = detail;
 }
 
+void AuctioneerSession::note_ingest(IngestResult result) const {
+  obs::MetricsRegistry* const m = config_.metrics;
+  if (m == nullptr) return;
+  switch (result) {
+    case IngestResult::kAccepted:
+      m->counter("session.accepted").inc();
+      break;
+    case IngestResult::kDuplicateRedelivery:
+      m->counter("session.duplicates").inc();
+      break;
+    case IngestResult::kRejected:
+      m->counter("session.rejected").inc();
+      break;
+    case IngestResult::kEquivocation:
+      m->counter("session.equivocations").inc();
+      break;
+  }
+}
+
 void AuctioneerSession::ingest(const Bytes& envelope_bytes) {
   std::string error;
   const IngestResult result = classify_and_store(envelope_bytes, &error);
+  note_ingest(result);
   LPPA_PROTOCOL_CHECK(result == IngestResult::kAccepted, error);
 }
 
 AuctioneerSession::IngestResult AuctioneerSession::try_ingest(
     const Bytes& envelope_bytes, std::string* error) {
-  return classify_and_store(envelope_bytes, error);
+  const IngestResult result = classify_and_store(envelope_bytes, error);
+  note_ingest(result);
+  return result;
 }
 
 bool AuctioneerSession::ready() const noexcept {

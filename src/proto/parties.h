@@ -75,6 +75,10 @@ class AuctioneerSession {
   /// Rejections with an attributable sender count as strikes against it;
   /// equivocation marks the sender excluded.  `error`, when non-null,
   /// receives the reason for any non-accepted outcome.
+  ///
+  /// When the session config carries an obs::MetricsRegistry, each
+  /// classification increments `session.accepted` / `session.duplicates`
+  /// / `session.rejected` / `session.equivocations`.
   IngestResult try_ingest(const Bytes& envelope_bytes,
                           std::string* error = nullptr);
 
@@ -169,6 +173,7 @@ class AuctioneerSession {
  private:
   IngestResult classify_and_store(const Bytes& envelope_bytes,
                                   std::string* error);
+  void note_ingest(IngestResult result) const;
   const core::BidSubmission& bid_of(auction::UserId user) const;
   void compact_participants();
 

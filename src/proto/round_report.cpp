@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace lppa::proto {
 
 const char* to_string(RoundReport::ExclusionReason reason) noexcept {
@@ -43,65 +45,49 @@ std::string RoundReport::summary() const {
   return out.str();
 }
 
-namespace {
-
-/// Minimal JSON string escaping for the detail fields (quotes,
-/// backslashes, control bytes); everything else the reports emit is
-/// plain ASCII.
-void append_json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
-              << "0123456789abcdef"[c & 0xF];
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
-}
-
-}  // namespace
-
 std::string RoundReport::to_json() const {
+  // The shared emitter (obs/json.h) handles all escaping: an adversarial
+  // Exclusion::detail — validator text quoting hostile peer bytes —
+  // cannot break the document.
   std::ostringstream out;
-  out << "{\"round\": " << round << ", \"num_users\": " << num_users
-      << ", \"completed\": " << (completed ? "true" : "false")
-      << ", \"degraded\": " << (degraded ? "true" : "false")
-      << ", \"survivors\": [";
-  for (std::size_t i = 0; i < survivors.size(); ++i) {
-    out << (i ? ", " : "") << survivors[i];
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("round", round)
+      .field("num_users", num_users)
+      .field("completed", completed)
+      .field("degraded", degraded);
+  w.key("survivors").begin_array();
+  for (const std::size_t u : survivors) w.value(u);
+  w.end_array();
+  w.key("excluded").begin_array();
+  for (const Exclusion& e : excluded) {
+    w.begin_object()
+        .field("user", e.user)
+        .field("reason", to_string(e.reason))
+        .field("detail", std::string_view(e.detail))
+        .end_object();
   }
-  out << "], \"excluded\": [";
-  for (std::size_t i = 0; i < excluded.size(); ++i) {
-    const Exclusion& e = excluded[i];
-    out << (i ? ", " : "") << "{\"user\": " << e.user << ", \"reason\": \""
-        << to_string(e.reason) << "\", \"detail\": ";
-    append_json_string(out, e.detail);
-    out << "}";
-  }
-  out << "], \"retry_waves\": " << retry_waves
-      << ", \"charge_attempts\": " << charge_attempts
-      << ", \"rejected_messages\": " << rejected_messages
-      << ", \"duplicate_redeliveries\": " << duplicate_redeliveries
-      << ", \"crash_recoveries\": " << crash_recoveries
-      << ", \"journal_records\": " << journal_records
-      << ", \"journal_bytes\": " << journal_bytes
-      << ", \"replayed_records\": " << replayed_records
-      << ", \"deadline_ticks\": " << deadline_ticks
-      << ", \"ticks_used\": " << ticks_used << ", \"faults\": {\"messages\": "
-      << faults.messages << ", \"drops\": " << faults.drops
-      << ", \"duplicates\": " << faults.duplicates
-      << ", \"reorders\": " << faults.reorders
-      << ", \"corruptions\": " << faults.corruptions
-      << ", \"delays\": " << faults.delays << "}}";
+  w.end_array();
+  w.field("retry_waves", retry_waves)
+      .field("charge_attempts", charge_attempts)
+      .field("rejected_messages", rejected_messages)
+      .field("duplicate_redeliveries", duplicate_redeliveries)
+      .field("crash_recoveries", crash_recoveries)
+      .field("journal_records", journal_records)
+      .field("journal_bytes", journal_bytes)
+      .field("replayed_records", replayed_records)
+      .field("deadline_ticks", deadline_ticks)
+      .field("ticks_used", ticks_used);
+  w.key("faults")
+      .begin_object()
+      .field("messages", faults.messages)
+      .field("drops", faults.drops)
+      .field("duplicates", faults.duplicates)
+      .field("reorders", faults.reorders)
+      .field("corruptions", faults.corruptions)
+      .field("delays", faults.delays)
+      .end_object();
+  w.end_object();
   return out.str();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "proto/fault.h"
 #include "proto/journal.h"
 
@@ -108,6 +110,10 @@ HardenedWireResult run_hardened_wire_auction(
   RoundReport& report = result.report;
   report.num_users = n;
 
+  obs::MetricsRegistry* const m = config.metrics;
+  obs::Span round_span(m, "wire.round");
+  if (m != nullptr) m->counter("wire.rounds").inc();
+
   // --- SU side: mask once, cache the envelopes for retransmission --------
   // Every SU's stream is forked in index order whether or not it
   // participates, so a run restricted to the survivors of a faulty run
@@ -147,6 +153,7 @@ HardenedWireResult run_hardened_wire_auction(
     }
   };
 
+  obs::Span admission_span(m, "wire.admission", &round_span);
   for (std::size_t wave = 0;; ++wave) {
     drain_auctioneer();
     std::vector<std::size_t> missing;
@@ -166,6 +173,7 @@ HardenedWireResult run_hardened_wire_auction(
           (session.has_location(u) ? 0 : RetransmitRequest::kLocation) |
           (session.has_bid(u) ? 0 : RetransmitRequest::kBid));
       nack.payload = request.serialize();
+      if (m != nullptr) m->counter("wire.nacks").inc();
       bus.send(auctioneer, Address::su(u), nack.serialize());
     }
     // Exponential backoff: waiting also flushes delay-faulted messages.
@@ -194,9 +202,13 @@ HardenedWireResult run_hardened_wire_auction(
     }
     bus.advance(hardened.backoff_ticks(wave));
   }
+  admission_span.end();
 
-  session.finalize_participants(report);
-  session.run_allocation(rng);
+  {
+    obs::Span allocation_span(m, "wire.allocation", &round_span);
+    session.finalize_participants(report);
+    session.run_allocation(rng);
+  }
 
   // --- Charging: resend the full query set until every award is priced ---
   // The TTP itself is trusted but the link to it is not: queries and
@@ -204,6 +216,7 @@ HardenedWireResult run_hardened_wire_auction(
   // wholesale (the TTP is stateless per batch and results are idempotent)
   // until charging_complete() or the attempt budget runs out.
   TtpService service(ttp);
+  obs::Span charging_span(m, "wire.charging", &round_span);
   const std::vector<Bytes> query_envelopes = session.charge_query_envelopes();
   while (!session.charging_complete()) {
     LPPA_PROTOCOL_CHECK(
@@ -230,6 +243,7 @@ HardenedWireResult run_hardened_wire_auction(
       }
     }
   }
+  charging_span.end();
 
   // --- Publication --------------------------------------------------------
   const Bytes announcement = session.winner_announcement();
@@ -238,6 +252,14 @@ HardenedWireResult run_hardened_wire_auction(
   report.completed = true;
   if (const FaultInjector* injector = bus.fault_injector()) {
     report.faults = injector->counters();
+  }
+  if (m != nullptr) {
+    m->counter("wire.completed_rounds").inc();
+    m->counter("wire.retry_waves").inc(report.retry_waves);
+    m->counter("wire.charge_attempts").inc(report.charge_attempts);
+    m->counter("wire.rejected_messages").inc(report.rejected_messages);
+    m->counter("wire.duplicate_redeliveries")
+        .inc(report.duplicate_redeliveries);
   }
   return result;
 }
@@ -347,6 +369,10 @@ RecoverableWireResult run_recoverable_wire_auction(
   report.num_users = n;
   report.deadline_ticks = recov.deadline_ticks;
 
+  obs::MetricsRegistry* const m = config.metrics;
+  obs::Span round_span(m, "wire.round");
+  if (m != nullptr) m->counter("wire.rounds").inc();
+
   // --- SU side: mask and transmit exactly once ---------------------------
   // The SU endpoints survive auctioneer crashes; their envelopes are
   // built and sent once, before any attempt, and only ever leave the
@@ -387,6 +413,7 @@ RecoverableWireResult run_recoverable_wire_auction(
 
   for (;;) {
     try {
+      obs::Span attempt_span(m, "wire.attempt", &round_span);
       // Each attempt reconstructs the full generator from the seed (the
       // SU-side fork is spent above and discarded here) so the
       // allocation stream is identical no matter how many attempts died.
@@ -446,6 +473,7 @@ RecoverableWireResult run_recoverable_wire_auction(
                   (session.has_bid(u) ? 0 : RetransmitRequest::kBid));
               nack.payload = request.serialize();
               journal.append_nack(u, request.mask, wave);
+              if (m != nullptr) m->counter("wire.nacks").inc();
               bus.send(auctioneer, Address::su(u), nack.serialize());
             }
             advance(hardened.backoff_ticks(wave));
@@ -539,12 +567,25 @@ RecoverableWireResult run_recoverable_wire_auction(
       if (const FaultInjector* injector = bus.fault_injector()) {
         report.faults = injector->counters();
       }
+      if (m != nullptr) {
+        m->counter("wire.completed_rounds").inc();
+        m->counter("wire.retry_waves").inc(report.retry_waves);
+        m->counter("wire.charge_attempts").inc(report.charge_attempts);
+        m->counter("wire.rejected_messages").inc(report.rejected_messages);
+        m->counter("wire.duplicate_redeliveries")
+            .inc(report.duplicate_redeliveries);
+        m->counter("wire.replayed_records").inc(report.replayed_records);
+        if (report.degraded) m->counter("wire.degraded_rounds").inc();
+        m->gauge("wire.journal_bytes")
+            .set(static_cast<double>(report.journal_bytes));
+      }
       return result;
     } catch (const CrashSignal&) {
       // The auctioneer process died.  Its in-memory session is gone; the
       // journal and the bus (the outside world) survive.  Restarting
       // costs ticks, which is how crashes erode the deadline.
       ++report.crash_recoveries;
+      if (m != nullptr) m->counter("wire.crash_recoveries").inc();
       ticks += recov.recovery_cost_ticks;
     }
   }

@@ -1,0 +1,206 @@
+// Every JSON artifact the repo emits must survive a strict parser.
+//
+// The bug class this suite pins: the old hand-rolled emitters escaped
+// quotes and backslashes but passed control bytes straight through, so
+// a hostile Exclusion::detail (validator text quoting attacker-chosen
+// message bytes) produced a document no conforming parser would accept.
+// All emission now goes through obs::json; these tests hold it to RFC
+// 8259 via the independent parser in strict_json.h.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/round_report.h"
+#include "strict_json.h"
+
+namespace lppa {
+namespace {
+
+using testjson::parse_strict;
+
+TEST(JsonEscaping, ControlBytesAndQuotes) {
+  std::string out;
+  obs::append_json_escaped(out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+  EXPECT_EQ(obs::json_quote("x"), "\"x\"");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(obs::json_quote("λ±"), "\"λ±\"");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_number(-std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(obs::json_number(std::nan("")), "null");
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+  for (double v : {0.0, -0.0, 1.0, 0.1, 1.0 / 3.0, 1e-300, 1.7976931348623157e308,
+                   123456789.123456789, -2.5}) {
+    const std::string s = obs::json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    // And the strict parser accepts what we emit.
+    EXPECT_EQ(parse_strict(s).number, v);
+  }
+}
+
+TEST(JsonWriter, MisuseThrowsInsteadOfEmittingGarbage) {
+  std::ostringstream out;
+  {
+    obs::JsonWriter w(out);
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), LppaError);  // value without a key
+    EXPECT_THROW(w.end_array(), LppaError);  // mismatched close
+  }
+  std::ostringstream out2;
+  obs::JsonWriter w2(out2);
+  w2.value(1.0);
+  EXPECT_TRUE(w2.complete());
+  EXPECT_THROW(w2.value(2.0), LppaError);  // two top-level values
+}
+
+TEST(JsonWriter, NestedDocumentParses) {
+  std::ostringstream out;
+  obs::JsonWriter w(out, /*indent=*/2);
+  w.begin_object();
+  w.key("list").begin_array().value(1).value("two").null().end_array();
+  w.key("obj").begin_object().field("k", true).end_object();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+  const auto doc = parse_strict(out.str());
+  EXPECT_EQ(doc.at("list").size(), 3u);
+  EXPECT_EQ(doc.at("list")[1].string, "two");
+  EXPECT_TRUE(doc.at("list")[2].is_null());
+  EXPECT_TRUE(doc.at("obj").at("k").boolean);
+}
+
+// The corpus of hostile detail strings: every byte class that has ever
+// broken a hand-rolled JSON emitter.
+std::vector<std::string> hostile_details() {
+  std::vector<std::string> corpus = {
+      "plain text",
+      "quote\" in the middle",
+      "trailing backslash\\",
+      "\\\" escaped-quote bait",
+      "line\nbreak\r\n and tab\t",
+      std::string("embedded\0nul", 12),
+      "\x01\x02\x03\x1f all the low controls",
+      "</script><script>alert(1)</script>",
+      "{\"fake\": \"json\"}",
+      "unicode λ ± 位置 🔒",
+      "bell\x07 backspace\x08 formfeed\x0c",
+  };
+  std::string every_control;
+  for (int c = 1; c < 0x20; ++c) every_control.push_back(static_cast<char>(c));
+  corpus.push_back(every_control);
+  return corpus;
+}
+
+TEST(RoundReportJson, HostileDetailCorpusRoundTrips) {
+  for (const std::string& detail : hostile_details()) {
+    proto::RoundReport report;
+    report.round = 3;
+    report.num_users = 5;
+    report.completed = true;
+    report.survivors = {0, 2, 4};
+    proto::RoundReport::Exclusion ex;
+    ex.user = 1;
+    ex.reason = proto::RoundReport::ExclusionReason::kInvalid;
+    ex.detail = detail;
+    report.excluded.push_back(ex);
+    report.retry_waves = 2;
+    report.faults.drops = 7;
+
+    const std::string json = report.to_json();
+    testjson::JsonValue doc;
+    ASSERT_NO_THROW(doc = parse_strict(json))
+        << "detail bytes broke the document: " << json;
+    // The parser must hand back the exact original bytes.
+    EXPECT_EQ(doc.at("excluded")[0].at("detail").string, detail);
+    EXPECT_EQ(doc.at("excluded")[0].at("reason").string, "invalid");
+    EXPECT_EQ(doc.at("round").number, 3.0);
+    EXPECT_EQ(doc.at("survivors").size(), 3u);
+    EXPECT_EQ(doc.at("faults").at("drops").number, 7.0);
+  }
+}
+
+TEST(RoundReportJson, SchemaFieldsPresent) {
+  const auto doc = parse_strict(proto::RoundReport{}.to_json());
+  for (const char* key :
+       {"round", "num_users", "completed", "degraded", "survivors",
+        "excluded", "retry_waves", "charge_attempts", "rejected_messages",
+        "duplicate_redeliveries", "crash_recoveries", "journal_records",
+        "journal_bytes", "replayed_records", "deadline_ticks", "ticks_used",
+        "faults"}) {
+    EXPECT_TRUE(doc.has(key)) << key;
+  }
+}
+
+TEST(BenchStyleDump, ReportSplicesViaRaw) {
+  // The abl_faults/abl_recovery emitters splice RoundReport::to_json()
+  // into the sweep array via JsonWriter::raw(); the combined document
+  // must still be strict — even with a hostile detail inside.
+  proto::RoundReport report;
+  report.num_users = 2;
+  proto::RoundReport::Exclusion ex;
+  ex.user = 0;
+  ex.reason = proto::RoundReport::ExclusionReason::kEquivocation;
+  ex.detail = "two bodies under one hmac: \"\x02\\";
+  report.excluded.push_back(ex);
+
+  std::ostringstream out;
+  obs::JsonWriter w(out, /*indent=*/2);
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object().field("drop", 0.1 * i).field("byzantine", i);
+    w.key("report").raw(report.to_json());
+    w.end_object();
+  }
+  w.end_array();
+  ASSERT_TRUE(w.complete());
+
+  const auto doc = parse_strict(out.str());
+  ASSERT_EQ(doc.size(), 2u);
+  EXPECT_EQ(doc[1].at("report").at("excluded")[0].at("detail").string,
+            ex.detail);
+  EXPECT_EQ(doc[1].at("report").at("excluded")[0].at("reason").string,
+            "equivocation");
+}
+
+TEST(BenchStyleDump, NonFiniteSampleFieldsBecomeNull) {
+  // A bench sample that divides by a zero wall must not leak "inf" into
+  // the dump: the writer emits null, which strict parsers accept and
+  // bench_compare.py --validate then treats as missing-not-poisoned.
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("wall_ms", 0.0)
+      .field("throughput", std::numeric_limits<double>::infinity())
+      .field("ratio", std::nan(""))
+      .end_object();
+  const auto doc = parse_strict(out.str());
+  EXPECT_TRUE(doc.at("throughput").is_null());
+  EXPECT_TRUE(doc.at("ratio").is_null());
+  EXPECT_EQ(doc.at("wall_ms").number, 0.0);
+}
+
+TEST(StrictParser, RejectsTheOldEmitterBugs) {
+  // Sanity-check the referee itself: documents with the defects the old
+  // emitters produced must be rejected.
+  EXPECT_THROW(parse_strict("{\"d\": \"a\nb\"}"), std::runtime_error);
+  EXPECT_THROW(parse_strict("{\"x\": inf}"), std::runtime_error);
+  EXPECT_THROW(parse_strict("{\"x\": nan}"), std::runtime_error);
+  EXPECT_THROW(parse_strict("{\"x\": Infinity}"), std::runtime_error);
+  EXPECT_THROW(parse_strict("{\"x\": 1,}"), std::runtime_error);
+  EXPECT_THROW(parse_strict("[1] [2]"), std::runtime_error);
+  EXPECT_THROW(parse_strict("{\"x\": 01}"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lppa

@@ -23,6 +23,48 @@ TEST(SplitMix64, DifferentSeedsDiverge) {
   EXPECT_NE(a.next(), b.next());
 }
 
+TEST(DeriveStreamSeed, Deterministic) {
+  EXPECT_EQ(derive_stream_seed(42, 0x6730),
+            derive_stream_seed(42, 0x6730));
+}
+
+TEST(DeriveStreamSeed, DistinctDomainsGiveDistinctStreams) {
+  // The TTP's three key-derivation domains must never collide for the
+  // same base seed, and the streams they seed must actually diverge.
+  const std::uint64_t s = 2026;
+  const std::uint64_t g0 = derive_stream_seed(s, 0x6730);
+  const std::uint64_t gb = derive_stream_seed(s, 0x67626d6173746572ULL);
+  const std::uint64_t gc = derive_stream_seed(s, 0x6763);
+  EXPECT_NE(g0, gb);
+  EXPECT_NE(g0, gc);
+  EXPECT_NE(gb, gc);
+  Rng a(g0), b(gb);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(DeriveStreamSeed, NotTheInvertibleXorIdiom) {
+  // The defect this derivation replaces: with `seed ^ domain`, the seeds
+  // s and s ^ d produced byte-identical "independent" streams, because
+  // (s ^ d) ^ 0 == s ^ d.  The SplitMix64 round before the domain mix
+  // breaks that constructible identity.
+  const std::uint64_t s = 0x123456789abcdef0ULL;
+  const std::uint64_t d = 0x6730;
+  EXPECT_NE(derive_stream_seed(s, d), derive_stream_seed(s ^ d, 0));
+  EXPECT_NE(derive_stream_seed(s, d), s ^ d);
+}
+
+TEST(DeriveStreamSeed, ManySeedDomainPairsCollisionFree) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    for (std::uint64_t d = 0; d < 64; ++d) {
+      seen.insert(derive_stream_seed(s, d));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(123);
   Rng b(123);

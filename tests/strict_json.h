@@ -1,0 +1,310 @@
+// A minimal strict JSON (RFC 8259) parser for tests.
+//
+// The obs::json writer promises that every artifact the repo emits —
+// RoundReport::to_json(), the BENCH_*.json dumps, metrics snapshots —
+// parses under a *strict* reader: no bare control bytes inside strings,
+// no trailing commas, no NaN/Infinity literals, exactly one top-level
+// value.  This parser exists so the tests can hold the writer to that
+// promise without trusting the writer's own notion of validity.
+//
+// It builds a tiny DOM (JsonValue) good enough to assert round-trips:
+// object member order is preserved, numbers keep their double value,
+// strings are fully unescaped.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lppa::testjson {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonMembers> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; throws if absent or not an object.
+  const JsonValue& at(std::string_view key) const {
+    if (kind != Kind::kObject) throw std::runtime_error("not an object");
+    for (const auto& [k, v] : *object) {
+      if (k == key) return v;
+    }
+    throw std::runtime_error("missing key: " + std::string(key));
+  }
+  bool has(std::string_view key) const {
+    if (kind != Kind::kObject) return false;
+    for (const auto& [k, v] : *object) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+  const JsonValue& operator[](std::size_t i) const {
+    if (kind != Kind::kArray) throw std::runtime_error("not an array");
+    return array->at(i);
+  }
+  std::size_t size() const {
+    if (kind == Kind::kArray) return array->size();
+    if (kind == Kind::kObject) return object->size();
+    throw std::runtime_error("size() on scalar");
+  }
+};
+
+/// Strict recursive-descent parser.  Throws std::runtime_error with a
+/// byte offset on the first deviation from RFC 8259.
+class StrictParser {
+ public:
+  explicit StrictParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("strict JSON error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    // RFC 8259: only space, tab, LF, CR are whitespace.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't': return parse_literal("true", literal_bool(true));
+      case 'f': return parse_literal("false", literal_bool(false));
+      case 'n': return parse_literal("null", JsonValue{});
+      default: return parse_number();
+    }
+  }
+
+  static JsonValue literal_bool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue parse_literal(std::string_view word, JsonValue v) {
+    for (char c : word) {
+      if (pos_ >= text_.size() || text_[pos_] != c) {
+        fail("invalid literal (NaN/Infinity are not JSON)");
+      }
+      ++pos_;
+    }
+    return v;
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    v.object = std::make_shared<JsonMembers>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v.object->emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    v.array = std::make_shared<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      v.array->push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const unsigned char c = static_cast<unsigned char>(take());
+      if (c == '"') return out;
+      if (c < 0x20) fail("bare control byte in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // The writer only \u-escapes control bytes, so a 1-byte
+          // decode suffices; reject surrogates outright.
+          if (code >= 0xD800 && code <= 0xDFFF) fail("lone surrogate");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    // Integer part: "0" alone or nonzero-led digits (no leading zeros).
+    if (pos_ >= text_.size()) fail("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    } else {
+      fail("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    if (!std::isfinite(v.number)) fail("number overflows double");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline JsonValue parse_strict(std::string_view text) {
+  return StrictParser(text).parse_document();
+}
+
+}  // namespace lppa::testjson

@@ -18,13 +18,20 @@ Usage::
 
     bench_compare.py baseline.json candidate.json [--threshold 0.2]
     bench_compare.py baseline.json --run-bench "./bench/perf_scaling --smoke"
+    bench_compare.py --validate BENCH_a.json BENCH_b.json ...
 
 With --run-bench the candidate is produced by running the given command
 (appending --json <tmpfile>), so ctest needs just one entry point.
+
+With --validate no comparison happens: each listed file must parse under
+a strict JSON reader (no NaN/Infinity literals) and contain only finite
+numbers, recursively.  Any violation exits nonzero — the JSON lint the
+perfsmoke gate runs over every committed BENCH_*.json artifact.
 """
 
 import argparse
 import json
+import math
 import os
 import shlex
 import subprocess
@@ -33,11 +40,38 @@ import tempfile
 from pathlib import Path
 
 
-def load_samples(path):
+def _reject_constant(name):
+    # json.load accepts the non-standard NaN/Infinity/-Infinity literals
+    # by default; a strict document must never contain them.
+    raise ValueError(f"non-finite JSON literal {name}")
+
+
+def load_strict(path):
+    """Parses `path` rejecting the NaN/Infinity extensions."""
     with open(path) as fh:
-        data = json.load(fh)
+        try:
+            return json.load(fh, parse_constant=_reject_constant)
+        except ValueError as exc:
+            raise SystemExit(f"{path}: invalid JSON: {exc}")
+
+
+def check_finite(node, path, where="$"):
+    """Recursively rejects non-finite numbers anywhere in the document."""
+    if isinstance(node, float) and not math.isfinite(node):
+        raise SystemExit(f"{path}: non-finite number at {where}")
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            check_finite(value, path, f"{where}.{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            check_finite(value, path, f"{where}[{i}]")
+
+
+def load_samples(path):
+    data = load_strict(path)
     if not isinstance(data, list):
         raise SystemExit(f"{path}: expected a JSON array of samples")
+    check_finite(data, path)
     out = {}
     for sample in data:
         try:
@@ -45,6 +79,9 @@ def load_samples(path):
             wall = float(sample["wall_ms"])
         except (KeyError, TypeError, ValueError) as exc:
             raise SystemExit(f"{path}: malformed sample {sample!r}: {exc}")
+        if not math.isfinite(wall) or wall < 0.0:
+            raise SystemExit(
+                f"{path}: sample {fmt_key(key)} has invalid wall_ms {wall!r}")
         if key in out:
             raise SystemExit(f"{path}: duplicate sample key {key}")
         out[key] = wall
@@ -59,9 +96,13 @@ def fmt_key(key):
 def main():
     parser = argparse.ArgumentParser(
         description="diff two perf_scaling JSON dumps, fail on regressions")
-    parser.add_argument("baseline", help="baseline BENCH_perf_scaling.json")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline BENCH_perf_scaling.json")
     parser.add_argument("candidate", nargs="?",
                         help="candidate JSON (or use --run-bench)")
+    parser.add_argument("--validate", nargs="+", metavar="FILE",
+                        help="no comparison: strict-parse each FILE and "
+                             "require every number to be finite")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="max tolerated fractional wall_ms increase "
                              "(default 0.20 = +20%%)")
@@ -79,6 +120,17 @@ def main():
                              "estimate of the code's true cost (default 3)")
     args = parser.parse_args()
 
+    if args.validate is not None:
+        if args.baseline or args.candidate or args.run_bench:
+            parser.error("--validate takes only a list of files")
+        for path in args.validate:
+            check_finite(load_strict(path), path)
+            print(f"  {path}: strict JSON, all numbers finite")
+        print(f"validated {len(args.validate)} file(s)")
+        return 0
+
+    if args.baseline is None:
+        parser.error("baseline file required (or use --validate)")
     if (args.candidate is None) == (args.run_bench is None):
         parser.error("provide exactly one of: candidate file, --run-bench")
 
@@ -107,7 +159,12 @@ def main():
     for key in sorted(baseline.keys() & candidate.keys()):
         base, cand = baseline[key], candidate[key]
         if base <= 0.0:
-            continue
+            # A zero-wall baseline can never be compared against — any
+            # candidate is an infinite regression.  The baseline file is
+            # broken; say so instead of silently skipping the sample.
+            raise SystemExit(
+                f"{args.baseline}: sample {fmt_key(key)} has zero wall_ms — "
+                f"regenerate the baseline with a measurable workload")
         if base < args.min_wall_ms and cand < args.min_wall_ms:
             skipped_noise += 1
             print(f"  {fmt_key(key):50s} {base:10.3f} -> {cand:10.3f} ms "
