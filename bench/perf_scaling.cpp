@@ -9,6 +9,8 @@
 //
 // Schema: [{"phase": str, "n": int, "threads": int, "wall_ms": float,
 //           "throughput": float}, ...]   (throughput = SUs per second)
+// shard_scaling_<S> rows additionally carry {"shards", "halo_edges",
+// "boundary_sus", "peak_index_bytes"} — the halo-exchange footprint.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -17,7 +19,10 @@
 #include "common/thread_pool.h"
 #include "core/encrypted_bid_table.h"
 #include "core/lppa_auction.h"
+#include "core/shard_conflict.h"
+#include "core/sharded_bid_table.h"
 #include "prefix/digest_index.h"
+#include "shard/shard_plan.h"
 
 namespace {
 
@@ -29,6 +34,11 @@ struct Sample {
   std::size_t threads = 0;
   double wall_ms = 0.0;
   double throughput = 0.0;  // SUs processed per second
+  // shard_scaling rows only: partition count and halo footprint.
+  std::size_t shards = 0;
+  std::size_t halo_edges = 0;
+  std::size_t boundary_sus = 0;
+  std::size_t peak_index_bytes = 0;
 };
 
 template <typename Fn>
@@ -60,8 +70,14 @@ void write_json(const std::string& path, const std::vector<Sample>& samples) {
         .field("n", s.n)
         .field("threads", s.threads)
         .field("wall_ms", s.wall_ms)
-        .field("throughput", s.throughput)
-        .end_object();
+        .field("throughput", s.throughput);
+    if (s.shards > 0) {
+      w.field("shards", s.shards)
+          .field("halo_edges", s.halo_edges)
+          .field("boundary_sus", s.boundary_sus)
+          .field("peak_index_bytes", s.peak_index_bytes);
+    }
+    w.end_object();
   }
   w.end_array();
   out << "\n";
@@ -103,6 +119,11 @@ int main(int argc, char** argv) {
                         : std::max<std::size_t>(4, ThreadPool::hardware_threads());
   std::vector<std::size_t> thread_counts = {1};
   if (multi > 1) thread_counts.push_back(multi);
+
+  // Geo-shard counts for the shard_scaling phase: --shards pins one,
+  // the default sweeps a 2x2 and a 4x4 grid.
+  std::vector<std::size_t> shard_counts = {4, 16};
+  if (args.shards > 0) shard_counts = {args.shards};
 
   Rng rng(20130708);
   const auto g0 = crypto::SecretKey::generate(rng);
@@ -212,6 +233,113 @@ int main(int argc, char** argv) {
           return 1;
         }
       }
+
+      // The geo-sharded server-side path, end to end: tile assignment,
+      // per-shard conflict indexes + halo exchange, partitioned bid
+      // table, allocation with the cross-shard argmax merge.  The
+      // result must be byte-identical to the single-partition run — the
+      // graph to `indexed`, the awards to `sorted_awards` — so the row
+      // doubles as a differential gate at bench scale.
+      for (const std::size_t num_shards : shard_counts) {
+        const auto plan =
+            shard::ShardPlan::make(coord_width, lambda, num_shards);
+        for (const std::size_t t : thread_counts) {
+          Rng run_rng = alloc_rng;
+          shard::ShardAssignment assignment;
+          core::ShardConflictStats stats;
+          auction::ConflictGraph sharded_graph(n);
+          std::vector<auction::Award> awards;
+          const double ms = time_ms([&] {
+            assignment = plan.assign(locations);
+            sharded_graph = core::build_conflict_graph_sharded(
+                subs, assignment, t, nullptr, &stats);
+            core::ShardedBidTable table(bid_subs, num_channels,
+                                        assignment.shard_of, num_shards,
+                                        core::ArgmaxStrategy::kSortedColumns,
+                                        t);
+            awards = auction::greedy_allocate(table, sharded_graph, run_rng);
+          });
+          if (!(sharded_graph == indexed)) {
+            std::cerr << "FATAL: sharded conflict graph differs from the "
+                         "global build (shards=" << num_shards << ")\n";
+            return 1;
+          }
+          if (!(awards == sorted_awards)) {
+            std::cerr << "FATAL: sharded awards differ from the "
+                         "single-partition run (shards=" << num_shards
+                      << ")\n";
+            return 1;
+          }
+          Sample s = sample("shard_scaling_" + std::to_string(num_shards), n,
+                            t, ms);
+          s.shards = num_shards;
+          s.halo_edges = stats.halo_edges;
+          s.boundary_sus = stats.boundary_sus;
+          s.peak_index_bytes = stats.peak_index_bytes;
+          samples.push_back(s);
+        }
+      }
+    }
+  }
+
+  // Scale-out headline: the sharded conflict discovery at n >= 100k SUs.
+  // The full-auction sweep stays at the sizes above (the all-pairs and
+  // tournament references are super-linear); this block runs only the
+  // linear-memory phases — location masking, the global indexed build
+  // as the comparison row, and the per-shard halo-exchange build whose
+  // peak index footprint the JSON records.
+  if (args.full) {
+    const std::size_t n = 102400;
+    const std::uint64_t hi =
+        ((std::uint64_t{1} << coord_width) - 1) - 2 * lambda;
+    std::vector<auction::SuLocation> locations(n);
+    for (auto& loc : locations) loc = {rng.below(hi + 1), rng.below(hi + 1)};
+    Rng fork_master = rng.fork();
+    std::vector<Rng> su_rngs;
+    su_rngs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) su_rngs.push_back(fork_master.fork());
+    std::vector<core::LocationSubmission> subs(n);
+    {
+      const double ms = time_ms([&] {
+        parallel_for(n, multi, [&](std::size_t i) {
+          subs[i] = protocol.submit(locations[i], su_rngs[i]);
+        });
+      });
+      samples.push_back(sample("submit_locations_100k", n, multi, ms));
+    }
+    auction::ConflictGraph indexed(n);
+    {
+      const double ms = time_ms([&] {
+        indexed = core::PpbsLocation::build_conflict_graph(subs, multi);
+      });
+      samples.push_back(sample("conflict_graph_indexed", n, multi, ms));
+    }
+    for (const std::size_t num_shards : shard_counts) {
+      const auto plan = shard::ShardPlan::make(coord_width, lambda, num_shards);
+      shard::ShardAssignment assignment;
+      core::ShardConflictStats stats;
+      auction::ConflictGraph sharded_graph(n);
+      const double ms = time_ms([&] {
+        assignment = plan.assign(locations);
+        sharded_graph = core::build_conflict_graph_sharded(
+            subs, assignment, multi, nullptr, &stats);
+      });
+      if (!(sharded_graph == indexed)) {
+        std::cerr << "FATAL: sharded conflict graph differs at n=" << n
+                  << " (shards=" << num_shards << ")\n";
+        return 1;
+      }
+      Sample s = sample("shard_scaling_" + std::to_string(num_shards), n,
+                        multi, ms);
+      s.shards = num_shards;
+      s.halo_edges = stats.halo_edges;
+      s.boundary_sus = stats.boundary_sus;
+      s.peak_index_bytes = stats.peak_index_bytes;
+      samples.push_back(s);
+      std::cout << "shard_scaling n=" << n << " shards=" << num_shards
+                << ": peak per-shard index " << stats.peak_index_bytes
+                << " bytes, " << stats.halo_edges << " halo edges, "
+                << stats.boundary_sus << " boundary SUs\n";
     }
   }
 
@@ -272,6 +400,34 @@ int main(int argc, char** argv) {
   if (auc_ms > 0.0 && scan_ms > 0.0) {
     std::cout << "sorted-column vs tournament-scan auction speedup at n="
               << big << ": " << scan_ms / auc_ms << "x\n";
+  }
+  if (thread_counts.size() > 1) {
+    // Sharded-phase thread-scaling gate, armed under the same hardware
+    // condition as the submit gate: shards build and probe as
+    // independent tasks, so with >= 4 physical cores and >= 4 shards the
+    // multi-thread run must beat the serial one.  On a 1-core container
+    // the gate self-skips — same reasoning as the "Thread scaling" note
+    // in docs/performance.md — and the floor is lower than submit's
+    // because the allocation tail of the phase is serial.
+    const std::size_t gate_shards =
+        *std::max_element(shard_counts.begin(), shard_counts.end());
+    const std::string phase = "shard_scaling_" + std::to_string(gate_shards);
+    const double sh1 = wall_of(samples, phase, big, 1);
+    const double sht = wall_of(samples, phase, big, multi);
+    if (sh1 > 0.0 && sht > 0.0) {
+      const double speedup = sh1 / sht;
+      std::cout << phase << " speedup at n=" << big << " with " << multi
+                << " threads: " << speedup << "x\n";
+      const bool gate_armed = ThreadPool::hardware_threads() >= 4 &&
+                              multi >= 4 && big >= 1600 && gate_shards >= 4;
+      if (gate_armed && speedup < 1.2) {
+        std::cerr << "FATAL: " << phase << " speedup " << speedup
+                  << "x with " << multi << " threads on "
+                  << ThreadPool::hardware_threads()
+                  << " cores is below the 1.2x floor\n";
+        return 1;
+      }
+    }
   }
 
   const std::string json_path =

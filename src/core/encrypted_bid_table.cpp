@@ -63,6 +63,32 @@ EncryptedBidTable::EncryptedBidTable(
   }
 }
 
+EncryptedBidTable EncryptedBidTable::subset_view(
+    const std::vector<BidSubmission>& all, std::size_t num_channels,
+    std::vector<std::uint32_t> members, ArgmaxStrategy strategy,
+    std::size_t sort_threads) {
+  EncryptedBidTable t;
+  t.submissions_ = &all;
+  t.members_ = std::move(members);
+  t.users_ = t.members_.size();
+  t.channels_ = num_channels;
+  t.strategy_ = strategy;
+  LPPA_REQUIRE(t.users_ > 0, "EncryptedBidTable requires at least one user");
+  LPPA_REQUIRE(t.channels_ > 0,
+               "EncryptedBidTable requires at least one channel");
+  for (const std::uint32_t id : t.members_) {
+    LPPA_REQUIRE(id < all.size(), "subset member id out of range");
+    LPPA_REQUIRE(all[id].channels.size() == t.channels_,
+                 "every submission must cover every channel");
+  }
+  t.present_.assign(t.users_ * t.channels_, true);
+  t.live_ = t.users_ * t.channels_;
+  if (strategy == ArgmaxStrategy::kSortedColumns) {
+    t.build_column_orders(sort_threads);
+  }
+  return t;
+}
+
 void EncryptedBidTable::build_column_orders(std::size_t sort_threads) {
   order_.assign(channels_, {});
   head_.assign(channels_, 0);
@@ -74,10 +100,9 @@ void EncryptedBidTable::build_column_orders(std::size_t sort_threads) {
     for (std::size_t u = 0; u < users_; ++u) {
       ord[u] = static_cast<std::uint32_t>(u);
     }
-    const auto& subs = *submissions_;
     stable_merge_sort(ord, [&](std::uint32_t u, std::uint32_t v) {
       // u strictly greater than v in the masked order:  NOT (v >= u).
-      return !encrypted_ge(subs[v].channels[r], subs[u].channels[r]);
+      return !encrypted_ge(sub(v).channels[r], sub(u).channels[r]);
     });
   });
 }
@@ -136,8 +161,8 @@ std::optional<auction::UserId> EncryptedBidTable::argmax_scan(
       best = u;
       continue;
     }
-    const auto& challenger = (*submissions_)[u].channels[r];
-    const auto& incumbent = (*submissions_)[*best].channels[r];
+    const auto& challenger = sub(u).channels[r];
+    const auto& incumbent = sub(*best).channels[r];
     // Strictly-greater test keeps the first-seen user on ties, matching
     // the deterministic tie-break of the plaintext BidMatrix.
     if (!encrypted_ge(incumbent, challenger)) best = u;
@@ -148,17 +173,27 @@ std::optional<auction::UserId> EncryptedBidTable::argmax_scan(
 bool EncryptedBidTable::empty() const noexcept { return live_ == 0; }
 
 Bytes EncryptedBidTable::serialize() const {
+  LPPA_REQUIRE(members_.empty(),
+               "subset (shard) tables do not serialize; emit the global image");
+  return serialize_image(*submissions_, channels_, present_, live_);
+}
+
+Bytes EncryptedBidTable::serialize_image(
+    const std::vector<BidSubmission>& submissions, std::size_t num_channels,
+    const std::vector<bool>& present, std::size_t live) {
+  LPPA_REQUIRE(present.size() == submissions.size() * num_channels,
+               "presence bitmap does not match the table dimensions");
   ByteWriter w;
-  w.u32(static_cast<std::uint32_t>(users_));
-  w.u32(static_cast<std::uint32_t>(channels_));
-  for (const auto& s : *submissions_) {
+  w.u32(static_cast<std::uint32_t>(submissions.size()));
+  w.u32(static_cast<std::uint32_t>(num_channels));
+  for (const auto& s : submissions) {
     w.bytes(s.serialize());
   }
-  w.u64(live_);
+  w.u64(live);
   // Presence bitmap packed 8 cells per byte, row-major like idx().
-  Bytes packed((present_.size() + 7) / 8, 0);
-  for (std::size_t k = 0; k < present_.size(); ++k) {
-    if (present_[k]) packed[k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
+  Bytes packed((present.size() + 7) / 8, 0);
+  for (std::size_t k = 0; k < present.size(); ++k) {
+    if (present[k]) packed[k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
   }
   w.raw(packed);
   return w.take();
@@ -221,7 +256,7 @@ EncryptedBidTable EncryptedBidTable::deserialize(
 const ChannelBidSubmission& EncryptedBidTable::entry(UserId u,
                                                      ChannelId r) const {
   LPPA_REQUIRE(u < users_ && r < channels_, "bid table index out of range");
-  return (*submissions_)[u].channels[r];
+  return sub(u).channels[r];
 }
 
 }  // namespace lppa::core

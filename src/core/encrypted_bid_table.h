@@ -49,6 +49,19 @@ class EncryptedBidTable final : public auction::BidTableView {
                     ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
                     std::size_t sort_threads = 1);
 
+  /// A table over the subset of `all` named by `members` (ascending
+  /// global ids): user id u of this table is all[members[u]].  This is
+  /// how one shard's table sees only its tile's SUs without copying any
+  /// submission — the ShardedBidTable owns the member maps and the
+  /// global-id translation.  Subset tables answer argmax/has/remove in
+  /// LOCAL ids and cannot serialize (serialization is a whole-auction
+  /// concern; the sharded wrapper emits the global image).
+  static EncryptedBidTable subset_view(
+      const std::vector<BidSubmission>& all, std::size_t num_channels,
+      std::vector<std::uint32_t> members,
+      ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
+      std::size_t sort_threads = 1);
+
   std::size_t num_users() const noexcept override { return users_; }
   std::size_t num_channels() const noexcept override { return channels_; }
 
@@ -79,6 +92,17 @@ class EncryptedBidTable final : public auction::BidTableView {
   /// wire format identical to the seed (PR 3 recovery images stay valid).
   Bytes serialize() const;
 
+  /// The serialize() wire image as a pure function of its inputs, shared
+  /// with ShardedBidTable so a sharded auctioneer's snapshot is
+  /// byte-identical to the unsharded one (PR 3 journal images stay
+  /// interchangeable across num_shards reconfigurations).  `present` is
+  /// the row-major bitmap (users × channels) and `live` its set-bit
+  /// count.
+  static Bytes serialize_image(const std::vector<BidSubmission>& submissions,
+                               std::size_t num_channels,
+                               const std::vector<bool>& present,
+                               std::size_t live);
+
   /// Inverse of serialize().  The restored table OWNS its submissions
   /// (the wire image is self-contained), unlike the referencing
   /// constructor.  Throws LppaError(kProtocol) on truncation, corruption,
@@ -88,10 +112,20 @@ class EncryptedBidTable final : public auction::BidTableView {
       ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
       std::size_t sort_threads = 1);
 
+  /// Live (still-present) cells; empty() is live_cells() == 0.
+  std::size_t live_cells() const noexcept { return live_; }
+
  private:
+  friend class ShardedBidTable;  ///< re-shards restored (owning) images
+
   EncryptedBidTable() = default;  ///< used by deserialize only
 
   std::size_t idx(UserId u, ChannelId r) const;
+
+  /// The submission behind (possibly subset-mapped) user id u.
+  const BidSubmission& sub(std::size_t u) const {
+    return (*submissions_)[members_.empty() ? u : members_[u]];
+  }
 
   /// Builds order_/head_ for every column (kSortedColumns only).
   void build_column_orders(std::size_t sort_threads);
@@ -100,6 +134,9 @@ class EncryptedBidTable final : public auction::BidTableView {
   std::optional<UserId> argmax_sorted(ChannelId r) const;
 
   const std::vector<BidSubmission>* submissions_ = nullptr;
+  /// Subset view (shard) only: local user id -> index into submissions_.
+  /// Empty = identity (the table covers the whole vector).
+  std::vector<std::uint32_t> members_;
   /// Engaged when the table owns its submissions (deserialize path); the
   /// shared_ptr keeps submissions_ stable across copies and moves.
   std::shared_ptr<const std::vector<BidSubmission>> owned_;

@@ -1,8 +1,11 @@
 #include "core/lppa_auction.h"
 
 #include "common/thread_pool.h"
+#include "core/shard_conflict.h"
+#include "core/sharded_bid_table.h"
 #include "core/submission_validator.h"
 #include "obs/span.h"
+#include "shard/shard_plan.h"
 
 namespace lppa::core {
 
@@ -10,6 +13,7 @@ LppaAuction::LppaAuction(LppaConfig config, std::uint64_t ttp_seed)
     : config_(config), ttp_(config.bid, ttp_seed, config.charging_rule) {
   LPPA_REQUIRE(config_.num_channels > 0, "auction requires channels");
   LPPA_REQUIRE(config_.ttp_batch_size > 0, "TTP batch size must be positive");
+  LPPA_REQUIRE(config_.num_shards >= 1, "shard count must be at least 1");
   ttp_.set_metrics(config_.metrics);
 }
 
@@ -87,16 +91,39 @@ LppaOutcome LppaAuction::run(
       validator.check_bid(view.bids[i]);
     }
   }
+  // Geo-sharding (num_shards > 1): the plan partitions the grid into
+  // tiles and is computed from the SU-side plaintext locations this
+  // in-process round already holds on the SUs' behalf — the auctioneer
+  // still only ever touches the masked submissions (see
+  // shard/shard_plan.h on routing and tile-granular disclosure).
+  std::optional<shard::ShardAssignment> assignment;
+  if (config_.num_shards > 1) {
+    const shard::ShardPlan plan = shard::ShardPlan::make(
+        config_.coord_width, config_.lambda, config_.num_shards);
+    assignment = plan.assign(locations);
+  }
   {
     obs::Span conflict_span(m, "auction.conflict_graph", &round_span);
-    view.conflicts =
-        PpbsLocation::build_conflict_graph(view.locations, config_.num_threads);
+    if (assignment) {
+      view.conflicts = build_conflict_graph_sharded(
+          view.locations, *assignment, config_.num_threads, m);
+    } else {
+      view.conflicts = PpbsLocation::build_conflict_graph(view.locations,
+                                                          config_.num_threads);
+    }
   }
   obs::Span allocate_span(m, "auction.allocate", &round_span);
-  EncryptedBidTable table(view.bids, config_.num_channels,
-                          config_.argmax_strategy, config_.num_threads);
-  std::vector<auction::Award> awards =
-      auction::greedy_allocate(table, view.conflicts, rng);
+  std::vector<auction::Award> awards;
+  if (assignment) {
+    ShardedBidTable table(view.bids, config_.num_channels, assignment->shard_of,
+                          config_.num_shards, config_.argmax_strategy,
+                          config_.num_threads, m);
+    awards = auction::greedy_allocate(table, view.conflicts, rng);
+  } else {
+    EncryptedBidTable table(view.bids, config_.num_channels,
+                            config_.argmax_strategy, config_.num_threads);
+    awards = auction::greedy_allocate(table, view.conflicts, rng);
+  }
   allocate_span.end();
   if (m != nullptr) m->counter("auction.awards").inc(awards.size());
 

@@ -47,6 +47,15 @@ struct LppaConfig {
   /// the seed path, kept selectable for differential testing (both yield
   /// byte-identical awards/charges on honest submissions).
   ArgmaxStrategy argmax_strategy = ArgmaxStrategy::kSortedColumns;
+  /// Geo-sharded execution (docs/performance.md, "Sharding").  >1 tiles
+  /// the coordinate grid into that many partitions (shard/shard_plan.h):
+  /// per-shard digest indexes + bid tables build and probe in parallel,
+  /// with only boundary index entries exchanged between tiles (the halo)
+  /// and a deterministic cross-shard argmax merge.  Awards, charges, and
+  /// the winner announcement are byte-identical to the default
+  /// single-partition path (1) for every shard count and thread count —
+  /// pinned by tests/shard_differential_test.
+  std::size_t num_shards = 1;
   /// Optional observability sink (obs/metrics.h): when set, every round
   /// records per-phase spans (auction.round > submit / validate /
   /// conflict_graph / allocate / charging), phase counters, and argmax

@@ -1,0 +1,106 @@
+#include "core/shard_conflict.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "obs/span.h"
+#include "prefix/digest_index.h"
+
+namespace lppa::core {
+
+auction::ConflictGraph build_conflict_graph_sharded(
+    const std::vector<LocationSubmission>& submissions,
+    const shard::ShardAssignment& assignment, std::size_t num_threads,
+    obs::MetricsRegistry* metrics, ShardConflictStats* stats) {
+  const std::size_t n = submissions.size();
+  const std::size_t shards = assignment.num_shards;
+  LPPA_REQUIRE(assignment.shard_of.size() == n,
+               "shard assignment must cover every submission");
+  auction::ConflictGraph g(n);
+  ShardConflictStats local_stats;
+  local_stats.boundary_sus = assignment.boundary_sus;
+  if (n >= 2) {
+    // Per-shard inverted x-range indexes, pre-sized to their exact
+    // occupancy (members + halo) so the build never pays rehash churn.
+    std::vector<prefix::DigestIndex> index(shards);
+    std::vector<std::size_t> halo_digests(shards, 0);
+    parallel_for(shards, num_threads, [&](std::size_t s) {
+      obs::Span build_span(metrics, "shard.index_build");
+      std::size_t expected = 0;
+      for (const std::uint32_t j : assignment.members[s]) {
+        expected += submissions[j].x_range.size();
+      }
+      for (const std::uint32_t j : assignment.halo[s]) {
+        expected += submissions[j].x_range.size();
+      }
+      index[s].reserve(expected);
+      for (const std::uint32_t j : assignment.members[s]) {
+        index[s].insert_all(submissions[j].x_range, j);
+      }
+      // The halo exchange: ship ONLY the boundary SUs' index entries —
+      // the per-tile working set stays bounded by the tile population
+      // plus a 2λ-wide border strip, never the global index.
+      for (const std::uint32_t j : assignment.halo[s]) {
+        index[s].insert_all(submissions[j].x_range, j);
+        halo_digests[s] += submissions[j].x_range.size();
+      }
+    });
+
+    // Probe phase: each SU probes its HOME shard's index only.  Same
+    // orientation as the global build (family of the probing SU against
+    // indexed ranges, keep candidates j > i, then y-confirm), and
+    // hits[i] is written solely by the task owning i's shard — so the
+    // edge set is schedule- and shard-count-independent.
+    std::vector<std::vector<std::uint32_t>> hits(n);
+    parallel_for(shards, num_threads, [&](std::size_t s) {
+      obs::Span probe_span(metrics, "shard.probe");
+      std::vector<std::uint32_t> candidates;
+      for (const std::uint32_t i : assignment.members[s]) {
+        candidates.clear();
+        for (const auto& d : submissions[i].x_family.digests()) {
+          index[s].collect(d, candidates);
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+        for (const std::uint32_t j : candidates) {
+          if (j <= i) continue;
+          if (submissions[i].y_family.intersects(submissions[j].y_range)) {
+            hits[i].push_back(j);
+          }
+        }
+      }
+    });
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::uint32_t j : hits[i]) {
+        g.add_conflict(i, j);
+        if (assignment.shard_of[i] != assignment.shard_of[j]) {
+          ++local_stats.halo_edges;
+        } else {
+          ++local_stats.local_edges;
+        }
+      }
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      local_stats.halo_entries += halo_digests[s];
+      local_stats.peak_index_bytes =
+          std::max(local_stats.peak_index_bytes, index[s].memory_bytes());
+    }
+  }
+
+  if (metrics != nullptr) {
+    metrics->gauge("shard.count").set(static_cast<double>(shards));
+    metrics->counter("shard.boundary_sus").inc(local_stats.boundary_sus);
+    metrics->counter("shard.halo_index_entries").inc(local_stats.halo_entries);
+    metrics->counter("shard.halo_edges").inc(local_stats.halo_edges);
+    metrics->counter("shard.local_edges").inc(local_stats.local_edges);
+    metrics->gauge("shard.peak_index_bytes")
+        .set(static_cast<double>(local_stats.peak_index_bytes));
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return g;
+}
+
+}  // namespace lppa::core

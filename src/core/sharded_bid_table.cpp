@@ -1,0 +1,171 @@
+#include "core/sharded_bid_table.h"
+
+#include "common/thread_pool.h"
+#include "obs/span.h"
+
+namespace lppa::core {
+
+ShardedBidTable::ShardedBidTable(const std::vector<BidSubmission>& submissions,
+                                 std::size_t num_channels,
+                                 std::vector<std::uint32_t> shard_of,
+                                 std::size_t num_shards,
+                                 ArgmaxStrategy strategy,
+                                 std::size_t num_threads,
+                                 obs::MetricsRegistry* metrics)
+    : submissions_(&submissions),
+      users_(submissions.size()),
+      channels_(num_channels),
+      shard_of_(std::move(shard_of)),
+      metrics_(metrics) {
+  LPPA_REQUIRE(users_ > 0, "ShardedBidTable requires at least one user");
+  LPPA_REQUIRE(channels_ > 0, "ShardedBidTable requires at least one channel");
+  LPPA_REQUIRE(num_shards >= 1, "ShardedBidTable requires at least one shard");
+  LPPA_REQUIRE(shard_of_.size() == users_,
+               "shard map must cover every submission");
+  for (const std::uint32_t s : shard_of_) {
+    LPPA_REQUIRE(s < num_shards, "shard id out of range");
+  }
+  for (const auto& s : submissions) {
+    LPPA_REQUIRE(s.channels.size() == channels_,
+                 "every submission must cover every channel");
+  }
+  members_.resize(num_shards);
+  local_index_.resize(users_);
+  for (std::size_t u = 0; u < users_; ++u) {
+    auto& m = members_[shard_of_[u]];
+    local_index_[u] = static_cast<std::uint32_t>(m.size());
+    m.push_back(static_cast<std::uint32_t>(u));
+  }
+  present_.assign(users_ * channels_, true);
+  live_ = users_ * channels_;
+  build_shards(strategy, num_threads);
+}
+
+void ShardedBidTable::build_shards(ArgmaxStrategy strategy,
+                                   std::size_t num_threads) {
+  const std::size_t num_shards = members_.size();
+  shards_.resize(num_shards);
+  // One task per shard; each task sorts its columns serially so nested
+  // pool scheduling never happens.  Shards are fully independent, so the
+  // tables — and every later answer — are thread-count-invariant.
+  parallel_for(num_shards, num_threads, [&](std::size_t s) {
+    if (members_[s].empty()) return;
+    obs::Span build_span(metrics_, "shard.table_build");
+    shards_[s] = std::make_unique<EncryptedBidTable>(
+        EncryptedBidTable::subset_view(*submissions_, channels_, members_[s],
+                                       strategy, /*sort_threads=*/1));
+  });
+}
+
+ShardedBidTable ShardedBidTable::restore(EncryptedBidTable&& global,
+                                         std::vector<std::uint32_t> shard_of,
+                                         std::size_t num_shards,
+                                         ArgmaxStrategy strategy,
+                                         std::size_t num_threads,
+                                         obs::MetricsRegistry* metrics) {
+  LPPA_REQUIRE(global.owned_ != nullptr,
+               "restore needs an owning table (a deserialized image)");
+  LPPA_PROTOCOL_CHECK(num_shards >= 1, "restored shard count must be >= 1");
+  LPPA_PROTOCOL_CHECK(shard_of.size() == global.num_users(),
+                      "shard map does not match the bid table image");
+  for (const std::uint32_t s : shard_of) {
+    LPPA_PROTOCOL_CHECK(s < num_shards,
+                        "shard map entry outside the configured shard count");
+  }
+  ShardedBidTable table(*global.owned_, global.num_channels(),
+                        std::move(shard_of), num_shards, strategy, num_threads,
+                        metrics);
+  // Keep the submissions alive: the subset views reference the vector
+  // the shared_ptr owns.
+  table.owned_ = global.owned_;
+  table.submissions_ = table.owned_.get();
+  // Re-apply the image's tombstones.  Shard cursors skip them lazily, so
+  // the restored table resumes exactly where the snapshotted one left
+  // off, whatever strategy or shard count either side ran.
+  for (std::size_t u = 0; u < table.users_; ++u) {
+    for (std::size_t r = 0; r < table.channels_; ++r) {
+      if (!global.present_[u * table.channels_ + r]) {
+        table.remove(u, r);
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<std::uint32_t> ShardedBidTable::contiguous_shards(
+    std::size_t n, std::size_t num_shards) {
+  LPPA_REQUIRE(num_shards >= 1, "shard count must be >= 1");
+  std::vector<std::uint32_t> shard_of(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    shard_of[u] = static_cast<std::uint32_t>(u * num_shards / n);
+  }
+  return shard_of;
+}
+
+std::size_t ShardedBidTable::idx(UserId u, ChannelId r) const {
+  LPPA_REQUIRE(u < users_ && r < channels_, "bid table index out of range");
+  return u * channels_ + r;
+}
+
+bool ShardedBidTable::has(UserId u, ChannelId r) const {
+  return present_[idx(u, r)];
+}
+
+void ShardedBidTable::remove(UserId u, ChannelId r) {
+  const std::size_t k = idx(u, r);
+  if (!present_[k]) return;
+  present_[k] = false;
+  --live_;
+  shards_[shard_of_[u]]->remove(local_index_[u], r);
+}
+
+void ShardedBidTable::remove_user(UserId u) {
+  for (std::size_t r = 0; r < channels_; ++r) {
+    remove(u, r);
+  }
+}
+
+std::optional<auction::UserId> ShardedBidTable::argmax_in_column(
+    ChannelId r) const {
+  LPPA_REQUIRE(r < channels_, "bid table index out of range");
+  obs::Span merge_span(metrics_, "shard.argmax");
+  std::optional<UserId> best;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] == nullptr) continue;
+    const auto local = shards_[s]->argmax_in_column(r);
+    if (!local) continue;
+    const UserId g = members_[s][*local];
+    if (!best) {
+      best = g;
+      continue;
+    }
+    const auto& challenger = (*submissions_)[g].channels[r];
+    const auto& incumbent = (*submissions_)[*best].channels[r];
+    const bool challenger_ge = encrypted_ge(challenger, incumbent);
+    // Strictly greater replaces; a masked tie keeps the lower GLOBAL id
+    // (global ids interleave across shards, so the explicit comparison —
+    // not the visit order — carries the tie-break).  The result is the
+    // highest-value live entry with the lowest id among equals: exactly
+    // the single-table stable-sort / first-seen-scan winner.
+    if (challenger_ge && !encrypted_ge(incumbent, challenger)) {
+      best = g;
+    } else if (challenger_ge && g < *best) {
+      best = g;
+    }
+  }
+  if (metrics_ != nullptr) metrics_->counter("shard.argmax_merges").inc();
+  return best;
+}
+
+const ChannelBidSubmission& ShardedBidTable::entry(UserId u,
+                                                   ChannelId r) const {
+  LPPA_REQUIRE(u < users_ && r < channels_, "bid table index out of range");
+  return (*submissions_)[u].channels[r];
+}
+
+Bytes ShardedBidTable::serialize() const {
+  return EncryptedBidTable::serialize_image(*submissions_, channels_, present_,
+                                            live_);
+}
+
+}  // namespace lppa::core

@@ -1,0 +1,124 @@
+// ShardedBidTable: the partition-aware view of the auctioneer's masked
+// bid table — one EncryptedBidTable per shard, stitched back together by
+// a deterministic cross-shard argmax merge.
+//
+// Each shard's table is a subset view over the global submissions vector
+// (no submission is copied), covering only the SUs the ShardPlan
+// assigned to that tile; shards sort their columns independently and in
+// parallel.  A column-max query then asks every shard for its local
+// winner (amortised O(1) on the sorted strategy) and merges the at-most
+// num_shards candidates with the same masked comparison the global sort
+// uses, breaking ties to the lowest global user id.
+//
+// Why the merge is exact: the masked encoding is order-preserving, so
+// the single-partition answer is "the highest-value entry still present,
+// lowest user id among equals".  Max over a partition is the max of the
+// per-part maxima; the shard-local tie-break (lowest local id, with
+// member lists ascending in global id) composed with the merge tie-break
+// (lowest global id) yields exactly the same winner — so awards,
+// charges, and the winner announcement are byte-identical to the
+// unsharded path for ANY shard count and thread count.  The
+// shard_differential test suite pins that, including SUs on tile
+// borders and tiles narrower than the 2λ halo.
+//
+// Serialization: the wire image is the GLOBAL EncryptedBidTable image
+// (EncryptedBidTable::serialize_image), so PR 3 journal snapshots are
+// interchangeable between sharded and unsharded configurations — a
+// snapshot taken under num_shards=1 restores into a sharded session and
+// vice versa, byte-for-byte, or fails with a typed kProtocol error.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/encrypted_bid_table.h"
+
+namespace lppa::obs {
+class MetricsRegistry;
+}  // namespace lppa::obs
+
+namespace lppa::core {
+
+class ShardedBidTable final : public auction::BidTableView {
+ public:
+  /// Builds per-shard tables over `submissions` partitioned by
+  /// `shard_of` (shard_of[u] < num_shards; empty shards are legal).
+  /// References the submissions; the caller keeps them alive.
+  /// `num_threads` parallelises shard-table construction (each shard's
+  /// column sort runs serially inside its task); the result is
+  /// byte-identical for every thread count.  `metrics`, when set,
+  /// records per-shard "shard.table_build" spans, a "shard.argmax" span
+  /// per merged query, and the "shard.argmax_merges" counter.
+  ShardedBidTable(const std::vector<BidSubmission>& submissions,
+                  std::size_t num_channels, std::vector<std::uint32_t> shard_of,
+                  std::size_t num_shards,
+                  ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
+                  std::size_t num_threads = 1,
+                  obs::MetricsRegistry* metrics = nullptr);
+
+  /// Re-shards a restored (owning) global table image mid-allocation:
+  /// the per-shard tables are rebuilt from the owned submissions and the
+  /// global tombstones re-applied, so a recovering sharded auctioneer
+  /// answers every query exactly as the table that was snapshotted —
+  /// whatever num_shards the snapshotting process ran with.  Throws
+  /// LppaError(kProtocol) when the shard map does not fit the image
+  /// (wrong population, shard id out of range): a mis-reconfigured
+  /// recovery must fail loudly, never silently diverge.
+  static ShardedBidTable restore(EncryptedBidTable&& global,
+                                 std::vector<std::uint32_t> shard_of,
+                                 std::size_t num_shards,
+                                 ArgmaxStrategy strategy =
+                                     ArgmaxStrategy::kSortedColumns,
+                                 std::size_t num_threads = 1,
+                                 obs::MetricsRegistry* metrics = nullptr);
+
+  /// The geometry-free balanced partition: user u -> u*num_shards/n.
+  /// AuctioneerSession uses it when reconfigured sharded — the masked
+  /// domain hides tile geometry from the wire session, and the partition
+  /// choice never affects answers, only memory locality.
+  static std::vector<std::uint32_t> contiguous_shards(std::size_t n,
+                                                      std::size_t num_shards);
+
+  std::size_t num_users() const noexcept override { return users_; }
+  std::size_t num_channels() const noexcept override { return channels_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  bool has(UserId u, ChannelId r) const override;
+  void remove(UserId u, ChannelId r) override;
+  void remove_user(UserId u) override;
+
+  /// Global column maximum: per-shard argmax + masked merge; ties break
+  /// to the lowest global user id, matching both single-table
+  /// strategies.
+  std::optional<UserId> argmax_in_column(ChannelId r) const override;
+
+  bool empty() const noexcept override { return live_ == 0; }
+
+  /// The masked entry by GLOBAL user id (used for charge queries).
+  const ChannelBidSubmission& entry(UserId u, ChannelId r) const;
+
+  /// Global EncryptedBidTable-format image (see class comment).
+  Bytes serialize() const;
+
+ private:
+  std::size_t idx(UserId u, ChannelId r) const;
+  void build_shards(ArgmaxStrategy strategy, std::size_t num_threads);
+
+  const std::vector<BidSubmission>* submissions_ = nullptr;
+  std::shared_ptr<const std::vector<BidSubmission>> owned_;  ///< restore path
+  std::size_t users_ = 0;
+  std::size_t channels_ = 0;
+  std::vector<std::uint32_t> shard_of_;     ///< global id -> shard
+  std::vector<std::uint32_t> local_index_;  ///< global id -> id inside shard
+  std::vector<std::vector<std::uint32_t>> members_;  ///< shard -> global ids
+  /// Empty shards hold nullptr (EncryptedBidTable requires >= 1 user).
+  std::vector<std::unique_ptr<EncryptedBidTable>> shards_;
+  /// Global presence mirror + live counter: authoritative for has() /
+  /// empty() / serialize(); removals are forwarded to the owning shard
+  /// so its sorted-column cursors keep skipping tombstones.
+  std::vector<bool> present_;
+  std::size_t live_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace lppa::core

@@ -53,6 +53,17 @@ class DigestIndex {
   /// Total (digest, owner) pairs inserted.
   std::size_t entry_count() const noexcept { return entries_.size(); }
 
+  /// Current slot-array capacity (always a power of two once non-empty).
+  /// reserve(expected) guarantees that up to `expected` subsequent
+  /// insertions never rehash, i.e. slot_capacity() stays constant.
+  std::size_t slot_capacity() const noexcept { return slots_.size(); }
+
+  /// Bytes held by the slot array plus the owner chains — the per-shard
+  /// memory figure reported by the sharded conflict build.
+  std::size_t memory_bytes() const noexcept {
+    return slots_.size() * sizeof(Slot) + entries_.capacity() * sizeof(Entry);
+  }
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 

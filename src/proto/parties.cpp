@@ -308,8 +308,17 @@ void AuctioneerSession::run_allocation(Rng& rng) {
   }
 
   compact_participants();
-  table_.emplace(bid_store_, config_.num_channels);
-  awards_ = auction::greedy_allocate(*table_, *conflicts_, rng);
+  if (config_.num_shards > 1) {
+    sharded_table_.emplace(bid_store_, config_.num_channels,
+                           core::ShardedBidTable::contiguous_shards(
+                               bid_store_.size(), config_.num_shards),
+                           config_.num_shards, config_.argmax_strategy,
+                           config_.num_threads, config_.metrics);
+    awards_ = auction::greedy_allocate(*sharded_table_, *conflicts_, rng);
+  } else {
+    table_.emplace(bid_store_, config_.num_channels);
+    awards_ = auction::greedy_allocate(*table_, *conflicts_, rng);
+  }
   for (auto& award : awards_) {
     award.user = participants_[award.user];
   }
@@ -458,7 +467,10 @@ Bytes AuctioneerSession::snapshot() const {
   }
   w.u8(allocated_ ? 1 : 0);
   if (allocated_) {
-    w.bytes(table_->serialize());
+    // Both tables emit the same global image, so snapshots taken under
+    // any shard count restore under any other.
+    w.bytes(sharded_table_ ? sharded_table_->serialize()
+                           : table_->serialize());
     w.u32(static_cast<std::uint32_t>(awards_.size()));
     for (std::size_t i = 0; i < awards_.size(); ++i) {
       const auto& a = awards_[i];
@@ -550,10 +562,24 @@ void AuctioneerSession::restore_from(std::span<const std::uint8_t> wire) {
     // submissions — deterministic, no randomness — so only the bid
     // table's consumed-cell state needs the serialized image.
     compact_participants();
-    table_ = core::EncryptedBidTable::deserialize(r.bytes());
-    LPPA_PROTOCOL_CHECK(table_->num_users() == participants_.size() &&
-                            table_->num_channels() == config_.num_channels,
+    core::EncryptedBidTable global =
+        core::EncryptedBidTable::deserialize(r.bytes());
+    LPPA_PROTOCOL_CHECK(global.num_users() == participants_.size() &&
+                            global.num_channels() == config_.num_channels,
                         "snapshot bid table dimensions mismatch");
+    if (config_.num_shards > 1) {
+      // Re-shard the restored image: the snapshot may have been taken
+      // under any shard count (including 1) — the global image plus the
+      // deterministic contiguous partition reproduces the exact table.
+      sharded_table_ = core::ShardedBidTable::restore(
+          std::move(global),
+          core::ShardedBidTable::contiguous_shards(participants_.size(),
+                                                   config_.num_shards),
+          config_.num_shards, config_.argmax_strategy, config_.num_threads,
+          config_.metrics);
+    } else {
+      table_ = std::move(global);
+    }
     const std::uint32_t num_awards = r.u32();
     awards_.reserve(num_awards);
     for (std::uint32_t i = 0; i < num_awards; ++i) {

@@ -13,6 +13,7 @@
 #include "auction/allocate.h"
 #include "core/encrypted_bid_table.h"
 #include "core/lppa_auction.h"
+#include "core/sharded_bid_table.h"
 #include "core/submission_validator.h"
 #include "proto/journal.h"
 #include "proto/messages.h"
@@ -197,6 +198,14 @@ class AuctioneerSession {
   /// submissions on the restore path; the session is used in place by
   /// the drivers, never moved, so the reference stays valid.
   std::optional<core::EncryptedBidTable> table_;
+  /// The partitioned twin of table_, used when config_.num_shards > 1.
+  /// The wire session never sees tile geometry (submissions are masked),
+  /// so it shards with the geometry-free contiguous partition — the
+  /// partition choice never affects answers, only locality.  Snapshots
+  /// stay in the global EncryptedBidTable image format either way, so a
+  /// journal written under num_shards=1 restores into a sharded session
+  /// and vice versa.
+  std::optional<core::ShardedBidTable> sharded_table_;
   std::vector<auction::Award> awards_;
   std::vector<bool> charge_done_;  ///< per-award TTP result received
   bool allocated_ = false;

@@ -72,6 +72,36 @@ TEST(DigestIndexTest, SurvivesRehashing) {
   }
 }
 
+TEST(DigestIndexTest, ReservePreSizesSoInsertionsNeverRehash) {
+  Rng rng(13);
+  prefix::DigestIndex index;
+  EXPECT_EQ(index.slot_capacity(), 0u);
+  const std::size_t expected = 1777;  // deliberately not a power of two
+  index.reserve(expected);
+  const std::size_t capacity = index.slot_capacity();
+  EXPECT_GE(capacity, 2 * expected);  // load factor stays <= 0.5
+  EXPECT_GT(index.memory_bytes(), 0u);
+  for (std::uint32_t i = 0; i < expected; ++i) {
+    crypto::Digest d;
+    for (auto& b : d.bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    index.insert(d, i);
+    // The shard build pre-sizes each per-shard index from its exact
+    // member+halo digest count; this pin is what makes that sizing a
+    // no-rehash guarantee rather than a heuristic.
+    ASSERT_EQ(index.slot_capacity(), capacity) << "rehashed at insert " << i;
+  }
+  EXPECT_EQ(index.entry_count(), expected);
+  EXPECT_LE(index.distinct_digests(), expected);
+  // One insert beyond the reservation may legitimately grow the table.
+  crypto::Digest extra;
+  extra.bytes[0] = 0x5a;
+  index.insert(extra, 0);
+  EXPECT_GE(index.slot_capacity(), capacity);
+  // Each slot stores at least the 32-byte digest key, so the reported
+  // footprint is bounded below by the slot array alone.
+  EXPECT_GT(index.memory_bytes(), index.slot_capacity() * 32);
+}
+
 TEST(ConflictIndexTest, IndexedMatchesPairwiseOver200RandomScenarios) {
   Rng rng(20130708);
   for (int scenario = 0; scenario < 220; ++scenario) {

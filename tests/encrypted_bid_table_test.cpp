@@ -391,5 +391,38 @@ TEST_F(EncryptedTableTest, DeserializeRejectsDamagedImages) {
   }
 }
 
+TEST_F(EncryptedTableTest, SubsetViewAnswersInLocalIds) {
+  const std::vector<auction::BidVector> bids = {
+      {5, 0}, {7, 2}, {1, 8}, {9, 3}};
+  const auto subs = make(bids);
+  // Members {1, 3}: local 0 -> global 1, local 1 -> global 3.
+  auto view = EncryptedBidTable::subset_view(subs, 2, {1, 3});
+  EXPECT_EQ(view.num_users(), 2u);
+  EXPECT_EQ(view.argmax_in_column(0), auction::UserId{1});  // global 3
+  EXPECT_EQ(view.argmax_in_column(1), auction::UserId{1});  // global 3
+  view.remove(1, 0);
+  EXPECT_EQ(view.argmax_in_column(0), auction::UserId{0});  // global 1
+  EXPECT_EQ(view.live_cells(), 3u);
+
+  // Subset tables never serialize — the sharded wrapper owns the global
+  // image; asking is a caller bug, not a protocol fault.
+  EXPECT_THROW(view.serialize(), LppaError);
+  EXPECT_THROW(EncryptedBidTable::subset_view(subs, 2, {}), LppaError);
+  EXPECT_THROW(EncryptedBidTable::subset_view(subs, 2, {4}), LppaError);
+}
+
+TEST_F(EncryptedTableTest, SerializeImageMatchesMemberSerialize) {
+  const std::vector<auction::BidVector> bids = {{5, 1}, {9, 2}, {3, 8}};
+  const auto subs = make(bids);
+  EncryptedBidTable table(subs, 2);
+  table.remove(0, 1);
+  std::vector<bool> present = {true, false, true, true, true, true};
+  EXPECT_EQ(EncryptedBidTable::serialize_image(subs, 2, present, 5),
+            table.serialize());
+  // Dimension mismatch between bitmap and submissions is rejected.
+  EXPECT_THROW(EncryptedBidTable::serialize_image(subs, 2, {true}, 1),
+               LppaError);
+}
+
 }  // namespace
 }  // namespace lppa::core
