@@ -28,6 +28,7 @@ const char* point_name(proto::CrashPoint point) {
     case proto::CrashPoint::kAfterAllocation: return "after_allocation";
     case proto::CrashPoint::kAfterChargeCommit: return "after_charge_commit";
     case proto::CrashPoint::kBeforePublish: return "before_publish";
+    case proto::CrashPoint::kMidChurn: return "mid_churn";
   }
   return "?";
 }

@@ -1,0 +1,155 @@
+// ChurnState: incrementally maintained auctioneer round state under SU
+// churn and mobility (arrivals, departures, moves, re-bids).
+//
+// The from-scratch pipeline rebuilds the shard assignment, the conflict
+// graph, and the encrypted bid table from all n submissions every round
+// — O(n·w) digest work even when only Δ ≪ n users changed.  ChurnState
+// keeps all three structures live across rounds and applies per-SU delta
+// updates in O(Δ·w) expected:
+//
+//   * the roster is a fixed slot universe of `capacity` SUs.  A dead
+//     slot holds an empty LocationSubmission (no digests — it can never
+//     intersect anything) and a stale but shape-valid BidSubmission
+//     (fully tombstoned in the table), so every maintained structure is
+//     comparable by == / byte equality to a from-scratch rebuild over
+//     the same roster;
+//   * per tile, TWO live prefix::DigestIndex instances persist: the
+//     range index (x-range digests of members + halo, exactly what the
+//     sharded build indexes) and a family index (x-family digests of
+//     members only).  An arriving SU u probes its x-family against its
+//     home tile's range index to find conflicts (u, j) with j > u, and
+//     probes its x-range against the family indexes of every tile its
+//     interference box touches to find conflicts (i, u) with i < u —
+//     together these test exactly the digest multisets the rebuild
+//     tests for every pair involving u, so the maintained graph is
+//     IDENTICAL to the rebuilt one (not merely equal w.h.p.);
+//   * the conflict graph applies add_su/remove_su/move_su deltas, the
+//     shard assignment applies ShardPlan::reassign, and the bid table
+//     re-activates tombstoned slots in place via
+//     ShardedBidTable::insert_user — its column orders stay the exact
+//     (value-descending, id-ascending) canonical order a fresh sort
+//     produces, because entries only ever leave or enter at their
+//     canonical position and no in-place value mutation occurs.
+//
+// Allocation consumes a table, so a churn round clones the pristine
+// maintained table (ShardedBidTable::clone) and allocates on the copy.
+// The rebuild_* oracles recompute each structure from scratch over the
+// current roster; bench/abl_churn asserts bit-equality every round for
+// thousands of rounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/lppa_auction.h"
+#include "core/shard_conflict.h"
+#include "core/sharded_bid_table.h"
+#include "prefix/digest_index.h"
+#include "shard/shard_plan.h"
+
+namespace lppa::core {
+
+class ChurnState {
+ public:
+  /// Builds the maintained state over an initial roster.  All four
+  /// vectors must have the same size (the roster capacity, >= 1); slots
+  /// with live[u] == false must carry an empty (default-constructed)
+  /// LocationSubmission and a shape-valid placeholder BidSubmission
+  /// covering every channel (e.g. a masked all-zero bid) — the table
+  /// needs the shape, but the values are never consulted while dead.
+  /// The slot→shard partition of the bid table is frozen here (answers
+  /// and images are partition-independent; see core/sharded_bid_table.h).
+  ChurnState(const LppaConfig& config,
+             std::vector<auction::SuLocation> locations,
+             std::vector<LocationSubmission> loc_subs,
+             std::vector<BidSubmission> bid_subs, std::vector<bool> live);
+
+  /// An SU arrives into dead slot u with a fresh masked submission pair.
+  void add_su(std::size_t u, const auction::SuLocation& loc,
+              LocationSubmission loc_sub, BidSubmission bid_sub);
+
+  /// Live SU u departs: its edges, digests, shard membership, and table
+  /// row are retired; the slot becomes dead (and reusable).
+  void remove_su(std::size_t u);
+
+  /// Live SU u moves: location/graph/indexes/assignment update; its bid
+  /// row is untouched (a move without a re-bid keeps the old bids).
+  void move_su(std::size_t u, const auction::SuLocation& loc,
+               LocationSubmission loc_sub);
+
+  /// Live SU u replaces its bid submission (fresh masks each round, as
+  /// repeated participation requires).
+  void rebid_su(std::size_t u, BidSubmission bid_sub);
+
+  // --- Maintained state (the auctioneer's round inputs) ------------------
+  std::size_t capacity() const noexcept { return locations_.size(); }
+  std::size_t live_count() const noexcept { return live_count_; }
+  const std::vector<bool>& live() const noexcept { return live_; }
+  const std::vector<auction::SuLocation>& plain_locations() const noexcept {
+    return locations_;
+  }
+  const std::vector<LocationSubmission>& locations() const noexcept {
+    return loc_subs_;
+  }
+  const std::vector<BidSubmission>& bids() const noexcept { return bid_subs_; }
+  const auction::ConflictGraph& graph() const noexcept { return graph_; }
+  const shard::ShardAssignment& assignment() const noexcept {
+    return assignment_;
+  }
+  const ShardedBidTable& table() const noexcept { return *table_; }
+
+  /// Deep copy of the pristine maintained table for one allocation pass.
+  ShardedBidTable table_for_allocation() const { return table_->clone(); }
+
+  /// Global table image (EncryptedBidTable wire format) — the byte-level
+  /// equality target against rebuild_table().serialize().
+  Bytes serialize_table() const { return table_->serialize(); }
+
+  // --- From-scratch oracles (differential / soak checks) -----------------
+  /// Rebuilds the conflict graph from scratch over the current roster
+  /// with the same sharded builder the full pipeline uses.
+  auction::ConflictGraph rebuild_conflicts() const;
+
+  /// Recomputes the shard assignment from scratch.
+  shard::ShardAssignment rebuild_assignment() const;
+
+  /// Rebuilds the bid table from scratch over the current submissions
+  /// (same frozen partition as the maintained table, then re-applies the
+  /// dead-slot tombstones).
+  ShardedBidTable rebuild_table() const;
+
+ private:
+  /// Probes u's fresh submission against the live indexes, attaches its
+  /// edges, and inserts its digests (probe strictly before insert, so u
+  /// never discovers itself).
+  void link_su(std::size_t u);
+
+  /// Detaches u's edges and erases its digests from every index that
+  /// holds them (computed from its current location).
+  void unlink_su(std::size_t u);
+
+  LppaConfig config_;
+  std::size_t channels_ = 0;
+  shard::ShardPlan plan_;
+  shard::ShardAssignment assignment_;
+  std::vector<auction::SuLocation> locations_;
+  std::vector<LocationSubmission> loc_subs_;
+  std::vector<BidSubmission> bid_subs_;
+  std::vector<bool> live_;
+  std::size_t live_count_ = 0;
+  auction::ConflictGraph graph_;
+  /// Per tile: x-range digests of members + halo (what arrivals probe
+  /// their family against, and what ships in the halo exchange).
+  std::vector<prefix::DigestIndex> range_index_;
+  /// Per tile: x-family digests of members only (what arrivals probe
+  /// their range against, discovering lower-id partners).
+  std::vector<prefix::DigestIndex> family_index_;
+  /// Frozen slot→shard partition for the maintained table (reassignment
+  /// moves an SU's conflict-graph tile, never its table shard — answers
+  /// are partition-independent).
+  std::vector<std::uint32_t> table_shard_of_;
+  std::optional<ShardedBidTable> table_;
+};
+
+}  // namespace lppa::core

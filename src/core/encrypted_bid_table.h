@@ -69,6 +69,16 @@ class EncryptedBidTable final : public auction::BidTableView {
   void remove(UserId u, ChannelId r) override;
   void remove_user(UserId u) override;
 
+  /// Churn maintenance: re-activates a fully tombstoned slot AFTER the
+  /// caller replaced the backing submission behind it (the table holds a
+  /// reference, so the new masked bytes are already visible through
+  /// sub(u)).  All of u's cells become present again and, under
+  /// kSortedColumns, u is re-positioned in every column order exactly
+  /// where a from-scratch stable sort of the current submissions would
+  /// put it — so an incrementally maintained table stays bit-equal to a
+  /// rebuilt one.  Cost O(n) per column vs O(n log n) for a rebuild.
+  void insert_user(UserId u);
+
   /// Column maximum under the masked order; ties break to the lowest
   /// user id on both strategies (the sort is stable, the scan keeps the
   /// first-seen user).
@@ -149,13 +159,15 @@ class EncryptedBidTable final : public auction::BidTableView {
 
   ArgmaxStrategy strategy_ = ArgmaxStrategy::kSortedColumns;
   /// order_[r]: user ids of column r, descending by masked bid (stable on
-  /// ties, so equal bids keep increasing-id order).  Entries are never
-  /// reordered after construction; removal is a tombstone in present_.
+  /// ties, so equal bids keep increasing-id order).  Removal is a
+  /// tombstone in present_; only insert_user reorders, by splicing the
+  /// re-activated user back to its canonical position.
   std::vector<std::vector<std::uint32_t>> order_;
   /// head_[r]: cursor into order_[r].  Everything before it is known
-  /// tombstoned.  Cells are never resurrected, so the cursor only moves
-  /// forward; mutable because advancing it from const argmax queries is
-  /// pure memoisation (it never skips a present entry).
+  /// tombstoned, so advancing it from const argmax queries is pure
+  /// memoisation (it never skips a present entry).  The one resurrection
+  /// path, insert_user, re-establishes the invariant by pulling the
+  /// cursor back over the revived entry.
   mutable std::vector<std::size_t> head_;
 };
 

@@ -112,22 +112,42 @@ LppaOutcome LppaAuction::run(
                                                           config_.num_threads);
     }
   }
-  obs::Span allocate_span(m, "auction.allocate", &round_span);
-  std::vector<auction::Award> awards;
+  const std::vector<bool> all_live(n, true);
+  MaintainedRoundOutcome round;
   if (assignment) {
     ShardedBidTable table(view.bids, config_.num_channels, assignment->shard_of,
                           config_.num_shards, config_.argmax_strategy,
                           config_.num_threads, m);
-    awards = auction::greedy_allocate(table, view.conflicts, rng);
+    round = allocate_and_charge(view.bids, view.conflicts, table, all_live, rng,
+                                &round_span);
   } else {
     EncryptedBidTable table(view.bids, config_.num_channels,
                             config_.argmax_strategy, config_.num_threads);
-    awards = auction::greedy_allocate(table, view.conflicts, rng);
+    round = allocate_and_charge(view.bids, view.conflicts, table, all_live, rng,
+                                &round_span);
   }
-  allocate_span.end();
-  if (m != nullptr) m->counter("auction.awards").inc(awards.size());
 
-  obs::Span charging_span(m, "auction.charging", &round_span);
+  result.manipulations_detected = round.manipulations_detected;
+  result.outcome.awards = round.awards;
+  view.awards = std::move(round.awards);
+  return result;
+}
+
+MaintainedRoundOutcome LppaAuction::allocate_and_charge(
+    const std::vector<BidSubmission>& bids,
+    const auction::ConflictGraph& conflicts, auction::BidTableView& table,
+    const std::vector<bool>& live, Rng& rng, obs::Span* parent) {
+  LPPA_REQUIRE(live.size() == bids.size(), "live mask must cover every slot");
+  obs::MetricsRegistry* const m = config_.metrics;
+
+  obs::Span allocate_span(m, "auction.allocate", parent);
+  MaintainedRoundOutcome result;
+  result.awards = auction::greedy_allocate(table, conflicts, rng);
+  allocate_span.end();
+  if (m != nullptr) m->counter("auction.awards").inc(result.awards.size());
+
+  obs::Span charging_span(m, "auction.charging", parent);
+  std::vector<auction::Award>& awards = result.awards;
 
   // --- Charging through the periodically-available TTP --------------------
   std::vector<ChargeQuery> pending;
@@ -151,24 +171,25 @@ LppaOutcome LppaAuction::run(
     pending.clear();
   };
   for (const auto& award : awards) {
-    const ChannelBidSubmission& entry =
-        view.bids[award.user].channels[award.channel];
+    const ChannelBidSubmission& entry = bids[award.user].channels[award.channel];
     ChargeQuery query{award.user, award.channel, entry.sealed,
                       entry.value_family, std::nullopt, std::nullopt};
     if (config_.charging_rule == ChargingRule::kSecondPrice) {
-      // The runner-up of the column among all other bidders, found with
-      // the same masked tournament the allocator uses.
+      // The runner-up of the column among all other LIVE bidders, found
+      // with the same masked tournament the allocator uses.  Dead roster
+      // slots hold stale masks from before their departure and must not
+      // leak into the price.
       std::optional<UserId> second;
-      for (UserId u = 0; u < view.bids.size(); ++u) {
-        if (u == award.user) continue;
+      for (UserId u = 0; u < bids.size(); ++u) {
+        if (u == award.user || !live[u]) continue;
         if (!second ||
-            !encrypted_ge(view.bids[*second].channels[award.channel],
-                          view.bids[u].channels[award.channel])) {
+            !encrypted_ge(bids[*second].channels[award.channel],
+                          bids[u].channels[award.channel])) {
           second = u;
         }
       }
       if (second) {
-        const auto& runner_up = view.bids[*second].channels[award.channel];
+        const auto& runner_up = bids[*second].channels[award.channel];
         query.runner_up_sealed = runner_up.sealed;
         query.runner_up_family = runner_up.value_family;
       }
@@ -181,9 +202,6 @@ LppaOutcome LppaAuction::run(
   if (m != nullptr && result.manipulations_detected > 0) {
     m->counter("auction.manipulations").inc(result.manipulations_detected);
   }
-
-  result.outcome.awards = awards;
-  view.awards = std::move(awards);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "auction/allocate.h"
 #include "auction/plain_auction.h"
 #include "core/encrypted_bid_table.h"
 #include "core/ppbs_location.h"
@@ -18,6 +19,7 @@
 
 namespace lppa::obs {
 class MetricsRegistry;
+class Span;
 }  // namespace lppa::obs
 
 namespace lppa::core {
@@ -83,6 +85,13 @@ struct LppaOutcome {
   std::size_t manipulations_detected = 0;
 };
 
+/// Result of one allocation+charging pass over an already-built round
+/// state (the maintained-churn entry point below).
+struct MaintainedRoundOutcome {
+  std::vector<auction::Award> awards;  ///< TTP-validated awards
+  std::size_t manipulations_detected = 0;
+};
+
 class LppaAuction {
  public:
   LppaAuction(LppaConfig config, std::uint64_t ttp_seed);
@@ -90,6 +99,21 @@ class LppaAuction {
   /// Runs one complete round over the true locations/bids.
   LppaOutcome run(const std::vector<auction::SuLocation>& locations,
                   const std::vector<BidVector>& bids, Rng& rng);
+
+  /// The auctioneer+TTP tail of a round over pre-built state: greedy
+  /// allocation on `table` (which it consumes — pass a clone of a
+  /// maintained table) followed by batched TTP charging.  `bids` backs
+  /// the charge queries and the second-price runner-up scan; `live`
+  /// marks which roster slots currently participate — dead slots hold
+  /// stale masked submissions and must never be consulted as runner-up
+  /// candidates (they cannot win: the table has them tombstoned).
+  /// run() is exactly this helper applied to a freshly built all-live
+  /// round, so maintained churn rounds and from-scratch rounds share one
+  /// charging/validation path byte for byte.
+  MaintainedRoundOutcome allocate_and_charge(
+      const std::vector<BidSubmission>& bids,
+      const auction::ConflictGraph& conflicts, auction::BidTableView& table,
+      const std::vector<bool>& live, Rng& rng, obs::Span* parent = nullptr);
 
   const LppaConfig& config() const noexcept { return config_; }
   const TrustedThirdParty& ttp() const noexcept { return ttp_; }

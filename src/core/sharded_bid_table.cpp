@@ -125,6 +125,40 @@ void ShardedBidTable::remove_user(UserId u) {
   }
 }
 
+void ShardedBidTable::insert_user(UserId u) {
+  LPPA_REQUIRE(u < users_, "bid table index out of range");
+  for (std::size_t r = 0; r < channels_; ++r) {
+    LPPA_REQUIRE(!present_[u * channels_ + r],
+                 "insert_user requires a fully tombstoned slot");
+    present_[u * channels_ + r] = true;
+  }
+  live_ += channels_;
+  // u was a member of its shard at construction, so the shard table
+  // exists and holds u's (tombstoned) local slot.
+  shards_[shard_of_[u]]->insert_user(local_index_[u]);
+}
+
+ShardedBidTable ShardedBidTable::clone() const {
+  ShardedBidTable copy;
+  copy.submissions_ = submissions_;
+  copy.owned_ = owned_;
+  copy.users_ = users_;
+  copy.channels_ = channels_;
+  copy.shard_of_ = shard_of_;
+  copy.local_index_ = local_index_;
+  copy.members_ = members_;
+  copy.present_ = present_;
+  copy.live_ = live_;
+  copy.metrics_ = metrics_;
+  copy.shards_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] != nullptr) {
+      copy.shards_[s] = std::make_unique<EncryptedBidTable>(*shards_[s]);
+    }
+  }
+  return copy;
+}
+
 std::optional<auction::UserId> ShardedBidTable::argmax_in_column(
     ChannelId r) const {
   LPPA_REQUIRE(r < channels_, "bid table index out of range");

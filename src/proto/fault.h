@@ -119,8 +119,9 @@ enum class CrashPoint : std::uint8_t {
   kAfterAllocation = 2,   ///< after the allocation snapshot commit
   kAfterChargeCommit = 3, ///< after a charge-result batch was journaled
   kBeforePublish = 4,     ///< charging complete, announcement not yet out
+  kMidChurn = 5,          ///< after a churn (departure/arrival) record
 };
-inline constexpr std::size_t kNumCrashPoints = 5;
+inline constexpr std::size_t kNumCrashPoints = 6;
 
 /// Thrown by CrashInjector::checkpoint to model the auctioneer process
 /// dying.  Deliberately NOT an LppaError: protocol-boundary code catches

@@ -16,7 +16,7 @@ std::uint32_t body_checksum(std::span<const std::uint8_t> body) {
 
 bool known_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(JournalRecordType::kRoundStart) &&
-         raw <= static_cast<std::uint8_t>(JournalRecordType::kCommitted);
+         raw <= static_cast<std::uint8_t>(JournalRecordType::kChurnArrival);
 }
 
 }  // namespace
@@ -44,6 +44,16 @@ JournalRecord::Nack JournalRecord::nack() const {
   nack.wave = r.u64();
   LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after journal nack");
   return nack;
+}
+
+std::uint64_t JournalRecord::churn_user() const {
+  LPPA_REQUIRE(type == JournalRecordType::kChurnDeparture ||
+                   type == JournalRecordType::kChurnArrival,
+               "record is not a churn record");
+  ByteReader r(payload);
+  const std::uint64_t u = r.u64();
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after journal churn record");
+  return u;
 }
 
 std::uint64_t JournalRecord::round_start_users() const {
@@ -94,6 +104,15 @@ void RoundJournal::append_nack(std::uint64_t user, std::uint8_t mask,
   w.u8(mask);
   w.u64(wave);
   append(JournalRecordType::kNackSent, w.data());
+}
+
+void RoundJournal::append_churn(JournalRecordType type, std::uint64_t user) {
+  LPPA_REQUIRE(type == JournalRecordType::kChurnDeparture ||
+                   type == JournalRecordType::kChurnArrival,
+               "churn records are departure or arrival records");
+  ByteWriter w;
+  w.u64(user);
+  append(type, w.data());
 }
 
 std::vector<JournalRecord> RoundJournal::read(

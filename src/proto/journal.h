@@ -39,6 +39,8 @@ enum class JournalRecordType : std::uint8_t {
   kAllocated = 7,       ///< phase commit: payload = session snapshot
   kChargeCommit = 8,    ///< payload: accepted charge-result envelope bytes
   kCommitted = 9,       ///< phase commit: round published (empty payload)
+  kChurnDeparture = 10, ///< payload: u64 user — SU left; its slot cleared
+  kChurnArrival = 11,   ///< payload: u64 user — SU (re)joined; slot open
 };
 
 struct JournalRecord {
@@ -60,6 +62,7 @@ struct JournalRecord {
   UserNote user_note() const;  ///< requires kStrike / kEquivocation
   Nack nack() const;           ///< requires kNackSent
   std::uint64_t round_start_users() const;  ///< requires kRoundStart
+  std::uint64_t churn_user() const;  ///< requires kChurnDeparture / kChurnArrival
 };
 
 /// Append-only write-ahead log.  Each record is framed as
@@ -76,6 +79,7 @@ class RoundJournal {
   void append_user_note(JournalRecordType type, std::uint64_t user,
                         std::string_view detail);
   void append_nack(std::uint64_t user, std::uint8_t mask, std::uint64_t wave);
+  void append_churn(JournalRecordType type, std::uint64_t user);
 
   /// The durable bytes (what would survive the crash on disk).
   const Bytes& data() const noexcept { return log_; }

@@ -51,6 +51,7 @@ AuctioneerSession::AuctioneerSession(const core::LppaConfig& config,
       bids_(num_users),
       location_wire_(num_users),
       bid_wire_(num_users),
+      absent_(num_users, false),
       equivocated_(num_users, false),
       strikes_(num_users, 0),
       last_error_(num_users) {
@@ -77,6 +78,13 @@ AuctioneerSession::IngestResult AuctioneerSession::classify_and_store(
   const std::size_t u = e.sender;
   if (equivocated_[u]) {
     fail("sender already excluded for equivocation");
+    return IngestResult::kRejected;
+  }
+  if (absent_[u]) {
+    // A departed SU's stray late traffic is not misbehaviour (no strike,
+    // no journal entry — nothing changed); it is simply not in the round
+    // until churn_return re-opens the slot.
+    fail("submission from departed user");
     return IngestResult::kRejected;
   }
 
@@ -168,6 +176,45 @@ void AuctioneerSession::replay_equivocation(std::size_t user,
   last_error_[user] = detail;
 }
 
+void AuctioneerSession::churn_depart(std::size_t user) {
+  LPPA_REQUIRE(user < num_users_, "user index out of range");
+  LPPA_REQUIRE(!finalized_, "churn is only allowed before admission closes");
+  LPPA_REQUIRE(!absent_[user], "user already departed");
+  // Write-ahead: the departure record is durable before the slot state
+  // changes, so a crash mid-churn replays to the identical session.
+  if (journal_ != nullptr) {
+    journal_->append_churn(JournalRecordType::kChurnDeparture, user);
+  }
+  absent_[user] = true;
+  locations_[user].reset();
+  bids_[user].reset();
+  location_wire_[user].clear();
+  bid_wire_[user].clear();
+  last_error_[user] = "departed before admission closed";
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("churn.session_departures").inc();
+  }
+}
+
+void AuctioneerSession::churn_return(std::size_t user) {
+  LPPA_REQUIRE(user < num_users_, "user index out of range");
+  LPPA_REQUIRE(!finalized_, "churn is only allowed before admission closes");
+  LPPA_REQUIRE(absent_[user], "user is not departed");
+  if (journal_ != nullptr) {
+    journal_->append_churn(JournalRecordType::kChurnArrival, user);
+  }
+  absent_[user] = false;
+  last_error_[user].clear();
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("churn.session_arrivals").inc();
+  }
+}
+
+bool AuctioneerSession::is_absent(std::size_t user) const {
+  LPPA_REQUIRE(user < num_users_, "user index out of range");
+  return absent_[user];
+}
+
 void AuctioneerSession::note_ingest(IngestResult result) const {
   obs::MetricsRegistry* const m = config_.metrics;
   if (m == nullptr) return;
@@ -203,6 +250,7 @@ AuctioneerSession::IngestResult AuctioneerSession::try_ingest(
 
 bool AuctioneerSession::ready() const noexcept {
   for (std::size_t u = 0; u < num_users_; ++u) {
+    if (absent_[u]) continue;
     if (!locations_[u].has_value() || !bids_[u].has_value()) return false;
   }
   return true;
@@ -226,7 +274,7 @@ bool AuctioneerSession::is_excluded(std::size_t user) const {
 std::vector<std::size_t> AuctioneerSession::missing_users() const {
   std::vector<std::size_t> missing;
   for (std::size_t u = 0; u < num_users_; ++u) {
-    if (equivocated_[u]) continue;
+    if (equivocated_[u] || absent_[u]) continue;
     if (!locations_[u].has_value() || !bids_[u].has_value()) {
       missing.push_back(u);
     }
@@ -302,8 +350,10 @@ void AuctioneerSession::run_allocation(Rng& rng) {
   LPPA_REQUIRE(!allocated_, "allocation already ran");
   if (!finalized_) {
     LPPA_REQUIRE(ready(), "submissions still missing");
-    participants_.resize(num_users_);
-    std::iota(participants_.begin(), participants_.end(), std::size_t{0});
+    for (std::size_t u = 0; u < num_users_; ++u) {
+      if (!absent_[u]) participants_.push_back(u);
+    }
+    LPPA_REQUIRE(!participants_.empty(), "every user departed the round");
     finalized_ = true;
   }
 
@@ -438,6 +488,7 @@ namespace {
 constexpr std::uint8_t kSnapHasLocation = 1;
 constexpr std::uint8_t kSnapHasBid = 2;
 constexpr std::uint8_t kSnapEquivocated = 4;
+constexpr std::uint8_t kSnapAbsent = 8;
 }  // namespace
 
 Bytes AuctioneerSession::snapshot() const {
@@ -447,7 +498,8 @@ Bytes AuctioneerSession::snapshot() const {
     const std::uint8_t flags =
         (locations_[u].has_value() ? kSnapHasLocation : 0) |
         (bids_[u].has_value() ? kSnapHasBid : 0) |
-        (equivocated_[u] ? kSnapEquivocated : 0);
+        (equivocated_[u] ? kSnapEquivocated : 0) |
+        (absent_[u] ? kSnapAbsent : 0);
     w.u8(flags);
     // The accepted wire bytes carry the submissions (they re-parse on
     // restore through the same checksummed envelope path they arrived
@@ -501,9 +553,13 @@ void AuctioneerSession::restore_from(std::span<const std::uint8_t> wire) {
                       "session snapshot population size mismatch");
   for (std::size_t u = 0; u < num_users_; ++u) {
     const std::uint8_t flags = r.u8();
+    LPPA_PROTOCOL_CHECK(flags <= (kSnapHasLocation | kSnapHasBid |
+                                  kSnapEquivocated | kSnapAbsent),
+                        "unknown session snapshot flags");
     LPPA_PROTOCOL_CHECK(
-        flags <= (kSnapHasLocation | kSnapHasBid | kSnapEquivocated),
-        "unknown session snapshot flags");
+        (flags & kSnapAbsent) == 0 ||
+            (flags & (kSnapHasLocation | kSnapHasBid)) == 0,
+        "snapshot marks an absent user with stored submissions");
     const Bytes loc_wire = r.bytes();
     const Bytes bid_wire = r.bytes();
     if (flags & kSnapHasLocation) {
@@ -529,6 +585,7 @@ void AuctioneerSession::restore_from(std::span<const std::uint8_t> wire) {
                           "snapshot carries bytes for an absent bid");
     }
     equivocated_[u] = (flags & kSnapEquivocated) != 0;
+    absent_[u] = (flags & kSnapAbsent) != 0;
     strikes_[u] = r.u64();
     const Bytes err = r.bytes();
     last_error_[u].assign(err.begin(), err.end());

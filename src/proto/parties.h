@@ -98,7 +98,28 @@ class AuctioneerSession {
   void replay_strike(std::size_t user, const std::string& detail);
   void replay_equivocation(std::size_t user, const std::string& detail);
 
-  /// True once every user's location and bid submission has arrived.
+  /// Churn: SU `user` leaves the auction before admission closes.  Its
+  /// stored submissions and their accepted wire bytes are cleared and the
+  /// slot is marked absent — submissions from an absent SU are rejected
+  /// (without a strike) until churn_return.  Crucially, clearing the
+  /// wire bytes means a departed-then-returned SU's FRESH submission is
+  /// classified kAccepted, never kEquivocation: equivocation is a fork of
+  /// one round's identity, not a property of rejoining a round.  (An
+  /// equivocation verdict already on record stays sticky — leaving does
+  /// not repair a forked identity.)  Journaled as kChurnDeparture
+  /// (write-ahead); only allowed before finalize_participants.
+  void churn_depart(std::size_t user);
+
+  /// Churn: SU `user` (re)joins the open admission phase; its slot
+  /// accepts fresh submissions again.  Journaled as kChurnArrival.
+  void churn_return(std::size_t user);
+
+  /// True while `user` is departed (between churn_depart and
+  /// churn_return).
+  bool is_absent(std::size_t user) const;
+
+  /// True once every present user's location and bid submission has
+  /// arrived (absent/departed users are not awaited).
   bool ready() const noexcept;
 
   bool has_location(std::size_t user) const;
@@ -185,6 +206,7 @@ class AuctioneerSession {
   std::vector<std::optional<core::BidSubmission>> bids_;
   std::vector<Bytes> location_wire_;  ///< accepted bytes, for dedupe
   std::vector<Bytes> bid_wire_;
+  std::vector<bool> absent_;  ///< departed (churn) — slot closed for ingest
   std::vector<bool> equivocated_;
   std::vector<std::size_t> strikes_;       ///< attributable invalid messages
   std::vector<std::string> last_error_;    ///< last rejection reason per user

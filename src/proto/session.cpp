@@ -331,6 +331,12 @@ std::size_t replay_journal(const RoundJournal& journal,
       case JournalRecordType::kFinalized:
         session.finalize_participants(report);
         break;
+      case JournalRecordType::kChurnDeparture:
+        session.churn_depart(rec.churn_user());
+        break;
+      case JournalRecordType::kChurnArrival:
+        session.churn_return(rec.churn_user());
+        break;
       default:
         LPPA_PROTOCOL_CHECK(false,
                             "journal record out of phase before allocation");
@@ -341,6 +347,12 @@ std::size_t replay_journal(const RoundJournal& journal,
 }
 
 }  // namespace
+
+std::size_t replay_session_journal(const RoundJournal& journal,
+                                   AuctioneerSession& session,
+                                   std::size_t num_users, RoundReport& report) {
+  return replay_journal(journal, session, num_users, report);
+}
 
 RecoverableWireResult run_recoverable_wire_auction(
     const core::LppaConfig& config, core::TrustedThirdParty& ttp,

@@ -135,4 +135,17 @@ RecoverableWireResult run_recoverable_wire_auction(
     CrashInjector* crashes = nullptr,
     const std::vector<std::size_t>& exclude = {});
 
+/// Rebuilds a crashed auctioneer's state from its write-ahead journal:
+/// accepted envelopes are re-ingested through the normal path, strike /
+/// equivocation verdicts and churn departures/arrivals are replayed, and
+/// a post-allocation crash restores the last kAllocated snapshot plus
+/// later charge batches.  Returns the retry wave to resume at.  The
+/// journal must be attached to the session only AFTER replaying (replay
+/// must not re-journal what is already durable).  This is the exact
+/// helper run_recoverable_wire_auction recovers with, exposed so churn
+/// harnesses can crash and rebuild sessions mid-churn.
+std::size_t replay_session_journal(const RoundJournal& journal,
+                                   AuctioneerSession& session,
+                                   std::size_t num_users, RoundReport& report);
+
 }  // namespace lppa::proto

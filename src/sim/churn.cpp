@@ -1,0 +1,107 @@
+#include "sim/churn.h"
+
+#include "common/error.h"
+
+namespace lppa::sim {
+
+ChurnSchedule::ChurnSchedule(const ChurnScheduleConfig& config)
+    : config_(config),
+      rng_(config.seed ^ 0x636875726e21ULL),  // churn stream
+      live_(config.capacity, false),
+      locations_(config.capacity),
+      bids_(config.capacity) {
+  LPPA_REQUIRE(config_.capacity > 0, "churn schedule needs slots");
+  LPPA_REQUIRE(config_.initial_live <= config_.capacity,
+               "initial_live exceeds capacity");
+  LPPA_REQUIRE(config_.num_channels > 0, "churn schedule needs channels");
+  LPPA_REQUIRE(config_.coord_width > 1 && config_.coord_width <= 62,
+               "coordinate width out of range");
+  const std::uint64_t extent = std::uint64_t{1} << config_.coord_width;
+  LPPA_REQUIRE(2 * config_.lambda < extent,
+               "interference range exceeds the coordinate space");
+  LPPA_REQUIRE(config_.depart_prob + config_.move_prob + config_.rebid_prob
+                   <= 1.0,
+               "per-live-slot event probabilities exceed 1");
+  for (std::size_t u = 0; u < config_.initial_live; ++u) {
+    live_[u] = true;
+    locations_[u] = draw_location();
+    bids_[u] = draw_bids();
+    ++live_count_;
+  }
+}
+
+auction::SuLocation ChurnSchedule::draw_location() {
+  // Keep loc + 2λ inside the coordinate space so every range cover the
+  // PPBS layer derives from this position is well-formed.
+  const std::uint64_t extent = std::uint64_t{1} << config_.coord_width;
+  const std::uint64_t span = extent - 2 * config_.lambda;
+  auction::SuLocation loc;
+  loc.x = rng_.below(span);
+  loc.y = rng_.below(span);
+  return loc;
+}
+
+auction::BidVector ChurnSchedule::draw_bids() {
+  auction::BidVector bids(config_.num_channels, 0);
+  for (auto& b : bids) {
+    b = static_cast<auction::Money>(
+        rng_.below(static_cast<std::uint64_t>(config_.bmax) + 1));
+  }
+  return bids;
+}
+
+std::vector<ChurnEvent> ChurnSchedule::next_round() {
+  std::vector<ChurnEvent> events;
+  for (std::size_t u = 0; u < config_.capacity; ++u) {
+    if (!live_[u]) {
+      if (rng_.uniform(0.0, 1.0) >= config_.arrive_prob) continue;
+      ChurnEvent ev;
+      ev.kind = ChurnEvent::Kind::kArrive;
+      ev.user = u;
+      ev.loc = draw_location();
+      ev.bids = draw_bids();
+      live_[u] = true;
+      locations_[u] = ev.loc;
+      bids_[u] = ev.bids;
+      ++live_count_;
+      events.push_back(std::move(ev));
+      continue;
+    }
+    // One draw per live slot, cascaded so the outcomes are mutually
+    // exclusive with exactly the configured probabilities.
+    const double roll = rng_.uniform(0.0, 1.0);
+    if (roll < config_.depart_prob) {
+      // Never empty the auction: a departure that would leave no live
+      // SU is suppressed (the greedy allocator requires participants).
+      if (live_count_ == 1) continue;
+      ChurnEvent ev;
+      ev.kind = ChurnEvent::Kind::kDepart;
+      ev.user = u;
+      live_[u] = false;
+      locations_[u] = auction::SuLocation{};
+      bids_[u].clear();
+      --live_count_;
+      events.push_back(std::move(ev));
+    } else if (roll < config_.depart_prob + config_.move_prob) {
+      ChurnEvent ev;
+      ev.kind = ChurnEvent::Kind::kMove;
+      ev.user = u;
+      ev.loc = draw_location();
+      ev.bids = bids_[u];
+      locations_[u] = ev.loc;
+      events.push_back(std::move(ev));
+    } else if (roll <
+               config_.depart_prob + config_.move_prob + config_.rebid_prob) {
+      ChurnEvent ev;
+      ev.kind = ChurnEvent::Kind::kRebid;
+      ev.user = u;
+      ev.loc = locations_[u];
+      ev.bids = draw_bids();
+      bids_[u] = ev.bids;
+      events.push_back(std::move(ev));
+    }
+  }
+  return events;
+}
+
+}  // namespace lppa::sim

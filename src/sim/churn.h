@@ -1,0 +1,88 @@
+// ChurnSchedule: seeded per-round SU churn over a fixed slot roster —
+// arrivals into dead slots, departures, moves, and re-bids of live ones.
+//
+// An auction in a cognitive radio network is not a one-shot event over a
+// frozen population: SUs power up, finish their leases and leave, drive
+// to a different cell, or come back with fresh demand.  The schedule is
+// a pure function of its config (one private Rng stream, liveness
+// tracked internally), so one instance replayed from the same seed emits
+// the same event stream — which lets the churn soak harness
+// (bench/abl_churn) drive the incrementally maintained pipeline
+// (core::ChurnState) and the from-scratch rebuild oracle over ONE shared
+// stream and assert bit-equality every round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/bid.h"
+#include "auction/conflict.h"
+#include "common/rng.h"
+
+namespace lppa::sim {
+
+/// One plaintext churn event.  The driver masks the payload (PPBS
+/// location/bid submission) before it touches any auctioneer-side state.
+struct ChurnEvent {
+  enum class Kind : std::uint8_t {
+    kArrive,  ///< dead slot comes alive at `loc` bidding `bids`
+    kDepart,  ///< live slot leaves
+    kMove,    ///< live slot relocates to `loc` (bids unchanged)
+    kRebid,   ///< live slot re-submits fresh `bids` in place
+  };
+  Kind kind = Kind::kArrive;
+  std::size_t user = 0;
+  auction::SuLocation loc;   ///< kArrive / kMove
+  auction::BidVector bids;   ///< kArrive / kRebid
+};
+
+struct ChurnScheduleConfig {
+  std::size_t capacity = 64;      ///< roster slots (fixed universe)
+  std::size_t initial_live = 32;  ///< slots live before round 1
+  double arrive_prob = 0.25;      ///< per dead slot, per round
+  double depart_prob = 0.10;      ///< per live slot, per round
+  double move_prob = 0.15;        ///< per surviving live slot, per round
+  double rebid_prob = 0.30;       ///< per surviving live slot, per round
+  std::size_t num_channels = 3;
+  auction::Money bmax = 15;
+  int coord_width = 16;   ///< positions drawn so loc + 2λ always fits
+  std::uint64_t lambda = 512;
+  std::uint64_t seed = 1;
+};
+
+class ChurnSchedule {
+ public:
+  explicit ChurnSchedule(const ChurnScheduleConfig& config);
+
+  const ChurnScheduleConfig& config() const noexcept { return config_; }
+
+  /// Plaintext roster after the last next_round() (or the initial one).
+  const std::vector<bool>& live() const noexcept { return live_; }
+  const std::vector<auction::SuLocation>& locations() const noexcept {
+    return locations_;
+  }
+  const std::vector<auction::BidVector>& bids() const noexcept {
+    return bids_;
+  }
+  std::size_t live_count() const noexcept { return live_count_; }
+
+  /// Advances one round: every dead slot may arrive, every live slot may
+  /// depart, else move, else re-bid (one cascaded uniform draw per slot,
+  /// so the event mix is exactly the configured probabilities).  Returns
+  /// the events in slot order — the application order the maintained and
+  /// rebuilt pipelines both follow.
+  std::vector<ChurnEvent> next_round();
+
+ private:
+  auction::SuLocation draw_location();
+  auction::BidVector draw_bids();
+
+  ChurnScheduleConfig config_;
+  Rng rng_;
+  std::vector<bool> live_;
+  std::vector<auction::SuLocation> locations_;
+  std::vector<auction::BidVector> bids_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace lppa::sim

@@ -24,6 +24,12 @@ MultiRoundResult run_multi_round(Scenario& scenario,
 
   for (std::size_t round = 0; round < config.rounds; ++round) {
     scenario.rebid(seed + 31 * round);
+    if (config.move_prob > 0.0 && round > 0) {
+      // Mobility strikes between rounds; round 0 runs over the initial
+      // population.  The attack's ground truth (users()[u].cell, read
+      // after the last round) is each SU's final position.
+      scenario.move_users(seed + 977 * round, config.move_prob);
+    }
 
     const auto policy = core::ZeroDisguisePolicy::linear(
         scenario.config().bmax, config.replace_prob);

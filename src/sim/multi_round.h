@@ -56,6 +56,13 @@ struct MultiRoundConfig {
   std::size_t rounds = 5;
   bool mix_ids = true;        ///< fresh pseudonyms every round
   double replace_prob = 0.5;  ///< zero-disguise level (linear policy)
+  /// Mobility churn: per-round probability that each SU moves to a fresh
+  /// position (and re-senses its bids there) before the round runs.
+  /// Movement breaks cross-round evidence accumulation for the moved SU
+  /// the same way ID mixing does — the linking attacker votes over
+  /// availability sets of DIFFERENT cells.  0 keeps the paper's
+  /// fixed-lease setting.
+  double move_prob = 0.0;
   auction::Money rd = 3;
   std::uint64_t cr = 4;
   double top_fraction = 0.5;  ///< attacker's per-column selection

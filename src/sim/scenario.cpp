@@ -85,6 +85,30 @@ void Scenario::generate_bids(SuRecord& su, std::size_t cell_index, Rng& rng) {
   }
 }
 
+std::vector<std::size_t> Scenario::move_users(std::uint64_t seed,
+                                              double prob) {
+  LPPA_REQUIRE(prob >= 0.0 && prob <= 1.0,
+               "move probability must be in [0,1]");
+  Rng rng(seed ^ 0x6d6f766521ULL);  // moves stream
+  const geo::Grid& grid = dataset_.grid();
+  std::vector<std::size_t> moved;
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    if (rng.uniform(0.0, 1.0) >= prob) continue;
+    SuRecord& su = users_[i];
+    const std::size_t cell_index = rng.below(grid.cell_count());
+    su.cell = grid.cell_at(cell_index);
+    const geo::Point center = grid.center(su.cell);
+    const double half = grid.cell_size_m() / 2.0;
+    const double x = center.x + rng.uniform(-half, half);
+    const double y = center.y + rng.uniform(-half, half);
+    su.loc.x = static_cast<std::uint64_t>(std::max(0.0, std::round(x)));
+    su.loc.y = static_cast<std::uint64_t>(std::max(0.0, std::round(y)));
+    generate_bids(su, cell_index, rng);
+    moved.push_back(i);
+  }
+  return moved;
+}
+
 void Scenario::rebid(std::uint64_t seed) {
   Rng rng(seed ^ 0x726562696421ULL);
   for (auto& su : users_) {

@@ -83,6 +83,12 @@ class Scenario {
   /// is fixed for the lease duration but its bids vary round to round.
   void rebid(std::uint64_t seed);
 
+  /// Mobility (churn): each user independently moves with probability
+  /// `prob` to a fresh uniform cell/position and re-senses its bids
+  /// there (a moved SU's old availability set no longer applies).
+  /// Returns the indices of the users that moved, ascending.
+  std::vector<std::size_t> move_users(std::uint64_t seed, double prob);
+
  private:
   void generate_users(Rng& rng);
   void generate_bids(SuRecord& su, std::size_t cell_index, Rng& rng);

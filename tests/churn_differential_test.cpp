@@ -1,0 +1,278 @@
+// Churn differential suite: incrementally maintained round state
+// (core::ChurnState — ConflictGraph deltas, ShardPlan::reassign,
+// ShardedBidTable insert_user/remove_user over tombstones) must stay
+// IDENTICAL to a from-scratch rebuild after every event of randomized
+// arrival/departure/move/rebid sequences, for every shard and thread
+// count — graphs and assignments by ==, tables by their serialized byte
+// image, and allocation outcomes award-for-award.
+#include "core/churn_state.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "sim/churn.h"
+
+namespace lppa {
+namespace {
+
+struct MaskedWorld {
+  core::LppaConfig config;
+  std::unique_ptr<core::LppaAuction> auction;
+  std::unique_ptr<core::PpbsLocation> location_protocol;
+  std::unique_ptr<core::BidSubmitter> submitter;
+
+  explicit MaskedWorld(const sim::ChurnScheduleConfig& sc,
+                       std::size_t num_shards, std::size_t threads) {
+    config.num_channels = sc.num_channels;
+    config.lambda = sc.lambda;
+    config.coord_width = sc.coord_width;
+    config.bid = core::PpbsBidConfig::advanced(
+        sc.bmax, 3, 4, core::ZeroDisguisePolicy::none(sc.bmax));
+    config.num_shards = num_shards;
+    config.num_threads = threads;
+    auction = std::make_unique<core::LppaAuction>(config, /*ttp_seed=*/7);
+    const core::SuKeyBundle keys = auction->ttp().su_keys();
+    location_protocol = std::make_unique<core::PpbsLocation>(
+        keys.g0, config.coord_width, config.lambda,
+        config.pad_location_ranges);
+    submitter = std::make_unique<core::BidSubmitter>(
+        auction->ttp().config(), keys.gb_master, keys.gc);
+  }
+};
+
+/// Builds the initial ChurnState for the schedule's round-zero roster.
+core::ChurnState make_state(const MaskedWorld& w,
+                            const sim::ChurnSchedule& schedule, Rng& mask) {
+  const std::size_t capacity = schedule.config().capacity;
+  std::vector<auction::SuLocation> locations(capacity);
+  std::vector<core::LocationSubmission> loc_subs(capacity);
+  std::vector<core::BidSubmission> bid_subs(capacity);
+  const auction::BidVector zeros(w.config.num_channels, 0);
+  for (std::size_t u = 0; u < capacity; ++u) {
+    Rng su_rng = mask.fork();
+    if (schedule.live()[u]) {
+      locations[u] = schedule.locations()[u];
+      loc_subs[u] = w.location_protocol->submit(locations[u], su_rng);
+      bid_subs[u] = w.submitter->submit(schedule.bids()[u], su_rng);
+    } else {
+      bid_subs[u] = w.submitter->submit(zeros, su_rng);
+    }
+  }
+  return core::ChurnState(w.config, std::move(locations),
+                          std::move(loc_subs), std::move(bid_subs),
+                          schedule.live());
+}
+
+void apply_event(core::ChurnState& state, const MaskedWorld& w,
+                 const sim::ChurnEvent& ev, Rng& mask) {
+  Rng su_rng = mask.fork();
+  switch (ev.kind) {
+    case sim::ChurnEvent::Kind::kArrive:
+      state.add_su(ev.user, ev.loc,
+                   w.location_protocol->submit(ev.loc, su_rng),
+                   w.submitter->submit(ev.bids, su_rng));
+      break;
+    case sim::ChurnEvent::Kind::kDepart:
+      state.remove_su(ev.user);
+      break;
+    case sim::ChurnEvent::Kind::kMove:
+      state.move_su(ev.user, ev.loc,
+                    w.location_protocol->submit(ev.loc, su_rng));
+      break;
+    case sim::ChurnEvent::Kind::kRebid:
+      state.rebid_su(ev.user, w.submitter->submit(ev.bids, su_rng));
+      break;
+  }
+}
+
+TEST(ChurnSchedule, IsAPureFunctionOfItsConfig) {
+  sim::ChurnScheduleConfig sc;
+  sc.capacity = 12;
+  sc.initial_live = 6;
+  sc.num_channels = 3;
+  sc.seed = 99;
+  sim::ChurnSchedule a(sc);
+  sim::ChurnSchedule b(sc);
+  EXPECT_EQ(a.live(), b.live());
+  EXPECT_EQ(a.locations(), b.locations());
+  for (int round = 0; round < 5; ++round) {
+    const auto ea = a.next_round();
+    const auto eb = b.next_round();
+    ASSERT_EQ(ea.size(), eb.size()) << "round " << round;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].kind, eb[i].kind);
+      EXPECT_EQ(ea[i].user, eb[i].user);
+      EXPECT_TRUE(ea[i].loc == eb[i].loc);
+      EXPECT_EQ(ea[i].bids, eb[i].bids);
+    }
+    EXPECT_EQ(a.live(), b.live());
+    EXPECT_EQ(a.live_count(), b.live_count());
+  }
+}
+
+TEST(ChurnSchedule, RespectsCapacityAndLiveness) {
+  sim::ChurnScheduleConfig sc;
+  sc.capacity = 10;
+  sc.initial_live = 4;
+  sc.num_channels = 2;
+  sc.arrive_prob = 0.5;
+  sc.depart_prob = 0.4;
+  sc.seed = 3;
+  sim::ChurnSchedule schedule(sc);
+  std::vector<bool> live(schedule.live());
+  for (int round = 0; round < 30; ++round) {
+    for (const auto& ev : schedule.next_round()) {
+      ASSERT_LT(ev.user, sc.capacity);
+      switch (ev.kind) {
+        case sim::ChurnEvent::Kind::kArrive:
+          ASSERT_FALSE(live[ev.user]) << "arrival into a live slot";
+          live[ev.user] = true;
+          break;
+        case sim::ChurnEvent::Kind::kDepart:
+          ASSERT_TRUE(live[ev.user]) << "departure from a dead slot";
+          live[ev.user] = false;
+          break;
+        case sim::ChurnEvent::Kind::kMove:
+        case sim::ChurnEvent::Kind::kRebid:
+          ASSERT_TRUE(live[ev.user]) << "move/rebid of a dead slot";
+          break;
+      }
+    }
+    EXPECT_EQ(live, schedule.live());
+    EXPECT_GE(schedule.live_count(), 1u) << "schedule emptied the auction";
+  }
+}
+
+TEST(ChurnDifferential, IncrementalEqualsRebuildAcrossShardAndThreadCounts) {
+  sim::ChurnScheduleConfig sc;
+  sc.capacity = 14;
+  sc.initial_live = 7;
+  sc.num_channels = 3;
+  sc.coord_width = 12;
+  sc.lambda = 96;
+  sc.seed = 20130708;
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{4}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      const MaskedWorld w(sc, shards, threads);
+      sim::ChurnSchedule schedule(sc);
+      Rng mask(4242);
+      core::ChurnState state = make_state(w, schedule, mask);
+
+      for (int round = 0; round < 8; ++round) {
+        // Check after EVERY event, not just every round: a stale digest
+        // or a mis-spliced column order must be caught at the op that
+        // introduced it, not masked by a later one.
+        for (const auto& ev : schedule.next_round()) {
+          apply_event(state, w, ev, mask);
+          ASSERT_TRUE(state.graph() == state.rebuild_conflicts())
+              << "shards=" << shards << " threads=" << threads << " round="
+              << round << " after event on user " << ev.user;
+          ASSERT_TRUE(state.assignment() == state.rebuild_assignment())
+              << "shards=" << shards << " threads=" << threads << " round="
+              << round;
+          ASSERT_EQ(state.serialize_table(),
+                    state.rebuild_table().serialize())
+              << "shards=" << shards << " threads=" << threads << " round="
+              << round;
+        }
+
+        // Allocation parity on the round's final state.
+        core::ShardedBidTable maintained_table = state.table_for_allocation();
+        core::ShardedBidTable rebuilt_table = state.rebuild_table();
+        Rng rng_a(900 + round), rng_b(900 + round);
+        const auto a = w.auction->allocate_and_charge(
+            state.bids(), state.graph(), maintained_table, state.live(),
+            rng_a);
+        const auto b = w.auction->allocate_and_charge(
+            state.bids(), state.rebuild_conflicts(), rebuilt_table,
+            state.live(), rng_b);
+        ASSERT_EQ(a.awards, b.awards)
+            << "shards=" << shards << " threads=" << threads << " round="
+            << round;
+        EXPECT_EQ(a.manipulations_detected, b.manipulations_detected);
+      }
+    }
+  }
+}
+
+TEST(ChurnDifferential, SlotReuseCyclesStayExact) {
+  // The same slot repeatedly dies and is reborn elsewhere (the tombstone
+  // resurrection path of EncryptedBidTable::insert_user and the
+  // dead-chain recycling of DigestIndex::erase) — the tightest loop on
+  // the removal-path machinery this PR audits.
+  sim::ChurnScheduleConfig sc;
+  sc.capacity = 6;
+  sc.initial_live = 6;
+  sc.num_channels = 2;
+  sc.coord_width = 12;
+  sc.lambda = 200;
+  const MaskedWorld w(sc, /*num_shards=*/4, /*threads=*/1);
+
+  sim::ChurnSchedule seed_roster(sc);
+  Rng mask(777);
+  core::ChurnState state = make_state(w, seed_roster, mask);
+  Rng scenario(31);
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    const std::size_t u = scenario.below(sc.capacity);
+    if (state.live()[u]) {
+      if (state.live_count() == 1) continue;
+      state.remove_su(u);
+    } else {
+      Rng su_rng = mask.fork();
+      const auction::SuLocation loc = {scenario.below(3696),
+                                       scenario.below(3696)};
+      auction::BidVector bids(sc.num_channels);
+      for (auto& b : bids) b = scenario.below(16);
+      state.add_su(u, loc, w.location_protocol->submit(loc, su_rng),
+                   w.submitter->submit(bids, su_rng));
+    }
+    ASSERT_TRUE(state.graph() == state.rebuild_conflicts()) << "cycle "
+                                                            << cycle;
+    ASSERT_TRUE(state.assignment() == state.rebuild_assignment())
+        << "cycle " << cycle;
+    ASSERT_EQ(state.serialize_table(), state.rebuild_table().serialize())
+        << "cycle " << cycle;
+  }
+}
+
+TEST(ChurnDifferential, ChurnCountersTrackEvents) {
+  sim::ChurnScheduleConfig sc;
+  sc.capacity = 10;
+  sc.initial_live = 5;
+  sc.num_channels = 2;
+  sc.coord_width = 12;
+  sc.lambda = 100;
+  sc.seed = 8;
+  obs::MetricsRegistry metrics;
+  MaskedWorld w(sc, /*num_shards=*/2, /*threads=*/1);
+  w.config.metrics = &metrics;
+  sim::ChurnSchedule schedule(sc);
+  Rng mask(99);
+  core::ChurnState state = make_state(w, schedule, mask);
+
+  std::size_t arrivals = 0, departures = 0, moves = 0, rebids = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (const auto& ev : schedule.next_round()) {
+      apply_event(state, w, ev, mask);
+      switch (ev.kind) {
+        case sim::ChurnEvent::Kind::kArrive: ++arrivals; break;
+        case sim::ChurnEvent::Kind::kDepart: ++departures; break;
+        case sim::ChurnEvent::Kind::kMove: ++moves; break;
+        case sim::ChurnEvent::Kind::kRebid: ++rebids; break;
+      }
+    }
+  }
+  EXPECT_EQ(metrics.counter("churn.arrivals").value(), arrivals);
+  EXPECT_EQ(metrics.counter("churn.departures").value(), departures);
+  EXPECT_EQ(metrics.counter("churn.moves").value(), moves);
+  EXPECT_EQ(metrics.counter("churn.rebids").value(), rebids);
+  // Digest bookkeeping never leaks: live pairs == inserted - erased, and
+  // a full drain (minus one mandatory survivor) erases almost all.
+  EXPECT_GE(metrics.counter("churn.digests_inserted").value(),
+            metrics.counter("churn.digests_erased").value());
+}
+
+}  // namespace
+}  // namespace lppa

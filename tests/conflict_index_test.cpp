@@ -102,6 +102,84 @@ TEST(DigestIndexTest, ReservePreSizesSoInsertionsNeverRehash) {
   EXPECT_GT(index.memory_bytes(), index.slot_capacity() * 32);
 }
 
+TEST(DigestIndexTest, ReserveZeroIsSafeAndUsable) {
+  // The churn layer sizes per-tile indexes from live digest counts,
+  // which hit zero whenever a tile empties out — reserve(0) must neither
+  // divide by zero nor leave the table unusable.
+  prefix::DigestIndex index;
+  index.reserve(0);
+  const std::size_t capacity = index.slot_capacity();
+  EXPECT_GT(capacity, 0u);
+  EXPECT_EQ(capacity & (capacity - 1), 0u) << "capacity not a power of two";
+  EXPECT_GT(index.memory_bytes(), 0u);
+  EXPECT_EQ(index.entry_count(), 0u);
+  EXPECT_EQ(index.distinct_digests(), 0u);
+
+  crypto::Digest d;
+  d.bytes[7] = 0x42;
+  std::vector<std::uint32_t> owners;
+  EXPECT_EQ(index.collect(d, owners), 0u);
+  EXPECT_FALSE(index.erase(d, 3));
+  index.insert(d, 3);
+  ASSERT_EQ(index.collect(d, owners), 1u);
+  EXPECT_EQ(owners, std::vector<std::uint32_t>{3u});
+}
+
+TEST(DigestIndexTest, AllDuplicateDigestsNeverRehash) {
+  // Pathological input: every insertion carries the SAME digest (one
+  // occupied slot, arbitrarily long owner chain).  The load factor is
+  // measured in occupied slots, so no amount of duplicates may trigger a
+  // rehash, and the capacity/footprint figures must stay sane.
+  prefix::DigestIndex index;
+  index.reserve(8);
+  const std::size_t capacity = index.slot_capacity();
+  crypto::Digest d;
+  d.bytes[0] = 0xee;
+  constexpr std::uint32_t kOwners = 10000;
+  for (std::uint32_t owner = 0; owner < kOwners; ++owner) {
+    index.insert(d, owner);
+    ASSERT_EQ(index.slot_capacity(), capacity)
+        << "duplicate insert " << owner << " rehashed";
+  }
+  EXPECT_EQ(index.distinct_digests(), 1u);
+  EXPECT_EQ(index.entry_count(), kOwners);
+  EXPECT_GT(index.memory_bytes(), kOwners * sizeof(std::uint32_t));
+  std::vector<std::uint32_t> owners;
+  EXPECT_EQ(index.collect(d, owners), static_cast<std::size_t>(kOwners));
+
+  // Erasure walks the chain by owner and recycles entries; the slot
+  // itself stays occupied (dead chain) so probing remains intact.
+  for (std::uint32_t owner = 0; owner < kOwners; ++owner) {
+    EXPECT_TRUE(index.erase(d, owner));
+  }
+  EXPECT_EQ(index.entry_count(), 0u);
+  owners.clear();
+  EXPECT_EQ(index.collect(d, owners), 0u);
+  index.insert(d, 7);  // revives the dead chain in place
+  ASSERT_EQ(index.collect(d, owners), 1u);
+  EXPECT_EQ(owners, std::vector<std::uint32_t>{7u});
+  EXPECT_EQ(index.distinct_digests(), 1u);
+}
+
+TEST(DigestIndexTest, EraseIsMultisetSymmetricWithInsert) {
+  // An owner can legitimately hold the same digest twice (family and
+  // range covers share short prefixes); erase must remove exactly one
+  // pair per call, mirroring insert call-for-call.
+  prefix::DigestIndex index;
+  crypto::Digest d;
+  d.bytes[3] = 0x99;
+  index.insert(d, 5);
+  index.insert(d, 5);
+  EXPECT_EQ(index.entry_count(), 2u);
+  EXPECT_TRUE(index.erase(d, 5));
+  std::vector<std::uint32_t> owners;
+  ASSERT_EQ(index.collect(d, owners), 1u);
+  EXPECT_EQ(owners, std::vector<std::uint32_t>{5u});
+  EXPECT_TRUE(index.erase(d, 5));
+  EXPECT_FALSE(index.erase(d, 5));
+  EXPECT_EQ(index.entry_count(), 0u);
+}
+
 TEST(ConflictIndexTest, IndexedMatchesPairwiseOver200RandomScenarios) {
   Rng rng(20130708);
   for (int scenario = 0; scenario < 220; ++scenario) {

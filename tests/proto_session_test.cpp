@@ -126,6 +126,120 @@ TEST(AuctioneerSession, RejectsWrongChannelCount) {
                LppaError);
 }
 
+TEST(AuctioneerSession, DepartedThenReturnedSuIsNotAnEquivocator) {
+  // Churn semantics: an SU that departs and later returns submits a
+  // FRESH masked pair (new position, new masks).  The second submission
+  // differs byte-for-byte from the first, which is exactly the
+  // equivocation signature — but churn_depart cleared the stored pair,
+  // so the returned SU's submission must land on the empty-slot path and
+  // be accepted without a strike.
+  const WireWorld w = make_world(3, 2, 141);
+  core::TrustedThirdParty ttp(w.config.bid, 9);
+  AuctioneerSession session(w.config, 3);
+  Rng rng(1);
+  const SuClient client(0, w.config, ttp.su_keys());
+
+  const Bytes first_loc = client.location_envelope(w.locations[0], rng);
+  const Bytes first_bid = client.bid_envelope(w.bids[0], rng);
+  ASSERT_EQ(session.try_ingest(first_loc),
+            AuctioneerSession::IngestResult::kAccepted);
+  ASSERT_EQ(session.try_ingest(first_bid),
+            AuctioneerSession::IngestResult::kAccepted);
+
+  session.churn_depart(0);
+  EXPECT_TRUE(session.is_absent(0));
+  // While absent, traffic from the departed sender is rejected — but
+  // without a strike and without an equivocation verdict.
+  std::string error;
+  EXPECT_EQ(session.try_ingest(first_loc, &error),
+            AuctioneerSession::IngestResult::kRejected);
+  EXPECT_FALSE(session.is_excluded(0));
+
+  session.churn_return(0);
+  EXPECT_FALSE(session.is_absent(0));
+  // Fresh pair, different bytes (new masks and a new position).
+  const auction::SuLocation moved = {w.locations[0].x + 57,
+                                     w.locations[0].y + 31};
+  const Bytes second_loc = client.location_envelope(moved, rng);
+  const Bytes second_bid = client.bid_envelope(w.bids[0], rng);
+  ASSERT_NE(second_loc, first_loc);
+  EXPECT_EQ(session.try_ingest(second_loc, &error),
+            AuctioneerSession::IngestResult::kAccepted)
+      << error;
+  EXPECT_EQ(session.try_ingest(second_bid, &error),
+            AuctioneerSession::IngestResult::kAccepted)
+      << error;
+  EXPECT_FALSE(session.is_excluded(0));
+
+  // A genuinely equivocating sender still gets caught: a THIRD,
+  // different pair while the second is stored.
+  const Bytes third_loc = client.location_envelope(w.locations[0], rng);
+  EXPECT_EQ(session.try_ingest(third_loc),
+            AuctioneerSession::IngestResult::kEquivocation);
+  EXPECT_TRUE(session.is_excluded(0));
+}
+
+TEST(AuctioneerSession, ChurnRecordsReplayAndSnapshotRoundTrip) {
+  // Journaled churn: depart/return records replay into the same state —
+  // and the snapshot codec round-trips the absent flag.
+  const WireWorld w = make_world(3, 2, 151);
+  core::TrustedThirdParty ttp(w.config.bid, 9);
+  Rng rng(3);
+  std::vector<Bytes> locs, bids;
+  for (std::size_t u = 0; u < 3; ++u) {
+    const SuClient client(u, w.config, ttp.su_keys());
+    locs.push_back(client.location_envelope(w.locations[u], rng));
+    bids.push_back(client.bid_envelope(w.bids[u], rng));
+  }
+
+  AuctioneerSession session(w.config, 3);
+  RoundJournal journal;
+  journal.append_round_start(3);
+  session.attach_journal(&journal);
+  for (std::size_t u = 0; u < 3; ++u) {
+    ASSERT_EQ(session.try_ingest(locs[u]),
+              AuctioneerSession::IngestResult::kAccepted);
+    ASSERT_EQ(session.try_ingest(bids[u]),
+              AuctioneerSession::IngestResult::kAccepted);
+  }
+  session.churn_depart(1);
+  session.churn_depart(2);
+  session.churn_return(2);
+  // Departure cleared user 2's stored pair; the returned SU re-submits
+  // a fresh pair (journaled like any other admission).
+  {
+    Rng fresh(11);
+    const SuClient client(2, w.config, ttp.su_keys());
+    ASSERT_EQ(session.try_ingest(
+                  client.location_envelope(w.locations[2], fresh)),
+              AuctioneerSession::IngestResult::kAccepted);
+    ASSERT_EQ(session.try_ingest(client.bid_envelope(w.bids[2], fresh)),
+              AuctioneerSession::IngestResult::kAccepted);
+  }
+
+  // Journal replay reproduces the exact state (the return value is the
+  // resume wave counter; the record count lands in the report).
+  AuctioneerSession replayed(w.config, 3);
+  RoundReport report;
+  replay_session_journal(journal, replayed, 3, report);
+  EXPECT_GT(report.replayed_records, 0u);
+  EXPECT_TRUE(replayed.is_absent(1));
+  EXPECT_FALSE(replayed.is_absent(2));
+  EXPECT_EQ(replayed.snapshot(), session.snapshot());
+
+  // Snapshot restore round-trips the absent flag too.
+  AuctioneerSession restored(w.config, 3);
+  restored.restore_from(session.snapshot());
+  EXPECT_TRUE(restored.is_absent(1));
+  EXPECT_FALSE(restored.is_absent(2));
+  EXPECT_EQ(restored.snapshot(), session.snapshot());
+
+  // ready() ignores absent slots: everyone live has submitted, so the
+  // round can close without user 1.
+  EXPECT_TRUE(session.ready());
+  EXPECT_EQ(session.missing_users(), std::vector<std::size_t>{});
+}
+
 TEST(TtpService, RejectsNonChargeEnvelopes) {
   const WireWorld w = make_world(2, 2, 91);
   core::TrustedThirdParty ttp(w.config.bid, 9);

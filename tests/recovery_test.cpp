@@ -93,9 +93,13 @@ TEST(RecoveryCrashMatrix, EveryCrashPointRecoversByteIdentically) {
   ASSERT_TRUE(clean.report.completed);
   ASSERT_EQ(counter.crashes_fired(), 0u);
   ASSERT_GT(counter.total_hits(), 0u);
-  // Every defined crash point is reached at least once in a full round.
+  // Every defined crash point is reached at least once in a full round —
+  // except kMidChurn, which only churn harnesses drive (bench/abl_churn
+  // and the churn soak test own that leg of the matrix).
   for (std::size_t p = 0; p < kNumCrashPoints; ++p) {
-    ASSERT_GT(counter.hits(static_cast<CrashPoint>(p)), 0u)
+    const auto point = static_cast<CrashPoint>(p);
+    if (point == CrashPoint::kMidChurn) continue;
+    ASSERT_GT(counter.hits(point), 0u)
         << "crash point " << p << " never reached; the matrix has a hole";
   }
 
