@@ -32,6 +32,8 @@ struct BenchArgs {
   std::size_t threads = 0;   ///< --threads N: worker threads (0 = hardware)
   std::size_t shards = 0;    ///< --shards N: shard count for the
                              ///< shard_scaling phase (0 = default sweep)
+  std::size_t conns = 0;     ///< --conns N: concurrent SU connections for
+                             ///< loadgen (0 = profile default)
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -47,6 +49,8 @@ struct BenchArgs {
         args.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
         args.shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--conns") == 0 && i + 1 < argc) {
+        args.conns = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::cout << "usage: " << argv[0]
                   << " [--full] [--smoke] [--csv] [--json <path>]"
@@ -60,7 +64,9 @@ struct BenchArgs {
                   << "  --threads N   worker threads for parallel phases"
                      " (0 = hardware)\n"
                   << "  --shards N    geo-shard count for perf_scaling's"
-                     " shard_scaling phase (0 = default sweep)\n";
+                     " shard_scaling phase (0 = default sweep)\n"
+                  << "  --conns N     concurrent SU connections for loadgen"
+                     " (0 = profile default)\n";
         std::exit(0);
       } else {
         std::cerr << "FATAL: unknown or incomplete flag: " << argv[i] << "\n";

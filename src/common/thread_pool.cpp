@@ -14,13 +14,20 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Workers only exit once the queue is empty (worker_loop drains after
+  // stop_), so nothing enqueued before stop() is ever dropped.
 }
 
 void ThreadPool::worker_loop() {
@@ -52,7 +59,18 @@ void ThreadPool::run(std::size_t workers,
   sync.pending = workers - 1;
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) {
+      // Stopped pool: no worker will ever pop the queue again, so
+      // enqueueing here would block this call forever.  Degrade to
+      // inline execution (outside the pool lock — job may re-enter the
+      // pool) — deterministic (ascending w, first exception propagates)
+      // and exactly what a server draining its last frames during
+      // shutdown wants.
+      lock.unlock();
+      for (std::size_t w = 0; w < workers; ++w) job(w);
+      return;
+    }
     for (std::size_t w = 1; w < workers; ++w) {
       queue_.emplace_back([&sync, &job, w] {
         std::exception_ptr err;

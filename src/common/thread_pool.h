@@ -43,7 +43,23 @@ class ThreadPool {
   /// thread, the rest on pool threads.  Blocks until every invocation
   /// returns.  The first exception thrown by any invocation is rethrown
   /// here (caller's own exception wins ties).
+  ///
+  /// On a stopped pool (stop() ran, or destruction has begun) every
+  /// invocation runs inline on the calling thread, in ascending w order.
+  /// Without this fallback a run() racing shutdown would enqueue tasks
+  /// no worker will ever pop and block forever on their completion — the
+  /// exact hang a server tearing down with queued frames used to risk.
   void run(std::size_t workers, const std::function<void(std::size_t)>& job);
+
+  /// Deterministic shutdown: wakes every worker, lets them drain the
+  /// queue (queued tasks run to completion, never silently dropped),
+  /// and joins.  Idempotent; the destructor calls it.  After stop(),
+  /// run() degrades to inline execution (see above), so callers that
+  /// own both a pool and work-producing threads can tear down in either
+  /// order without racing the pool destructor — the contract
+  /// net::AuctioneerServer's destructor relies on and
+  /// thread_pool_test / net_transport_test pin.
+  void stop();
 
   /// std::thread::hardware_concurrency(), clamped to at least 1.
   static std::size_t hardware_threads() noexcept;

@@ -1,0 +1,96 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+namespace lppa::net {
+
+Connection::Connection(Fd fd, std::uint64_t id, const TransportLimits& limits,
+                       SteadyClock::time_point now)
+    : fd_(std::move(fd)), id_(id), limits_(limits),
+      last_read_progress_(now) {}
+
+Connection::Io Connection::on_readable(std::vector<Bytes>& frames,
+                                       SteadyClock::time_point now) {
+  std::array<std::uint8_t, 16384> chunk;
+  std::size_t reads = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), chunk.data(), chunk.size(), 0);
+    if (n > 0) {
+      last_read_progress_ = now;
+      try {
+        decoder_.feed(
+            std::span<const std::uint8_t>(chunk.data(),
+                                          static_cast<std::size_t>(n)));
+        while (auto frame = decoder_.next()) {
+          ++frames_received;
+          saw_frame = true;
+          frames.push_back(std::move(*frame));
+        }
+      } catch (const LppaError&) {
+        return Io::kProtocolError;  // desynchronised framing
+      }
+      if (++reads >= limits_.max_reads_per_burst) return Io::kOk;
+      continue;
+    }
+    if (n == 0) return Io::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Io::kOk;
+    if (errno == EINTR) continue;
+    return Io::kClosed;  // ECONNRESET and friends
+  }
+}
+
+Connection::Io Connection::on_writable(SteadyClock::time_point now) {
+  while (!write_queue_.empty()) {
+    const Bytes& front = write_queue_.front();
+    const std::size_t remaining = front.size() - write_offset_;
+    const ssize_t n = ::send(fd_.get(), front.data() + write_offset_,
+                             remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_offset_ += static_cast<std::size_t>(n);
+      queued_bytes_ -= static_cast<std::size_t>(n);
+      if (write_offset_ == front.size()) {
+        write_queue_.pop_front();
+        write_offset_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (write_blocked_since_ == SteadyClock::time_point{}) {
+        write_blocked_since_ = now;
+      }
+      return Io::kOk;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Io::kClosed;  // EPIPE / ECONNRESET
+  }
+  write_blocked_since_ = SteadyClock::time_point{};
+  return Io::kOk;
+}
+
+bool Connection::enqueue(Bytes frame) {
+  if (queued_bytes_ + frame.size() > limits_.max_write_queue_bytes) {
+    return false;
+  }
+  queued_bytes_ += frame.size();
+  write_queue_.push_back(std::move(frame));
+  return true;
+}
+
+bool Connection::read_deadline_expired(SteadyClock::time_point now) const {
+  // Owed bytes: a partially buffered frame, or no complete frame yet
+  // (a connection that never says anything is the classic slow-loris).
+  const bool peer_owes_bytes = decoder_.buffered() > 0 || !saw_frame;
+  return peer_owes_bytes &&
+         now - last_read_progress_ > limits_.read_deadline;
+}
+
+bool Connection::write_deadline_expired(SteadyClock::time_point now) const {
+  return write_blocked_since_ != SteadyClock::time_point{} &&
+         now - write_blocked_since_ > limits_.write_deadline;
+}
+
+}  // namespace lppa::net

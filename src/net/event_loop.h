@@ -1,0 +1,43 @@
+// Thin epoll wrapper: the readiness engine under the server and the
+// client pool.
+//
+// Level-triggered deliberately: the connection code reads/writes until
+// EAGAIN anyway, and level triggering means a frame left half-processed
+// (e.g. the per-burst fairness cap fired) is re-reported on the next
+// wait() instead of being lost until more bytes arrive — simpler to
+// reason about under fault injection than edge-triggered wakeup rules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace lppa::net {
+
+class EventLoop {
+ public:
+  struct Event {
+    std::uint64_t token = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< EPOLLHUP / EPOLLERR / EPOLLRDHUP
+  };
+
+  EventLoop();
+
+  /// Registers `fd` under `token` (returned verbatim in events).
+  void add(int fd, std::uint64_t token, bool want_read, bool want_write);
+  void mod(int fd, std::uint64_t token, bool want_read, bool want_write);
+  /// Unregisters; tolerates an fd that was already closed.
+  void del(int fd) noexcept;
+
+  /// Blocks up to timeout_ms (0 = poll, <0 = forever) and fills `out`.
+  /// EINTR retries internally.
+  void wait(int timeout_ms, std::vector<Event>& out);
+
+ private:
+  Fd epoll_;
+};
+
+}  // namespace lppa::net

@@ -1,0 +1,79 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace lppa::net {
+
+// The header is read with memcpy in host order and written through
+// ByteWriter's explicit little-endian encoding; they only agree on LE
+// hosts (every deployment target of this repo).
+static_assert(std::endian::native == std::endian::little,
+              "frame header decoding assumes a little-endian host");
+
+Bytes encode_frame(std::span<const std::uint8_t> payload) {
+  LPPA_REQUIRE(!payload.empty(), "frame payload must be non-empty");
+  LPPA_REQUIRE(payload.size() <= kMaxFramePayload,
+               "frame payload exceeds kMaxFramePayload");
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  return w.take();
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> chunk) {
+  LPPA_REQUIRE(!poisoned_, "feeding a poisoned FrameDecoder; reset() first");
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+}
+
+std::optional<Bytes> FrameDecoder::next() {
+  LPPA_PROTOCOL_CHECK(!poisoned_, "frame stream lost sync earlier");
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return std::nullopt;
+
+  const auto rd32 = [&](std::size_t at) {
+    std::uint32_t v;
+    std::memcpy(&v, buf_.data() + at, sizeof v);
+    return v;  // little-endian host; matches ByteWriter::u32
+  };
+  const std::uint32_t magic = rd32(pos_);
+  if (magic != kFrameMagic) {
+    poisoned_ = true;
+    LPPA_PROTOCOL_CHECK(false, "bad frame magic: stream desynchronised");
+  }
+  const std::uint32_t length = rd32(pos_ + 4);
+  if (length == 0 || length > kMaxFramePayload) {
+    poisoned_ = true;
+    LPPA_PROTOCOL_CHECK(false, "frame length out of range");
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + length) {
+    // Incomplete payload; compact the consumed prefix away so a
+    // long-lived connection does not grow its buffer without bound.
+    if (pos_ > 0) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+    return std::nullopt;
+  }
+
+  Bytes payload(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ +
+                                                           kFrameHeaderBytes),
+                buf_.begin() + static_cast<std::ptrdiff_t>(
+                                   pos_ + kFrameHeaderBytes + length));
+  pos_ += kFrameHeaderBytes + length;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return payload;
+}
+
+void FrameDecoder::reset() noexcept {
+  buf_.clear();
+  pos_ = 0;
+  poisoned_ = false;
+}
+
+}  // namespace lppa::net

@@ -1,0 +1,78 @@
+// Length-prefixed socket framing for Envelope bytes.
+//
+// A socket stream has no message boundaries: a nonblocking read can
+// return half a header, a frame and a half, or one byte.  The frame
+// layer restores boundaries with an 8-byte header:
+//
+//   u32 magic    0x4150504C ("LPPA" when read as little-endian bytes)
+//   u32 length   payload byte count, 1..kMaxFramePayload
+//   payload      one proto::Envelope
+//
+// The payload's integrity is covered by the Envelope's own trailing
+// 4-byte SHA-256 frame checksum (proto/messages.h) — the frame header
+// adds no second checksum, it only adds sync (magic) and extent
+// (length).  A flipped payload bit therefore still yields a
+// structurally complete frame whose *Envelope* parse fails with
+// LppaError(kProtocol); a damaged header desynchronises the stream and
+// fails at the frame layer instead.  docs/PROTOCOL.md documents the
+// full layout.
+//
+// FrameDecoder is an incremental state machine: feed() accepts
+// arbitrary chunk boundaries (every prefix and every split of a valid
+// frame is legal input — pinned exhaustively by net_frame_test), next()
+// yields completed payloads.  Malformed framing (bad magic, zero or
+// oversized length) throws LppaError(kProtocol) and poisons the
+// decoder: once sync is lost nothing later on the same byte stream is
+// trustworthy, so every subsequent next() keeps throwing until reset().
+// No partial state leaks across either path — a frame is returned only
+// whole, and reset() restores a freshly-constructed decoder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace lppa::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4150504Cu;  // "LPPA"
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Generous ceiling: the largest legitimate payload (a full-scale bid
+/// submission) is tens of KiB; anything near this bound is an attack or
+/// a desynchronised stream, and rejecting it caps per-connection memory.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 22;  // 4 MiB
+
+/// Wraps `payload` (one serialized Envelope) in a frame header.
+Bytes encode_frame(std::span<const std::uint8_t> payload);
+
+class FrameDecoder {
+ public:
+  /// Appends a chunk of stream bytes.  Accepts any chunking, including
+  /// single bytes.  Throws LppaError(kState) on a poisoned decoder —
+  /// feeding a desynchronised stream is a caller bug.
+  void feed(std::span<const std::uint8_t> chunk);
+
+  /// Extracts the next complete payload, or nullopt when the buffered
+  /// bytes end mid-header or mid-payload.  Throws LppaError(kProtocol)
+  /// on bad magic or an out-of-range length (and on every later call
+  /// until reset()).
+  std::optional<Bytes> next();
+
+  /// Bytes buffered but not yet returned as frames.  0 after the stream
+  /// ended exactly on a frame boundary — the "no partial state" check.
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+  /// True once a framing error fired; only reset() clears it.
+  bool poisoned() const noexcept { return poisoned_; }
+
+  /// Restores the freshly-constructed state (empty buffer, not
+  /// poisoned).  The only way to reuse a decoder after sync loss.
+  void reset() noexcept;
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace lppa::net

@@ -1,0 +1,533 @@
+#include "net/server.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "proto/journal.h"
+
+namespace lppa::net {
+
+namespace {
+
+constexpr std::uint64_t kListenerToken = 0;
+
+std::uint8_t missing_mask(const proto::AuctioneerSession& session,
+                          std::size_t u) {
+  return static_cast<std::uint8_t>(
+      (session.has_location(u) ? 0 : proto::RetransmitRequest::kLocation) |
+      (session.has_bid(u) ? 0 : proto::RetransmitRequest::kBid));
+}
+
+Bytes make_nack_frame(std::uint8_t mask) {
+  proto::Envelope nack;
+  nack.type = proto::MessageType::kRetransmitRequest;
+  proto::RetransmitRequest request;
+  request.mask = mask;
+  nack.payload = request.serialize();
+  return encode_frame(nack.serialize());
+}
+
+Bytes make_ack_frame(std::uint64_t su, std::uint8_t mask) {
+  proto::Envelope ack;
+  ack.type = proto::MessageType::kSubmissionAck;
+  ack.sender = su;
+  proto::SubmissionAck body;
+  body.mask = mask;
+  ack.payload = body.serialize();
+  return encode_frame(ack.serialize());
+}
+
+}  // namespace
+
+struct AuctioneerServer::Peer {
+  Connection conn;
+  bool doomed = false;  ///< marked for eviction after the current batch
+
+  Peer(Fd fd, std::uint64_t id, const TransportLimits& limits,
+       SteadyClock::time_point now)
+      : conn(std::move(fd), id, limits, now) {}
+};
+
+AuctioneerServer::AuctioneerServer(
+    const core::LppaConfig& config, std::size_t num_users,
+    ServerConfig& server_config, SocketRoundOptions round,
+    std::vector<bool> participating, core::TrustedThirdParty& ttp,
+    std::uint64_t seed, proto::RoundJournal* journal,
+    proto::RoundReport* report, proto::CrashInjector* crashes,
+    std::size_t start_ticks)
+    : config_(config), num_users_(num_users), server_config_(server_config),
+      round_(round), participating_(std::move(participating)), seed_(seed),
+      journal_(journal), report_(report), crashes_(crashes),
+      start_ticks_(start_ticks), ttp_service_(ttp),
+      session_(config, num_users), endpoint_(server_config.endpoint),
+      pool_(1) {
+  LPPA_REQUIRE(journal_ != nullptr && report_ != nullptr,
+               "server needs a journal and a report");
+  LPPA_REQUIRE(participating_.size() == num_users_,
+               "participating mask must cover every SU");
+  LPPA_REQUIRE(round_.min_quorum >= 1,
+               "a round needs a quorum of at least 1");
+  LPPA_REQUIRE(server_config_.tick.count() > 0, "tick must be positive");
+
+  // Crash recovery: rebuild the session from the journal, then attach it
+  // (replay must not re-journal what is already durable).
+  wave_ = proto::replay_session_journal(*journal_, session_, num_users_,
+                                        *report_);
+  session_.attach_journal(journal_);
+  if (journal_->empty()) journal_->append_round_start(num_users_);
+
+  listener_ = listen_on(endpoint_, server_config_.listen_backlog);
+  server_config.endpoint = endpoint_;  // ephemeral port resolved
+  loop_.add(listener_.get(), kListenerToken, /*want_read=*/true,
+            /*want_write=*/false);
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+AuctioneerServer::~AuctioneerServer() {
+  stop();
+  if (thread_.joinable()) thread_.join();
+  // Members now tear down in reverse order; pool_.stop() (via its
+  // destructor) runs only after the loop thread is gone, and the
+  // stopped-pool inline fallback covers any other pool user racing us.
+}
+
+void AuctioneerServer::stop() { stop_requested_.store(true); }
+
+AuctioneerServer::Status AuctioneerServer::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+AuctioneerServer::Status AuctioneerServer::await_terminal() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  status_cv_.wait(lock, [this] { return status_ != Status::kRunning; });
+  return status_;
+}
+
+void AuctioneerServer::rethrow_failure() {
+  std::exception_ptr failure;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failure = failure_;
+  }
+  if (failure) std::rethrow_exception(failure);
+  throw LppaError(ErrorKind::kState, "server failed without a stored error");
+}
+
+void AuctioneerServer::set_status(Status s) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // First terminal status wins: a publish followed by the stop-path
+    // sweep must not demote kPublished to kFailed.
+    if (status_ != Status::kRunning) return;
+    status_ = s;
+  }
+  status_cv_.notify_all();
+}
+
+std::size_t AuctioneerServer::ticks_now(SteadyClock::time_point now) const {
+  const auto elapsed = now - started_at_;
+  return start_ticks_ +
+         static_cast<std::size_t>(elapsed / server_config_.tick);
+}
+
+void AuctioneerServer::run_loop() {
+  try {
+    loop_body();
+    set_status(Status::kFailed);  // stopped before the round completed
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!failure_) {
+      failure_ = std::make_exception_ptr(LppaError(
+          ErrorKind::kState, "server stopped before the round completed"));
+    }
+  } catch (const proto::CrashSignal&) {
+    // The auctioneer process "died": in-memory session lost, journal
+    // survives, every peer sees an RST — exactly what a kernel cleaning
+    // up a dead process would send.
+    ticks_used_ = ticks_now(SteadyClock::now());
+    close_all_abortive();
+    set_status(Status::kCrashed);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      failure_ = std::current_exception();
+    }
+    ticks_used_ = ticks_now(SteadyClock::now());
+    close_all_abortive();
+    set_status(Status::kFailed);
+  }
+}
+
+void AuctioneerServer::loop_body() {
+  obs::MetricsRegistry* const m = server_config_.metrics;
+  started_at_ = SteadyClock::now();
+  next_wave_at_ =
+      started_at_ + 2 * round_.hardened.backoff_ticks(wave_) *
+                        server_config_.tick;
+
+  // A restart that already committed admission (or allocation) goes
+  // straight back to the protocol tail; reconnecting peers only ever
+  // redeliver, which dedupes.
+  if (session_.admission_closed()) {
+    admission_open_ = false;
+    commit_round();
+  }
+
+  std::vector<EventLoop::Event> events;
+  std::vector<Bytes> frames;
+  std::vector<std::optional<proto::Envelope>> parsed;
+  auto last_deadline_scan = started_at_;
+
+  while (!stop_requested_.load()) {
+    int timeout_ms = 20;
+    if (admission_open_) {
+      const auto now = SteadyClock::now();
+      const auto until_wave = std::chrono::duration_cast<
+          std::chrono::milliseconds>(next_wave_at_ - now).count();
+      timeout_ms = static_cast<int>(std::clamp<long long>(until_wave, 0, 20));
+    }
+    loop_.wait(timeout_ms, events);
+    const auto now = SteadyClock::now();
+
+    bool accepted_any = false;
+    for (const EventLoop::Event& ev : events) {
+      if (ev.token == kListenerToken) {
+        for (;;) {
+          Fd fd = accept_on(listener_.get());
+          if (!fd.valid()) break;
+          if (peers_.size() >= server_config_.max_connections) {
+            // Admission control: over the cap, close on sight.
+            if (m != nullptr) m->counter("net.admission_rejected").inc();
+            continue;  // fd destructor closes
+          }
+          const std::uint64_t id = next_conn_id_++;
+          loop_.add(fd.get(), id, /*want_read=*/true, /*want_write=*/false);
+          peers_.emplace(id, std::make_unique<Peer>(std::move(fd), id,
+                                                    server_config_.limits,
+                                                    now));
+          if (m != nullptr) {
+            m->counter("net.accepted").inc();
+            m->gauge("net.connections")
+                .set(static_cast<double>(peers_.size()));
+          }
+        }
+        continue;
+      }
+
+      auto it = peers_.find(ev.token);
+      if (it == peers_.end()) continue;  // evicted earlier this batch
+      Peer& peer = *it->second;
+
+      if (ev.readable || ev.hangup) {
+        frames.clear();
+        const Connection::Io io = peer.conn.on_readable(frames, now);
+        if (!frames.empty()) {
+          // Envelope parsing (a SHA-256 per frame) fans out over the
+          // server's pool; results land in index-addressed slots so the
+          // schedule is irrelevant.
+          parsed.assign(frames.size(), std::nullopt);
+          const std::size_t workers =
+              std::min(frames.size() >= 4 ? pool_.worker_count() + 1 : 1,
+                       frames.size());
+          pool_.run(workers, [&](std::size_t w) {
+            for (std::size_t i = w; i < frames.size(); i += workers) {
+              try {
+                parsed[i] = proto::Envelope::deserialize(frames[i]);
+              } catch (const LppaError&) {
+              }
+            }
+          });
+          for (std::size_t i = 0; i < frames.size(); ++i) {
+            if (m != nullptr) m->counter("net.frames_in").inc();
+            if (peer.conn.frames_received > server_config_.max_frames_per_conn) {
+              peer.doomed = true;
+              if (m != nullptr) m->counter("net.evicted_budget").inc();
+              break;
+            }
+            handle_frame(peer, frames[i], parsed[i], now);
+            accepted_any = true;
+            if (peer.doomed) break;
+          }
+        }
+        if (peer.doomed) {
+          evict(ev.token, /*abortive=*/false, "budget/backpressure");
+          continue;
+        }
+        if (io == Connection::Io::kProtocolError) {
+          if (m != nullptr) m->counter("net.protocol_errors").inc();
+          ++report_->rejected_messages;
+          evict(ev.token, /*abortive=*/false, "protocol");
+          continue;
+        }
+        if (io == Connection::Io::kClosed) {
+          evict(ev.token, /*abortive=*/false, "closed");
+          continue;
+        }
+      }
+      if (ev.writable) {
+        if (peer.conn.on_writable(now) == Connection::Io::kClosed) {
+          evict(ev.token, /*abortive=*/false, "closed");
+          continue;
+        }
+      }
+      loop_.mod(peer.conn.fd(), ev.token, /*want_read=*/true,
+                peer.conn.wants_write());
+    }
+
+    // Completing the submission set closes admission without waiting for
+    // the next wave timer.
+    if (admission_open_ && accepted_any) {
+      bool any_missing = false;
+      for (const std::size_t u : session_.missing_users()) {
+        if (participating_[u]) {
+          any_missing = true;
+          break;
+        }
+      }
+      if (!any_missing) {
+        admission_open_ = false;
+        commit_round();
+      }
+    }
+
+    if (admission_open_) drive_admission_timers(now);
+
+    // Slow-loris / slow-reader sweep, amortised to 20 Hz.
+    if (now - last_deadline_scan > std::chrono::milliseconds(50)) {
+      last_deadline_scan = now;
+      std::vector<std::uint64_t> expired;
+      for (const auto& [id, peer] : peers_) {
+        if (peer->conn.read_deadline_expired(now) ||
+            peer->conn.write_deadline_expired(now)) {
+          expired.push_back(id);
+        }
+      }
+      for (const std::uint64_t id : expired) {
+        if (m != nullptr) m->counter("net.evicted_deadline").inc();
+        evict(id, /*abortive=*/false, "deadline");
+      }
+    }
+  }
+  ticks_used_ = std::max(ticks_used_, ticks_now(SteadyClock::now()));
+}
+
+void AuctioneerServer::handle_frame(Peer& peer, const Bytes& frame,
+                                    const std::optional<proto::Envelope>& env,
+                                    SteadyClock::time_point now) {
+  // Published: the only service left is handing out the announcement —
+  // any frame from any peer (a late joiner, a client that lost the
+  // broadcast to a reset) is answered with it.
+  if (!announcement_.empty()) {
+    send_to_peer(peer, encode_frame(announcement_), now);
+    return;
+  }
+
+  const bool is_submission =
+      env.has_value() &&
+      (env->type == proto::MessageType::kLocationSubmission ||
+       env->type == proto::MessageType::kBidSubmission);
+
+  switch (session_.try_ingest(frame)) {
+    case proto::AuctioneerSession::IngestResult::kAccepted:
+      if (crashes_ != nullptr) {
+        crashes_->checkpoint(proto::CrashPoint::kAfterIngest);
+      }
+      break;
+    case proto::AuctioneerSession::IngestResult::kDuplicateRedelivery:
+      ++report_->duplicate_redeliveries;
+      break;
+    case proto::AuctioneerSession::IngestResult::kRejected:
+    case proto::AuctioneerSession::IngestResult::kEquivocation:
+      ++report_->rejected_messages;
+      return;  // no binding, no ack for garbage
+  }
+
+  if (!is_submission || env->sender >= num_users_) return;
+  const auto su = static_cast<std::size_t>(env->sender);
+
+  // (Re)bind the SU to this connection: nacks and the announcement go to
+  // the latest socket the SU spoke on.  Duplicates rebind too — after a
+  // server restart the redelivered bytes are how a reconnecting client
+  // re-identifies itself.
+  peer.conn.bound_su = su;
+  su_conn_[su] = peer.conn.id();
+
+  if (server_config_.ack_submissions) {
+    // Acked for accepted AND duplicate outcomes: under at-least-once
+    // delivery the client may be waiting on the ack of a redelivery.
+    const std::uint8_t mask =
+        env->type == proto::MessageType::kLocationSubmission
+            ? proto::RetransmitRequest::kLocation
+            : proto::RetransmitRequest::kBid;
+    send_to_peer(peer, make_ack_frame(env->sender, mask), now);
+  }
+}
+
+void AuctioneerServer::send_to_peer(Peer& peer, Bytes frame,
+                                    SteadyClock::time_point now) {
+  obs::MetricsRegistry* const m = server_config_.metrics;
+  if (!peer.conn.enqueue(std::move(frame))) {
+    // Backpressure bound hit: the peer is not draining; evict rather
+    // than buffer without limit.
+    peer.doomed = true;
+    if (m != nullptr) m->counter("net.evicted_backpressure").inc();
+    return;
+  }
+  if (m != nullptr) m->counter("net.frames_out").inc();
+  peer.conn.on_writable(now);  // opportunistic flush; EAGAIN just parks
+}
+
+void AuctioneerServer::evict(std::uint64_t id, bool abortive,
+                             const char* /*why*/) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  Peer& peer = *it->second;
+  loop_.del(peer.conn.fd());
+  if (abortive) arm_abortive_close(peer.conn.fd());
+  if (peer.conn.bound_su.has_value()) {
+    auto bound = su_conn_.find(*peer.conn.bound_su);
+    if (bound != su_conn_.end() && bound->second == id) su_conn_.erase(bound);
+  }
+  peers_.erase(it);
+  if (server_config_.metrics != nullptr) {
+    server_config_.metrics->gauge("net.connections")
+        .set(static_cast<double>(peers_.size()));
+  }
+}
+
+void AuctioneerServer::close_all_abortive() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) ids.push_back(id);
+  for (const std::uint64_t id : ids) evict(id, /*abortive=*/true, "crash");
+  listener_ = Fd();  // stop accepting; the driver rebinds on restart
+}
+
+void AuctioneerServer::drive_admission_timers(SteadyClock::time_point now) {
+  if (now < next_wave_at_) return;
+  obs::MetricsRegistry* const m = server_config_.metrics;
+
+  std::vector<std::size_t> missing;
+  for (const std::size_t u : session_.missing_users()) {
+    if (participating_[u]) missing.push_back(u);
+  }
+  if (missing.empty()) {
+    admission_open_ = false;
+    commit_round();
+    return;
+  }
+  const std::size_t ticks = ticks_now(now);
+  if (round_.deadline_ticks > 0 && ticks >= round_.deadline_ticks) {
+    // Deadline gone (typically eaten by recoveries): commit with the
+    // quorum of journaled submissions instead of waiting out the waves.
+    report_->degraded = true;
+    admission_open_ = false;
+    commit_round();
+    return;
+  }
+  if (wave_ >= round_.hardened.max_retries) {
+    admission_open_ = false;
+    commit_round();
+    return;
+  }
+
+  report_->retry_waves = std::max(report_->retry_waves, wave_ + 1);
+  for (const std::size_t u : missing) {
+    const std::uint8_t mask = missing_mask(session_, u);
+    journal_->append_nack(u, mask, wave_);
+    if (m != nullptr) m->counter("net.nacks").inc();
+    const auto bound = su_conn_.find(u);
+    if (bound == su_conn_.end()) continue;  // not (re)connected yet
+    const auto it = peers_.find(bound->second);
+    if (it == peers_.end()) continue;
+    Peer& peer = *it->second;
+    send_to_peer(peer, make_nack_frame(mask), now);
+    if (peer.doomed) {
+      evict(bound->second, /*abortive=*/false, "backpressure");
+    } else {
+      loop_.mod(peer.conn.fd(), peer.conn.id(), /*want_read=*/true,
+                peer.conn.wants_write());
+    }
+  }
+  next_wave_at_ =
+      now + 2 * round_.hardened.backoff_ticks(wave_) * server_config_.tick;
+  ++wave_;
+}
+
+void AuctioneerServer::commit_round() {
+  obs::MetricsRegistry* const m = server_config_.metrics;
+
+  if (!session_.allocation_done()) {
+    session_.finalize_participants(*report_);
+    LPPA_PROTOCOL_CHECK(
+        session_.participants().size() >= round_.min_quorum,
+        "round below quorum: " + std::to_string(round_.min_quorum) +
+            " participants required");
+    if (crashes_ != nullptr) {
+      crashes_->checkpoint(proto::CrashPoint::kAfterFinalize);
+    }
+
+    // Same allocation stream as every bus attempt: rebuild the generator
+    // from the seed and discard the SU-side fork the driver spent.
+    Rng master(seed_);
+    (void)master.fork();
+    session_.run_allocation(master);
+    if (crashes_ != nullptr) {
+      crashes_->checkpoint(proto::CrashPoint::kAfterAllocation);
+    }
+  }
+
+  // Charging against the co-located TTP service.  The budget check stays
+  // (parity with the bus driver's loop shape) even though the in-process
+  // call cannot lose batches.
+  const std::vector<Bytes> queries = session_.charge_query_envelopes();
+  while (!session_.charging_complete()) {
+    LPPA_PROTOCOL_CHECK(
+        report_->charge_attempts < round_.hardened.max_charge_attempts,
+        "TTP unreachable: charging incomplete after retry budget");
+    ++report_->charge_attempts;
+    for (const Bytes& query : queries) {
+      session_.ingest_charge_results(ttp_service_.handle(query));
+      if (crashes_ != nullptr) {
+        crashes_->checkpoint(proto::CrashPoint::kAfterChargeCommit);
+      }
+    }
+  }
+
+  if (crashes_ != nullptr) {
+    crashes_->checkpoint(proto::CrashPoint::kBeforePublish);
+  }
+  journal_->append(proto::JournalRecordType::kCommitted);
+
+  announcement_ = session_.winner_announcement();
+  report_->completed = true;
+  report_->journal_records = journal_->num_records();
+  report_->journal_bytes = journal_->data().size();
+  const auto now = SteadyClock::now();
+  ticks_used_ = ticks_now(now);
+  if (m != nullptr) m->counter("net.published_rounds").inc();
+  set_status(Status::kPublished);
+
+  // Push the announcement to every open connection — it is the public
+  // broadcast the bus delivers to everyone, including SUs the round
+  // excluded (whose connections may never have identified themselves).
+  // Anyone not connected right now gets it as the reply to their next
+  // frame.
+  const Bytes frame = encode_frame(announcement_);
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, peer_ptr] : peers_) {
+    Peer& peer = *peer_ptr;
+    send_to_peer(peer, frame, now);
+    if (peer.doomed) {
+      doomed.push_back(id);
+    } else {
+      loop_.mod(peer.conn.fd(), peer.conn.id(), /*want_read=*/true,
+                peer.conn.wants_write());
+    }
+  }
+  for (const std::uint64_t id : doomed) {
+    evict(id, /*abortive=*/false, "backpressure");
+  }
+}
+
+}  // namespace lppa::net

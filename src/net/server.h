@@ -1,0 +1,196 @@
+// AuctioneerServer: the auctioneer side of the LPPA round over real
+// sockets.
+//
+// One epoll thread multiplexes every SU connection into a single
+// AuctioneerSession — the session code is unchanged from the in-process
+// bus path; this layer only moves bytes.  The round logic mirrors
+// proto::run_recoverable_wire_auction wave for wave, with the bus's
+// logical clock mapped onto wall time (one tick = ServerConfig::tick),
+// so a socket round at seed S commits byte-identical awards, charges
+// and announcement to a bus round at seed S (net_session_test pins
+// this, including under crash and fault injection).
+//
+// Robustness posture (docs/robustness.md has the full state machine):
+//   * admission control — at most max_connections peers; excess accepts
+//     are closed on sight, and a per-connection frame budget bounds what
+//     any one peer can make us parse;
+//   * backpressure — per-connection write queues are bounded; a peer
+//     that will not drain its socket is evicted, never buffered without
+//     limit;
+//   * slow-loris — read/write progress deadlines (TransportLimits);
+//   * crashes — a CrashInjector checkpoint firing anywhere in the round
+//     tears the server down abortively (RST to every peer), exactly like
+//     a process death; the driver rebuilds a new server from the
+//     journal, and reconnecting clients redeliver already-sent bytes
+//     which dedupe as benign.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "proto/parties.h"
+#include "proto/session.h"
+
+namespace lppa::net {
+
+/// Transport-side server policy; the round-side policy (retries,
+/// deadline, quorum) lives in SocketRoundOptions.
+struct ServerConfig {
+  Endpoint endpoint = Endpoint::tcp_loopback();
+  /// Admission control: peers accepted concurrently; everyone past the
+  /// cap is closed immediately after accept.
+  std::size_t max_connections = 2048;
+  /// Admission control: total frames one connection may deliver before
+  /// it is evicted (valid or not — parsing is the resource defended).
+  std::size_t max_frames_per_conn = 64;
+  /// listen(2) backlog.  Size it to the expected connect burst: SYNs
+  /// past the backlog are dropped and the peers retry on multi-second
+  /// retransmission timers, which serialises what should be a stampede.
+  /// The kernel clamps this to net.core.somaxconn.
+  int listen_backlog = 256;
+  TransportLimits limits;
+  /// Wall-clock duration of one logical bus tick: backoff waves, round
+  /// deadlines and fault delays are all specified in ticks and scheduled
+  /// on this clock (see the mapping note in proto/fault.h).
+  std::chrono::microseconds tick{1000};
+  /// When true the server answers every accepted (or benignly duplicate)
+  /// submission with a kSubmissionAck frame — bench/loadgen uses it to
+  /// measure end-to-end submit latency.
+  bool ack_submissions = false;
+  obs::MetricsRegistry* metrics = nullptr;  ///< not owned; may be null
+};
+
+/// Round policy, mirroring proto::RecoverableSessionConfig field for
+/// field (ticks mean wall ticks here, bus ticks there).
+struct SocketRoundOptions {
+  proto::HardenedSessionConfig hardened;
+  std::size_t deadline_ticks = 0;  ///< 0 disables the round deadline
+  std::size_t min_quorum = 1;
+  std::size_t recovery_cost_ticks = 1;
+};
+
+class AuctioneerServer {
+ public:
+  enum class Status : std::uint8_t {
+    kRunning,    ///< round in progress
+    kPublished,  ///< announcement committed; serving it to late clients
+    kCrashed,    ///< CrashSignal fired; rebuild from the journal
+    kFailed,     ///< unrecoverable error (quorum, bind, ...) — rethrown
+  };
+
+  /// Builds the auctioneer for one round attempt.  Replays `journal`
+  /// into a fresh session (crash recovery; an empty journal starts the
+  /// round), binds the listen socket (rewriting an ephemeral TCP port
+  /// into `server_config.endpoint` — pass the same resolved endpoint to
+  /// every restart so clients can reconnect), and spawns the epoll
+  /// thread.  `participating[u]` == false marks SU u as a known
+  /// non-participant (never nacked, never awaited).  `start_ticks` seeds
+  /// the round clock — the driver accumulates recovery costs there.
+  /// None of the pointer parameters are owned; journal/report/crashes
+  /// must outlive the server, and `report` is only driver-readable after
+  /// a terminal status.
+  AuctioneerServer(const core::LppaConfig& config, std::size_t num_users,
+                   ServerConfig& server_config, SocketRoundOptions round,
+                   std::vector<bool> participating,
+                   core::TrustedThirdParty& ttp, std::uint64_t seed,
+                   proto::RoundJournal* journal, proto::RoundReport* report,
+                   proto::CrashInjector* crashes, std::size_t start_ticks);
+
+  /// Stops the loop (if still running) and joins.  Deterministic with
+  /// frames still queued: the loop thread is stopped FIRST (so nothing
+  /// new is produced), then pool_.stop() drains — and thanks to
+  /// ThreadPool's stopped-pool inline fallback the teardown cannot hang
+  /// even if a straggling drain races the pool shutdown.
+  ~AuctioneerServer();
+
+  AuctioneerServer(const AuctioneerServer&) = delete;
+  AuctioneerServer& operator=(const AuctioneerServer&) = delete;
+
+  /// The endpoint clients should dial (ephemeral port resolved).
+  const Endpoint& endpoint() const noexcept { return endpoint_; }
+
+  Status status() const;
+  /// Blocks until the status leaves kRunning and returns it.
+  Status await_terminal();
+  /// Rethrows the stored error after a kFailed status.
+  [[noreturn]] void rethrow_failure();
+
+  /// Asks the loop to exit (idempotent; the destructor calls it).
+  void stop();
+
+  /// Ticks consumed by this attempt (start_ticks + elapsed wall time /
+  /// tick); meaningful after a terminal status.
+  std::size_t ticks_used() const noexcept { return ticks_used_; }
+
+ private:
+  struct Peer;
+
+  void run_loop();
+  void loop_body();  ///< throws CrashSignal / LppaError out to run_loop
+  void handle_frame(Peer& peer, const Bytes& frame,
+                    const std::optional<proto::Envelope>& env,
+                    SteadyClock::time_point now);
+  void send_to_peer(Peer& peer, Bytes frame, SteadyClock::time_point now);
+  void evict(std::uint64_t id, bool abortive, const char* why);
+  void close_all_abortive();
+  void drive_admission_timers(SteadyClock::time_point now);
+  void commit_round();  ///< finalize → allocate → charge → publish
+  std::size_t ticks_now(SteadyClock::time_point now) const;
+  void set_status(Status s);
+
+  // --- immutable configuration ------------------------------------------
+  core::LppaConfig config_;
+  std::size_t num_users_;
+  ServerConfig server_config_;
+  SocketRoundOptions round_;
+  std::vector<bool> participating_;
+  std::uint64_t seed_;
+  proto::RoundJournal* journal_;
+  proto::RoundReport* report_;
+  proto::CrashInjector* crashes_;
+  std::size_t start_ticks_;
+  proto::TtpService ttp_service_;
+
+  // --- loop-thread state (only touched by the epoll thread after
+  // construction) ---------------------------------------------------------
+  proto::AuctioneerSession session_;
+  std::size_t wave_ = 0;
+  Endpoint endpoint_;
+  Fd listener_;
+  EventLoop loop_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;
+  /// Last bound connection per SU — where nacks / acks / the
+  /// announcement go.  A reconnect rebinds the SU to its new connection.
+  std::unordered_map<std::size_t, std::uint64_t> su_conn_;
+  std::uint64_t next_conn_id_ = 1;
+  SteadyClock::time_point started_at_;
+  SteadyClock::time_point next_wave_at_;
+  bool admission_open_ = true;
+  Bytes announcement_;
+  std::size_t ticks_used_ = 0;
+
+  /// Parses drained frame batches in parallel (Envelope checksums are
+  /// the per-frame cost).  Owned by the server so the shutdown ordering
+  /// is explicit — see ~AuctioneerServer.
+  ThreadPool pool_;
+
+  // --- cross-thread coordination -----------------------------------------
+  mutable std::mutex mutex_;
+  std::condition_variable status_cv_;
+  Status status_ = Status::kRunning;
+  std::exception_ptr failure_;
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace lppa::net

@@ -1,0 +1,73 @@
+// Socket ports of the hardened / recoverable wire-auction drivers.
+//
+// These are the src/net twins of proto::run_hardened_wire_auction and
+// proto::run_recoverable_wire_auction: the same round semantics — nack
+// waves under exponential backoff, strike/equivocation bookkeeping,
+// deadline-quorum degradation, write-ahead journal recovery after a
+// mid-round auctioneer crash — but with every SU↔auctioneer message
+// travelling through a real nonblocking socket (TCP loopback or
+// Unix-domain) instead of the in-process MessageBus.
+//
+// The invariant the tests pin: at the same seed, the socket round
+// commits byte-identical awards, charges and announcement to the bus
+// round — clean, under socket-level fault injection
+// (SocketFaultInjector), and across auctioneer crashes at every
+// CrashPoint — and the SUs never rebuild an envelope
+// (SocketAuctionResult::envelopes_built counts exactly one
+// location+bid build per participant, however many times the bytes were
+// redelivered).
+#pragma once
+
+#include "net/client.h"
+#include "net/server.h"
+
+namespace lppa::net {
+
+struct SocketAuctionResult {
+  std::vector<auction::Award> awards;
+  proto::RoundReport report;
+  /// The durable journal at round commit.
+  Bytes journal;
+  /// The published kWinnerAnnouncement envelope bytes, as every SU
+  /// received them over its socket.
+  Bytes announcement;
+  /// Location/bid envelope constructions performed — exactly
+  /// 2 × participants when the zero-resubmission invariant holds.
+  std::size_t envelopes_built = 0;
+  /// Client connection attempts after a loss (faults, evictions,
+  /// crashes); 0 on a clean run.
+  std::size_t reconnects = 0;
+  /// Transport fault totals (zero when no injector was attached).
+  SocketFaultCounters socket_faults;
+};
+
+/// Runs one crash-tolerant auction round over sockets.  `server_config`
+/// is taken by value; its endpoint may name an ephemeral port (0) —
+/// the resolved endpoint is what the internal restarts rebind.  Pass a
+/// CrashInjector to kill the auctioneer at its checkpoints, a
+/// SocketFaultInjector to mangle client traffic, and `exclude` for SUs
+/// that sit the round out (their RNG streams are still consumed — same
+/// contract as the bus drivers).
+SocketAuctionResult run_recoverable_socket_auction(
+    const core::LppaConfig& config, core::TrustedThirdParty& ttp,
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<auction::BidVector>& bids, std::uint64_t seed,
+    ServerConfig server_config, SocketRoundOptions round = {},
+    proto::CrashInjector* crashes = nullptr,
+    SocketFaultInjector* faults = nullptr,
+    const std::vector<std::size_t>& exclude = {});
+
+/// The hardened (crash-free) socket round: exactly
+/// run_recoverable_socket_auction with no crash injector and no
+/// deadline by default — the same byte-equivalence the bus drivers
+/// guarantee between their hardened and recoverable paths.
+SocketAuctionResult run_hardened_socket_auction(
+    const core::LppaConfig& config, core::TrustedThirdParty& ttp,
+    const std::vector<auction::SuLocation>& locations,
+    const std::vector<auction::BidVector>& bids, std::uint64_t seed,
+    ServerConfig server_config,
+    const proto::HardenedSessionConfig& hardened = {},
+    SocketFaultInjector* faults = nullptr,
+    const std::vector<std::size_t>& exclude = {});
+
+}  // namespace lppa::net

@@ -1,0 +1,154 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lppa::net {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw LppaError(ErrorKind::kState, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Endpoint::label() const {
+  if (kind == Kind::kTcp) return "tcp:127.0.0.1:" + std::to_string(port);
+  return "unix:" + path;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    raise_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+int take_socket_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    raise_errno("getsockopt(SO_ERROR)");
+  }
+  return err;
+}
+
+void arm_abortive_close(int fd) {
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  if (::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg) < 0) {
+    raise_errno("setsockopt(SO_LINGER)");
+  }
+}
+
+Fd listen_on(Endpoint& ep, int backlog) {
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) raise_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ep.port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      raise_errno("bind(" + ep.label() + ")");
+    }
+    if (::listen(fd.get(), backlog) < 0) raise_errno("listen");
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) <
+        0) {
+      raise_errno("getsockname");
+    }
+    ep.port = ntohs(addr.sin_port);
+    set_nonblocking(fd.get());
+    return fd;
+  }
+
+  LPPA_REQUIRE(!ep.path.empty(), "Unix endpoint needs a path");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LPPA_REQUIRE(ep.path.size() < sizeof addr.sun_path,
+               "Unix socket path too long");
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  ::unlink(ep.path.c_str());  // stale socket from a previous run
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) raise_errno("socket(AF_UNIX)");
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    raise_errno("bind(" + ep.label() + ")");
+  }
+  if (::listen(fd.get(), backlog) < 0) raise_errno("listen");
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+Fd connect_to(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) raise_errno("socket(AF_INET)");
+    set_nonblocking(fd.get());
+    // Loopback latency is dominated by scheduling, not segment count,
+    // but Nagle still delays the small nack/ack frames; disable it.
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ep.port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) < 0 &&
+        errno != EINPROGRESS) {
+      raise_errno("connect(" + ep.label() + ")");
+    }
+    return fd;
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LPPA_REQUIRE(ep.path.size() < sizeof addr.sun_path,
+               "Unix socket path too long");
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) raise_errno("socket(AF_UNIX)");
+  set_nonblocking(fd.get());
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 &&
+      errno != EINPROGRESS && errno != EAGAIN) {
+    raise_errno("connect(" + ep.label() + ")");
+  }
+  return fd;
+}
+
+Fd accept_on(int listen_fd) {
+  const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Fd();
+    }
+    raise_errno("accept");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Fd(fd);
+}
+
+}  // namespace lppa::net

@@ -1,0 +1,93 @@
+// RAII file descriptors and nonblocking TCP / Unix-domain plumbing.
+//
+// Everything here is a thin, throwing wrapper over the POSIX calls the
+// transport needs: loopback TCP listeners on ephemeral ports (tests and
+// loadgen never hardcode a port), Unix-domain listeners for the
+// lowest-overhead local path, and nonblocking connects.  Syscall
+// failures throw LppaError(kState) with errno text — callers treat a
+// failed bind/connect like any other lifecycle error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+
+namespace lppa::net {
+
+/// Move-only owner of one file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { close_fd(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      close_fd();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept { close_fd(); }
+
+ private:
+  void close_fd() noexcept;
+  int fd_ = -1;
+};
+
+/// Where a server listens / a client connects.
+struct Endpoint {
+  enum class Kind : std::uint8_t { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  /// kTcp: port on 127.0.0.1; 0 asks the kernel for an ephemeral port
+  /// (listen_on rewrites it with the actual one).
+  std::uint16_t port = 0;
+  /// kUnix: filesystem path of the socket (stale files are unlinked on
+  /// bind; the listener unlinks again on destruction via the caller).
+  std::string path;
+
+  static Endpoint tcp_loopback(std::uint16_t port = 0) {
+    Endpoint e;
+    e.kind = Kind::kTcp;
+    e.port = port;
+    return e;
+  }
+  static Endpoint unix_path(std::string path) {
+    Endpoint e;
+    e.kind = Kind::kUnix;
+    e.path = std::move(path);
+    return e;
+  }
+  std::string label() const;
+};
+
+/// Binds + listens, nonblocking.  Rewrites ep.port for ephemeral TCP;
+/// unlinks a stale ep.path for Unix sockets.
+Fd listen_on(Endpoint& ep, int backlog = 256);
+
+/// Starts a nonblocking connect; EINPROGRESS is success (poll for
+/// writability, then check take_socket_error()).
+Fd connect_to(const Endpoint& ep);
+
+/// Accepts one pending connection (nonblocking); invalid Fd when the
+/// backlog is empty.
+Fd accept_on(int listen_fd);
+
+void set_nonblocking(int fd);
+
+/// Reads and clears SO_ERROR (0 = connect succeeded).
+int take_socket_error(int fd);
+
+/// Arms SO_LINGER with timeout 0 so close() sends RST instead of FIN —
+/// how the fault injector models a connection reset.
+void arm_abortive_close(int fd);
+
+}  // namespace lppa::net

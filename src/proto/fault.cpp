@@ -13,6 +13,18 @@ std::pair<std::uint8_t, std::size_t> key_of(const Address& party) {
 
 }  // namespace
 
+void require_delay_within_deadline(const FaultSpec& spec,
+                                   std::size_t deadline_ticks) {
+  if (deadline_ticks == 0 || spec.delay <= 0.0) return;
+  LPPA_REQUIRE(spec.max_delay_ticks < deadline_ticks,
+               "fault delay budget (" +
+                   std::to_string(spec.max_delay_ticks) +
+                   " ticks) reaches the session deadline (" +
+                   std::to_string(deadline_ticks) +
+                   " ticks): a delayed message could land after commit and "
+                   "would be indistinguishable from a drop");
+}
+
 FaultInjector::FaultInjector(std::uint64_t seed, FaultSpec spec)
     : rng_(seed), default_spec_(spec) {}
 

@@ -35,6 +35,22 @@ struct Address;  // proto/bus.h
 /// Per-party fault probabilities.  The five delivery faults are mutually
 /// exclusive per message (one uniform draw is cascaded through them);
 /// corruption composes with delivery for Byzantine senders.
+///
+/// Tick-based delays vs wall-clock transports: `delay` holds a message
+/// for 1..max_delay_ticks *bus ticks*, and a tick is whatever the
+/// session driver says it is.  On the in-process MessageBus a tick is
+/// one MessageBus::advance() call — the hardened/recoverable sessions
+/// spend ticks explicitly (HardenedSessionConfig::backoff_ticks,
+/// RecoverableSessionConfig::deadline_ticks), so delays and deadlines
+/// share one logical clock by construction.  The socket transport
+/// (src/net) has no advance(): it maps one tick to one wall-clock
+/// `ServerConfig::tick` / `ClientPoolConfig::tick` duration, and its
+/// fault delays are scheduled on that clock.  Under either mapping a
+/// delay that can exceed the session deadline is a misconfiguration,
+/// not a fault model: the message is indistinguishable from a drop, the
+/// round degrades or excludes the sender, and the "delay" counter lies
+/// about what was simulated.  require_delay_within_deadline() turns
+/// that silent misbehaviour into a typed error at configuration time.
 struct FaultSpec {
   double drop = 0.0;       ///< message silently discarded
   double duplicate = 0.0;  ///< delivered twice
@@ -43,6 +59,17 @@ struct FaultSpec {
   double delay = 0.0;      ///< held for 1..max_delay_ticks bus ticks
   std::size_t max_delay_ticks = 2;
 };
+
+/// Validates that `spec`'s delay fault cannot outlive a session deadline
+/// of `deadline_ticks` ticks (0 = no deadline, always fine).  Throws
+/// LppaError(kInvalidArgument) when spec.delay > 0 and
+/// spec.max_delay_ticks >= deadline_ticks: a delayed message could then
+/// land after the round committed, which every driver would silently
+/// misreport as a drop/exclusion.  Both the in-process recoverable
+/// session tests and the socket transport (net::SocketFaultInjector)
+/// call this before arming an injector against a deadlined round.
+void require_delay_within_deadline(const FaultSpec& spec,
+                                   std::size_t deadline_ticks);
 
 /// Running totals of injected faults; copied into RoundReport.
 struct FaultCounters {

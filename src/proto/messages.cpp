@@ -41,7 +41,7 @@ Envelope Envelope::deserialize(std::span<const std::uint8_t> wire) {
   const std::uint8_t raw_type = r.u8();
   LPPA_PROTOCOL_CHECK(
       raw_type >= static_cast<std::uint8_t>(MessageType::kLocationSubmission) &&
-          raw_type <= static_cast<std::uint8_t>(MessageType::kRetransmitRequest),
+          raw_type <= static_cast<std::uint8_t>(MessageType::kSubmissionAck),
       "unknown message type");
   e.type = static_cast<MessageType>(raw_type);
   e.sender = r.u64();
@@ -65,6 +65,23 @@ RetransmitRequest RetransmitRequest::deserialize(
                       "invalid retransmit mask");
   LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after RetransmitRequest");
   return req;
+}
+
+Bytes SubmissionAck::serialize() const {
+  ByteWriter w;
+  w.u8(mask);
+  return w.take();
+}
+
+SubmissionAck SubmissionAck::deserialize(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  SubmissionAck ack;
+  ack.mask = r.u8();
+  LPPA_PROTOCOL_CHECK(ack.mask == RetransmitRequest::kLocation ||
+                          ack.mask == RetransmitRequest::kBid,
+                      "invalid submission-ack mask");
+  LPPA_PROTOCOL_CHECK(r.at_end(), "trailing bytes after SubmissionAck");
+  return ack;
 }
 
 Bytes WinnerAnnouncement::serialize() const {

@@ -27,6 +27,10 @@ enum class MessageType : std::uint8_t {
   kChargeResultBatch = 4,
   kWinnerAnnouncement = 5,
   kRetransmitRequest = 6,  ///< auctioneer -> SU: resend missing submissions
+  kSubmissionAck = 7,      ///< auctioneer -> SU: submission accepted (socket
+                           ///< transport only, when ServerConfig::
+                           ///< ack_submissions — lets bench/loadgen measure
+                           ///< end-to-end submit latency)
 };
 
 struct Envelope {
@@ -49,6 +53,16 @@ struct RetransmitRequest {
 
   Bytes serialize() const;
   static RetransmitRequest deserialize(std::span<const std::uint8_t> wire);
+};
+
+/// Auctioneer -> SU ack of one accepted submission half (socket
+/// transport, ack mode only).  Mirrors RetransmitRequest's mask
+/// vocabulary; exactly one bit is set per ack.
+struct SubmissionAck {
+  std::uint8_t mask = 0;  ///< RetransmitRequest::kLocation or ::kBid
+
+  Bytes serialize() const;
+  static SubmissionAck deserialize(std::span<const std::uint8_t> wire);
 };
 
 /// The published outcome: winners, their channels, validated charges.

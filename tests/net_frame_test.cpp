@@ -1,0 +1,217 @@
+// Torn-frame / fragmentation corpus for the socket frame codec.
+//
+// The FrameDecoder sits between a hostile byte stream and the Envelope
+// parser, so its failure modes are pinned exhaustively: every prefix
+// length of a valid frame, every 2-chunk split, single-byte delivery,
+// and a full single-bit-flip sweep over the frame bytes.  The contract
+// under damage is exact: framing violations classify as
+// LppaError(kProtocol) (and poison the stream — no resynchronisation
+// guesswork), envelope-level damage surfaces as kProtocol from
+// Envelope::deserialize, and an incomplete frame yields nothing at all —
+// never a partial payload.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/frame.h"
+#include "proto/messages.h"
+
+namespace lppa::net {
+namespace {
+
+Bytes sample_envelope() {
+  proto::Envelope env;
+  env.type = proto::MessageType::kRetransmitRequest;
+  env.sender = 7;
+  proto::RetransmitRequest req;
+  req.mask = proto::RetransmitRequest::kLocation;
+  env.payload = req.serialize();
+  return env.serialize();
+}
+
+TEST(FrameCodec, RoundTripSingleFrame) {
+  const Bytes payload = sample_envelope();
+  const Bytes frame = encode_frame(payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  FrameDecoder dec;
+  dec.feed(frame);
+  const auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameCodec, BackToBackFramesInOneFeed) {
+  const Bytes a = sample_envelope();
+  Bytes b = sample_envelope();
+  b.push_back(0x55);  // distinct second payload
+  Bytes wire = encode_frame(a);
+  const Bytes fb = encode_frame(b);
+  wire.insert(wire.end(), fb.begin(), fb.end());
+
+  FrameDecoder dec;
+  dec.feed(wire);
+  auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, a);
+  out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, b);
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameCodec, EveryPrefixYieldsNothingAndLeaksNoState) {
+  const Bytes payload = sample_envelope();
+  const Bytes frame = encode_frame(payload);
+
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(std::span<const std::uint8_t>(frame.data(), cut));
+    // A torn frame is invisible: no payload, no poisoning, the decoder
+    // just waits for the rest.
+    EXPECT_FALSE(dec.next().has_value()) << "cut=" << cut;
+    EXPECT_FALSE(dec.poisoned()) << "cut=" << cut;
+    EXPECT_EQ(dec.buffered(), cut) << "cut=" << cut;
+
+    // Completing the stream afterwards recovers the exact payload.
+    dec.feed(std::span<const std::uint8_t>(frame.data() + cut,
+                                           frame.size() - cut));
+    const auto out = dec.next();
+    ASSERT_TRUE(out.has_value()) << "cut=" << cut;
+    EXPECT_EQ(*out, payload) << "cut=" << cut;
+  }
+}
+
+TEST(FrameCodec, EveryTwoChunkSplitReassembles) {
+  const Bytes payload = sample_envelope();
+  const Bytes frame = encode_frame(payload);
+
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(std::span<const std::uint8_t>(frame.data(), cut));
+    dec.feed(std::span<const std::uint8_t>(frame.data() + cut,
+                                           frame.size() - cut));
+    const auto out = dec.next();
+    ASSERT_TRUE(out.has_value()) << "cut=" << cut;
+    EXPECT_EQ(*out, payload) << "cut=" << cut;
+    EXPECT_FALSE(dec.next().has_value());
+  }
+}
+
+TEST(FrameCodec, SingleByteDeliveryReassembles) {
+  const Bytes payload = sample_envelope();
+  const Bytes frame = encode_frame(payload);
+
+  FrameDecoder dec;
+  for (const std::uint8_t b : frame) {
+    dec.feed(std::span<const std::uint8_t>(&b, 1));
+  }
+  const auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+}
+
+// The full single-bit-flip sweep: every bit of the frame is flipped in
+// turn.  Classification must be exact —
+//   * header magic damage → kProtocol from the decoder, stream poisoned;
+//   * header length damage → kProtocol (zero/oversize) or an incomplete
+//     frame that never yields a payload (plausible shorter/longer
+//     length), never a wrong payload;
+//   * body damage (including the Envelope's trailing checksum bytes) →
+//     the decoder hands the bytes through, and Envelope::deserialize
+//     rejects them with kProtocol.
+TEST(FrameCodec, BitFlipSweepClassifiesExactly) {
+  const Bytes payload = sample_envelope();
+  const Bytes frame = encode_frame(payload);
+
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes damaged = frame;
+      damaged[byte] = static_cast<std::uint8_t>(
+          damaged[byte] ^ static_cast<std::uint8_t>(1u << bit));
+
+      FrameDecoder dec;
+      dec.feed(damaged);
+      if (byte < 4) {
+        // Magic word damage.
+        EXPECT_THROW(
+            {
+              try {
+                (void)dec.next();
+              } catch (const LppaError& err) {
+                EXPECT_EQ(err.kind(), ErrorKind::kProtocol);
+                throw;
+              }
+            },
+            LppaError)
+            << "byte=" << byte << " bit=" << bit;
+        EXPECT_TRUE(dec.poisoned());
+        // A poisoned decoder refuses everything until reset().
+        EXPECT_THROW((void)dec.feed(frame), LppaError);
+        dec.reset();
+        dec.feed(frame);
+        ASSERT_TRUE(dec.next().has_value());
+        continue;
+      }
+      if (byte < kFrameHeaderBytes) {
+        // Length damage: either rejected outright or the frame stays
+        // incomplete / splits differently — but a payload, if one comes
+        // out, must never silently equal a truncation artifact the
+        // Envelope layer would accept.
+        try {
+          const auto out = dec.next();
+          if (out.has_value()) {
+            EXPECT_THROW((void)proto::Envelope::deserialize(*out), LppaError)
+                << "byte=" << byte << " bit=" << bit;
+          }
+        } catch (const LppaError& err) {
+          EXPECT_EQ(err.kind(), ErrorKind::kProtocol)
+              << "byte=" << byte << " bit=" << bit;
+        }
+        continue;
+      }
+      // Body damage: frame layer passes it through, envelope layer must
+      // reject with kProtocol (the trailing frame checksum makes every
+      // flip detectable).
+      const auto out = dec.next();
+      ASSERT_TRUE(out.has_value()) << "byte=" << byte << " bit=" << bit;
+      EXPECT_THROW(
+          {
+            try {
+              (void)proto::Envelope::deserialize(*out);
+            } catch (const LppaError& err) {
+              EXPECT_EQ(err.kind(), ErrorKind::kProtocol);
+              throw;
+            }
+          },
+          LppaError)
+          << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(FrameCodec, RejectsOversizedAndEmptyFrames) {
+  FrameDecoder dec;
+  // Handcraft a header claiming a payload past the cap.
+  Bytes header(kFrameHeaderBytes, 0);
+  const std::uint32_t magic = kFrameMagic;
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(header.data(), &magic, 4);
+  std::memcpy(header.data() + 4, &huge, 4);
+  dec.feed(header);
+  EXPECT_THROW((void)dec.next(), LppaError);
+  EXPECT_TRUE(dec.poisoned());
+
+  dec.reset();
+  const std::uint32_t zero = 0;
+  std::memcpy(header.data() + 4, &zero, 4);
+  dec.feed(header);
+  EXPECT_THROW((void)dec.next(), LppaError);
+
+  EXPECT_THROW((void)encode_frame({}), LppaError);
+}
+
+}  // namespace
+}  // namespace lppa::net

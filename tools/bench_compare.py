@@ -10,6 +10,14 @@ wall_ms exceeds the baseline's by more than --threshold (default 20%)
 is a regression; any regression makes the script exit 1, which is what
 lets ctest use it as a perf-smoke gate.
 
+Samples may also carry latency-percentile fields — any numeric key
+ending in ``_us`` (bench/loadgen emits submit_p50_us .. round_p99_us).
+Shared ``_us`` keys are compared with their own, looser gate:
+--latency-threshold (default 50%, tail percentiles are noisy) above a
+--min-latency-us floor (default 1000 us).  Latency regressions fail the
+run exactly like wall_ms regressions; keys present on only one side are
+reported and skipped.
+
 Keys present in only one file are reported but are not failures: the
 baseline may predate a new phase, and a sanitizer or --smoke run may
 skip the large sizes.
@@ -68,6 +76,12 @@ def check_finite(node, path, where="$"):
 
 
 def load_samples(path):
+    """Returns {(phase, n, threads): (wall_ms, {latency_key: value_us})}.
+
+    The latency dict holds every numeric field whose name ends in
+    ``_us`` — the per-percentile latencies loadgen-style benches emit
+    alongside wall_ms.
+    """
     data = load_strict(path)
     if not isinstance(data, list):
         raise SystemExit(f"{path}: expected a JSON array of samples")
@@ -82,9 +96,23 @@ def load_samples(path):
         if not math.isfinite(wall) or wall < 0.0:
             raise SystemExit(
                 f"{path}: sample {fmt_key(key)} has invalid wall_ms {wall!r}")
+        latencies = {}
+        for field, value in sample.items():
+            if not field.endswith("_us"):
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SystemExit(
+                    f"{path}: sample {fmt_key(key)} field {field} is not "
+                    f"numeric: {value!r}")
+            value = float(value)
+            if not math.isfinite(value) or value < 0.0:
+                raise SystemExit(
+                    f"{path}: sample {fmt_key(key)} has invalid {field} "
+                    f"{value!r}")
+            latencies[field] = value
         if key in out:
             raise SystemExit(f"{path}: duplicate sample key {key}")
-        out[key] = wall
+        out[key] = (wall, latencies)
     return out
 
 
@@ -110,6 +138,13 @@ def main():
                         help="skip samples where both sides are below this "
                              "floor — sub-10ms phases are scheduler noise, "
                              "not signal (default 10)")
+    parser.add_argument("--latency-threshold", type=float, default=0.50,
+                        help="max tolerated fractional increase for *_us "
+                             "latency-percentile fields — tails are noisier "
+                             "than wall clocks (default 0.50 = +50%%)")
+    parser.add_argument("--min-latency-us", type=float, default=1000.0,
+                        help="skip *_us fields where both sides are below "
+                             "this floor (default 1000)")
     parser.add_argument("--run-bench", metavar="CMD",
                         help="produce the candidate by running CMD "
                              "--json <tmpfile>")
@@ -146,8 +181,15 @@ def main():
             proc = subprocess.run(cmd)
             if proc.returncode != 0:
                 raise SystemExit(f"bench command failed with {proc.returncode}")
-            for key, wall in load_samples(candidate_path).items():
-                candidate[key] = min(wall, candidate.get(key, wall))
+            for key, (wall, lat) in load_samples(candidate_path).items():
+                if key in candidate:
+                    prev_wall, prev_lat = candidate[key]
+                    merged = dict(prev_lat)
+                    for field, value in lat.items():
+                        merged[field] = min(value, merged.get(field, value))
+                    candidate[key] = (min(wall, prev_wall), merged)
+                else:
+                    candidate[key] = (wall, lat)
     else:
         candidate = load_samples(args.candidate)
 
@@ -156,8 +198,9 @@ def main():
     regressions = []
     improvements = 0
     skipped_noise = 0
+    compared_latencies = 0
     for key in sorted(baseline.keys() & candidate.keys()):
-        base, cand = baseline[key], candidate[key]
+        (base, base_lat), (cand, cand_lat) = baseline[key], candidate[key]
         if base <= 0.0:
             # A zero-wall baseline can never be compared against — any
             # candidate is an infinite regression.  The baseline file is
@@ -182,11 +225,39 @@ def main():
         status = "ok"
         if ratio > 1.0 + args.threshold:
             status = "REGRESSION"
-            regressions.append((key, base, cand, ratio))
+            regressions.append((fmt_key(key), "ms", base, cand, ratio))
         elif ratio < 1.0:
             improvements += 1
         print(f"  {fmt_key(key):50s} {base:10.3f} -> {cand:10.3f} ms "
               f"({ratio:5.2f}x)  {status}")
+
+        # Latency-percentile fields ride the same sample but get their
+        # own (looser) gate: tail percentiles jitter far more than the
+        # wall clock, and they are micro- not milliseconds.
+        for field in sorted(base_lat.keys() & cand_lat.keys()):
+            lbase, lcand = base_lat[field], cand_lat[field]
+            label = f"{fmt_key(key)} {field}"
+            if lbase < args.min_latency_us and lcand < args.min_latency_us:
+                print(f"  {label:50s} {lbase:10.1f} -> {lcand:10.1f} us "
+                      f"(below {args.min_latency_us:g} us noise floor, "
+                      f"skipped)")
+                continue
+            if lbase <= 0.0:
+                raise SystemExit(
+                    f"{args.baseline}: sample {fmt_key(key)} has zero "
+                    f"{field} — regenerate the baseline with a measurable "
+                    f"workload")
+            compared_latencies += 1
+            lratio = lcand / lbase
+            lstatus = "ok"
+            if lratio > 1.0 + args.latency_threshold:
+                lstatus = "REGRESSION"
+                regressions.append((label, "us", lbase, lcand, lratio))
+            print(f"  {label:50s} {lbase:10.1f} -> {lcand:10.1f} us "
+                  f"({lratio:5.2f}x)  {lstatus}")
+        for field in sorted(base_lat.keys() ^ cand_lat.keys()):
+            side = "baseline" if field in base_lat else "candidate"
+            print(f"  {fmt_key(key)} {field}: only in {side} (skipped)")
 
     for key in sorted(baseline.keys() - candidate.keys()):
         print(f"  {fmt_key(key):50s} only in baseline (skipped)")
@@ -194,12 +265,12 @@ def main():
         print(f"  {fmt_key(key):50s} only in candidate (new)")
 
     shared = len(baseline.keys() & candidate.keys()) - skipped_noise
-    print(f"compared {shared} samples ({skipped_noise} below noise floor): "
-          f"{improvements} faster, {len(regressions)} regressed beyond "
-          f"+{args.threshold * 100:.0f}%")
+    print(f"compared {shared} samples ({skipped_noise} below noise floor) "
+          f"and {compared_latencies} latency fields: "
+          f"{improvements} faster, {len(regressions)} regressed")
     if regressions:
-        for key, base, cand, ratio in regressions:
-            print(f"FAIL: {fmt_key(key)} slowed {base:.3f} -> {cand:.3f} ms "
+        for label, unit, base, cand, ratio in regressions:
+            print(f"FAIL: {label} slowed {base:.3f} -> {cand:.3f} {unit} "
                   f"({ratio:.2f}x)", file=sys.stderr)
         return 1
     if shared == 0:
