@@ -45,10 +45,12 @@ void stable_merge_sort(std::vector<std::uint32_t>& items,
 
 EncryptedBidTable::EncryptedBidTable(
     const std::vector<BidSubmission>& submissions, std::size_t num_channels,
-    ArgmaxStrategy strategy, std::size_t sort_threads)
+    ArgmaxStrategy strategy, std::size_t sort_threads,
+    const crypto::BidBackend* backend)
     : submissions_(&submissions),
       users_(submissions.size()),
       channels_(num_channels),
+      backend_(&crypto::resolve_backend(backend)),
       strategy_(strategy) {
   LPPA_REQUIRE(users_ > 0, "EncryptedBidTable requires at least one user");
   LPPA_REQUIRE(channels_ > 0, "EncryptedBidTable requires at least one channel");
@@ -66,12 +68,13 @@ EncryptedBidTable::EncryptedBidTable(
 EncryptedBidTable EncryptedBidTable::subset_view(
     const std::vector<BidSubmission>& all, std::size_t num_channels,
     std::vector<std::uint32_t> members, ArgmaxStrategy strategy,
-    std::size_t sort_threads) {
+    std::size_t sort_threads, const crypto::BidBackend* backend) {
   EncryptedBidTable t;
   t.submissions_ = &all;
   t.members_ = std::move(members);
   t.users_ = t.members_.size();
   t.channels_ = num_channels;
+  t.backend_ = &crypto::resolve_backend(backend);
   t.strategy_ = strategy;
   LPPA_REQUIRE(t.users_ > 0, "EncryptedBidTable requires at least one user");
   LPPA_REQUIRE(t.channels_ > 0,
@@ -102,7 +105,7 @@ void EncryptedBidTable::build_column_orders(std::size_t sort_threads) {
     }
     stable_merge_sort(ord, [&](std::uint32_t u, std::uint32_t v) {
       // u strictly greater than v in the masked order:  NOT (v >= u).
-      return !encrypted_ge(sub(v).channels[r], sub(u).channels[r]);
+      return !backend_->ge(sub(v).channels[r], sub(u).channels[r]);
     });
   });
 }
@@ -162,8 +165,8 @@ void EncryptedBidTable::insert_user(UserId u) {
     std::size_t p = 0;
     while (p < ord.size()) {
       const auto& sv = sub(ord[p]).channels[r];
-      if (!encrypted_ge(sv, su)) break;  // u strictly greater than ord[p]
-      if (encrypted_ge(su, sv) && uid < ord[p]) break;  // masked tie
+      if (!backend_->ge(sv, su)) break;  // u strictly greater than ord[p]
+      if (backend_->ge(su, sv) && uid < ord[p]) break;  // masked tie
       ++p;
     }
     ord.insert(ord.begin() + static_cast<std::ptrdiff_t>(p), uid);
@@ -205,7 +208,7 @@ std::optional<auction::UserId> EncryptedBidTable::argmax_scan(
     const auto& incumbent = sub(*best).channels[r];
     // Strictly-greater test keeps the first-seen user on ties, matching
     // the deterministic tie-break of the plaintext BidMatrix.
-    if (!encrypted_ge(incumbent, challenger)) best = u;
+    if (!backend_->ge(incumbent, challenger)) best = u;
   }
   return best;
 }
@@ -215,15 +218,24 @@ bool EncryptedBidTable::empty() const noexcept { return live_ == 0; }
 Bytes EncryptedBidTable::serialize() const {
   LPPA_REQUIRE(members_.empty(),
                "subset (shard) tables do not serialize; emit the global image");
-  return serialize_image(*submissions_, channels_, present_, live_);
+  return serialize_image(*submissions_, channels_, present_, live_, backend_);
 }
 
 Bytes EncryptedBidTable::serialize_image(
     const std::vector<BidSubmission>& submissions, std::size_t num_channels,
-    const std::vector<bool>& present, std::size_t live) {
+    const std::vector<bool>& present, std::size_t live,
+    const crypto::BidBackend* backend) {
   LPPA_REQUIRE(present.size() == submissions.size() * num_channels,
                "presence bitmap does not match the table dimensions");
+  const crypto::BidBackend& be = crypto::resolve_backend(backend);
   ByteWriter w;
+  // HMAC images stay untagged (the seed format, bit-identical); other
+  // backends lead with a magic u32 carrying their id.  The magic's high
+  // bit is what restore keys off — a user count never has it set.
+  if (be.id() != crypto::BidBackendId::kHmacPrefix) {
+    w.u32(crypto::kImageMagic |
+          static_cast<std::uint32_t>(static_cast<std::uint8_t>(be.id())));
+  }
   w.u32(static_cast<std::uint32_t>(submissions.size()));
   w.u32(static_cast<std::uint32_t>(num_channels));
   for (const auto& s : submissions) {
@@ -241,10 +253,29 @@ Bytes EncryptedBidTable::serialize_image(
 
 EncryptedBidTable EncryptedBidTable::deserialize(
     std::span<const std::uint8_t> wire, ArgmaxStrategy strategy,
-    std::size_t sort_threads) {
+    std::size_t sort_threads, const crypto::BidBackend* backend) {
   ByteReader r(wire);
   EncryptedBidTable table;
-  table.users_ = r.u32();
+  table.backend_ = &crypto::resolve_backend(backend);
+  // Backend tag: legacy (HMAC) images start with the u32 user count,
+  // whose high bit is never set; tagged images start with the magic.
+  const std::uint32_t first = r.u32();
+  crypto::BidBackendId image_backend = crypto::BidBackendId::kHmacPrefix;
+  if ((first & 0x80000000u) != 0) {
+    LPPA_PROTOCOL_CHECK((first & crypto::kImageMagicMask) ==
+                            crypto::kImageMagic,
+                        "bid table image has an unrecognised backend tag");
+    image_backend =
+        static_cast<crypto::BidBackendId>(static_cast<std::uint8_t>(first));
+    table.users_ = r.u32();
+  } else {
+    table.users_ = first;
+  }
+  LPPA_PROTOCOL_CHECK(
+      image_backend == table.backend_->id(),
+      std::string("snapshot backend mismatch: image backend id ") +
+          std::to_string(static_cast<int>(image_backend)) +
+          ", session backend " + table.backend_->name());
   table.channels_ = r.u32();
   LPPA_PROTOCOL_CHECK(table.users_ > 0 && table.channels_ > 0,
                       "bid table image has no users or channels");

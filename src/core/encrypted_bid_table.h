@@ -44,10 +44,14 @@ class EncryptedBidTable final : public auction::BidTableView {
   /// serial, 0 = hardware concurrency); columns are sorted independently,
   /// so the resulting orders — and every argmax answer — are identical
   /// for any thread count.
+  /// `backend` selects the masked order test (null = the seed HMAC
+  /// backend, keeping every pre-backend call site valid); the table only
+  /// ever calls its ge() hook.
   EncryptedBidTable(const std::vector<BidSubmission>& submissions,
                     std::size_t num_channels,
                     ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
-                    std::size_t sort_threads = 1);
+                    std::size_t sort_threads = 1,
+                    const crypto::BidBackend* backend = nullptr);
 
   /// A table over the subset of `all` named by `members` (ascending
   /// global ids): user id u of this table is all[members[u]].  This is
@@ -60,7 +64,8 @@ class EncryptedBidTable final : public auction::BidTableView {
       const std::vector<BidSubmission>& all, std::size_t num_channels,
       std::vector<std::uint32_t> members,
       ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
-      std::size_t sort_threads = 1);
+      std::size_t sort_threads = 1,
+      const crypto::BidBackend* backend = nullptr);
 
   std::size_t num_users() const noexcept override { return users_; }
   std::size_t num_channels() const noexcept override { return channels_; }
@@ -108,19 +113,26 @@ class EncryptedBidTable final : public auction::BidTableView {
   /// interchangeable across num_shards reconfigurations).  `present` is
   /// the row-major bitmap (users × channels) and `live` its set-bit
   /// count.
+  /// Non-HMAC backends prefix the image with a magic u32 carrying the
+  /// backend id (crypto::kImageMagic); the seed HMAC format stays
+  /// untagged and bit-identical, so PR 3 recovery images remain valid.
   static Bytes serialize_image(const std::vector<BidSubmission>& submissions,
                                std::size_t num_channels,
                                const std::vector<bool>& present,
-                               std::size_t live);
+                               std::size_t live,
+                               const crypto::BidBackend* backend = nullptr);
 
   /// Inverse of serialize().  The restored table OWNS its submissions
   /// (the wire image is self-contained), unlike the referencing
   /// constructor.  Throws LppaError(kProtocol) on truncation, corruption,
-  /// or a live-cell count that disagrees with the bitmap.
+  /// a live-cell count that disagrees with the bitmap, or an image whose
+  /// backend tag does not match `backend` (in either direction — an
+  /// untagged HMAC image refuses a Paillier session and vice versa).
   static EncryptedBidTable deserialize(
       std::span<const std::uint8_t> wire,
       ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
-      std::size_t sort_threads = 1);
+      std::size_t sort_threads = 1,
+      const crypto::BidBackend* backend = nullptr);
 
   /// Live (still-present) cells; empty() is live_cells() == 0.
   std::size_t live_cells() const noexcept { return live_; }
@@ -152,6 +164,8 @@ class EncryptedBidTable final : public auction::BidTableView {
   std::shared_ptr<const std::vector<BidSubmission>> owned_;
   std::size_t users_ = 0;
   std::size_t channels_ = 0;
+  /// The masked order test; never null after construction.
+  const crypto::BidBackend* backend_ = &crypto::hmac_backend();
   std::vector<bool> present_;
   std::size_t live_ = 0;  ///< count of set bits in present_, so empty()
                           ///< is O(1) instead of an O(n·m) bitmap scan

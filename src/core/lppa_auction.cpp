@@ -14,6 +14,9 @@ LppaAuction::LppaAuction(LppaConfig config, std::uint64_t ttp_seed)
   LPPA_REQUIRE(config_.num_channels > 0, "auction requires channels");
   LPPA_REQUIRE(config_.ttp_batch_size > 0, "TTP batch size must be positive");
   LPPA_REQUIRE(config_.num_shards >= 1, "shard count must be at least 1");
+  if (config_.backend == nullptr) config_.backend = &ttp_.bid_backend();
+  LPPA_REQUIRE(config_.backend->id() == config_.bid.backend,
+               "LppaConfig backend does not match the bid-config backend id");
   ttp_.set_metrics(config_.metrics);
 }
 
@@ -47,7 +50,8 @@ LppaOutcome LppaAuction::run(
   const PpbsLocation location_protocol(keys.g0, config_.coord_width,
                                        config_.lambda,
                                        config_.pad_location_ranges);
-  const BidSubmitter submitter(ttp_.config(), keys.gb_master, keys.gc);
+  const BidSubmitter submitter(ttp_.config(), keys.gb_master, keys.gc,
+                               keys.paillier);
 
   // All SU-side randomness comes from a single fork of the caller's
   // stream, so the allocation below consumes exactly one fork() worth of
@@ -117,12 +121,13 @@ LppaOutcome LppaAuction::run(
   if (assignment) {
     ShardedBidTable table(view.bids, config_.num_channels, assignment->shard_of,
                           config_.num_shards, config_.argmax_strategy,
-                          config_.num_threads, m);
+                          config_.num_threads, m, config_.backend);
     round = allocate_and_charge(view.bids, view.conflicts, table, all_live, rng,
                                 &round_span);
   } else {
     EncryptedBidTable table(view.bids, config_.num_channels,
-                            config_.argmax_strategy, config_.num_threads);
+                            config_.argmax_strategy, config_.num_threads,
+                            config_.backend);
     round = allocate_and_charge(view.bids, view.conflicts, table, all_live, rng,
                                 &round_span);
   }
@@ -172,8 +177,9 @@ MaintainedRoundOutcome LppaAuction::allocate_and_charge(
   };
   for (const auto& award : awards) {
     const ChannelBidSubmission& entry = bids[award.user].channels[award.channel];
-    ChargeQuery query{award.user, award.channel, entry.sealed,
-                      entry.value_family, std::nullopt, std::nullopt};
+    ChargeQuery query{award.user,         award.channel, entry.sealed,
+                      entry.value_family, entry.paillier_ct,
+                      std::nullopt,       std::nullopt,  0};
     if (config_.charging_rule == ChargingRule::kSecondPrice) {
       // The runner-up of the column among all other LIVE bidders, found
       // with the same masked tournament the allocator uses.  Dead roster
@@ -183,8 +189,8 @@ MaintainedRoundOutcome LppaAuction::allocate_and_charge(
       for (UserId u = 0; u < bids.size(); ++u) {
         if (u == award.user || !live[u]) continue;
         if (!second ||
-            !encrypted_ge(bids[*second].channels[award.channel],
-                          bids[u].channels[award.channel])) {
+            !config_.backend->ge(bids[*second].channels[award.channel],
+                                 bids[u].channels[award.channel])) {
           second = u;
         }
       }
@@ -192,6 +198,7 @@ MaintainedRoundOutcome LppaAuction::allocate_and_charge(
         const auto& runner_up = bids[*second].channels[award.channel];
         query.runner_up_sealed = runner_up.sealed;
         query.runner_up_family = runner_up.value_family;
+        query.runner_up_ct = runner_up.paillier_ct;
       }
     }
     pending.push_back(std::move(query));

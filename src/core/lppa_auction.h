@@ -58,6 +58,13 @@ struct LppaConfig {
   /// single-partition path (1) for every shard count and thread count —
   /// pinned by tests/shard_differential_test.
   std::size_t num_shards = 1;
+  /// The resolved crypto backend driving every masked comparison this
+  /// round (bid-table sorts, argmax merges, the second-price runner-up
+  /// scan).  Null means "resolve from bid.backend": LppaAuction's
+  /// constructor fills it in from its own TTP, so embedders only ever
+  /// set bid.backend.  Wire sessions that restore snapshots receive the
+  /// TTP's backend explicitly through the same field.  Not owned.
+  const crypto::BidBackend* backend = nullptr;
   /// Optional observability sink (obs/metrics.h): when set, every round
   /// records per-phase spans (auction.round > submit / validate /
   /// conflict_graph / allocate / charging), phase counters, and argmax

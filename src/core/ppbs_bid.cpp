@@ -130,6 +130,10 @@ void ChannelBidSubmission::serialize(ByteWriter& w) const {
   range_set.serialize(w);
   const Bytes sealed_wire = sealed.serialize();
   w.bytes(sealed_wire);
+  // Implied backend tag: a Paillier cell has no prefix digests, so the
+  // empty value family doubles as the "ciphertext follows" marker.  HMAC
+  // cells (family size >= 2) serialize exactly the pre-backend bytes.
+  if (value_family.size() == 0) w.u64(paillier_ct);
 }
 
 ChannelBidSubmission ChannelBidSubmission::deserialize(ByteReader& r) {
@@ -138,6 +142,7 @@ ChannelBidSubmission ChannelBidSubmission::deserialize(ByteReader& r) {
   out.range_set = prefix::HashedPrefixSet::deserialize(r);
   const Bytes sealed_wire = r.bytes();
   out.sealed = crypto::SealedMessage::deserialize(sealed_wire);
+  if (out.value_family.size() == 0) out.paillier_ct = r.u64();
   return out;
 }
 
@@ -177,7 +182,8 @@ struct BidSubmitter::KeyCtxCache {
 };
 
 BidSubmitter::BidSubmitter(PpbsBidConfig config, crypto::SecretKey gb_master,
-                           crypto::SecretKey gc)
+                           crypto::SecretKey gc,
+                           std::optional<crypto::PaillierPublicKey> paillier)
     : config_(std::move(config)),
       gb_master_(gb_master),
       box_(gc, config_.sealed_cipher),
@@ -185,6 +191,16 @@ BidSubmitter::BidSubmitter(PpbsBidConfig config, crypto::SecretKey gb_master,
   config_.enc.validate();
   LPPA_REQUIRE(config_.policy.bmax() == config_.enc.bmax,
                "disguise policy must cover exactly 0..bmax");
+  if (config_.backend == crypto::BidBackendId::kPaillier) {
+    LPPA_REQUIRE(paillier.has_value(),
+                 "Paillier backend needs the TTP-published public key");
+    // SU-side: encode-only, no comparison oracle.
+    backend_ = std::make_shared<crypto::PaillierBackend>(*paillier, nullptr);
+  } else {
+    // Non-owning alias of the singleton.
+    backend_ = std::shared_ptr<const crypto::BidBackend>(
+        std::shared_ptr<void>(), &crypto::hmac_backend());
+  }
 }
 
 crypto::SecretKey BidSubmitter::channel_key(ChannelId r) const {
@@ -237,15 +253,13 @@ ChannelBidSubmission BidSubmitter::encode_bid_with(
   // Step (iv): scale by cr into a random slot of [cr*e, cr*(e+1)-1].
   const std::uint64_t scaled = enc.cr * effective + rng.below(enc.cr);
 
-  const int width = enc.scaled_width();
-
+  // The masked representation itself is the backend's business; the
+  // disguise/offset/scale pipeline above and the sealed payload below
+  // are backend-agnostic.
   ChannelBidSubmission out;
-  out.value_family = prefix::HashedPrefixSet::of_value(key_ctx, scaled, width);
-  out.range_set =
-      prefix::HashedPrefixSet::of_range(key_ctx, scaled, enc.scaled_max(), width);
-  if (config_.pad_range_sets) {
-    out.range_set.pad_to(prefix::max_range_prefixes(width), rng);
-  }
+  const crypto::BidEncodeCtx ctx{&key_ctx, enc.scaled_max(),
+                                 enc.scaled_width(), config_.pad_range_sets};
+  backend_->encode_cell(out, ctx, scaled, rng);
 
   const SealedBidPayload payload{true_bid, scaled};
   const Bytes plain = payload.serialize();

@@ -27,6 +27,7 @@
 #include "auction/bid.h"
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "core/bid_backend.h"
 #include "crypto/sealed_box.h"
 #include "prefix/hashed_set.h"
 
@@ -100,6 +101,15 @@ struct PpbsBidConfig {
   /// Symmetric cipher sealing the TTP payload; the protocol treats it as
   /// a black box (cipher-agility tests pin the equivalence).
   crypto::SealedCipher sealed_cipher = crypto::SealedCipher::kChaCha20;
+  /// Which crypto backend masks the per-channel cells (core/bid_backend.h).
+  /// The zero-disguise / offset / scale pipeline and the sealed payload
+  /// are backend-agnostic; only the masked representation and its order
+  /// test swap.
+  crypto::BidBackendId backend = crypto::BidBackendId::kHmacPrefix;
+  /// Prime size for the TTP's Paillier keygen (kPaillier only).  The
+  /// default 12-bit primes give n ≈ 2^23–2^24, comfortably past the
+  /// oracle's n > 128·scaled_max exactness bound for every stock config.
+  int paillier_prime_bits = 12;
 
   /// The paper's basic scheme: one key, raw values, no countermeasures.
   static PpbsBidConfig basic(Money bmax);
@@ -121,15 +131,21 @@ struct SealedBidPayload {
   bool operator==(const SealedBidPayload&) const = default;
 };
 
-/// One SU's per-channel bid message.
+/// One SU's per-channel bid message.  Exactly one masked representation
+/// is populated: the HMAC backend fills the two prefix sets, the
+/// Paillier backend fills paillier_ct and leaves both sets empty.  The
+/// wire format keys off that: the ciphertext is (de)serialized iff the
+/// value family is empty — an honest HMAC family always has width+1 >= 2
+/// digests — so HMAC bytes are bit-identical to the pre-backend format.
 struct ChannelBidSubmission {
   prefix::HashedPrefixSet value_family;  ///< H_gb_r(G(s))
   prefix::HashedPrefixSet range_set;     ///< H_gb_r(Q([s, smax])), padded
   crypto::SealedMessage sealed;          ///< SealedBidPayload under gc
+  std::uint64_t paillier_ct = 0;         ///< E_pub(s), Paillier backend only
 
   std::size_t wire_size() const noexcept {
     return value_family.wire_size() + range_set.wire_size() +
-           sealed.wire_size();
+           sealed.wire_size() + (value_family.size() == 0 ? 8 : 0);
   }
 
   void serialize(ByteWriter& w) const;
@@ -157,8 +173,12 @@ struct BidSubmission {
 /// a mutex, and everything else is immutable after construction.
 class BidSubmitter {
  public:
+  /// `paillier` is the TTP-published public key, required (and only
+  /// consulted) when config.backend == kPaillier.
   BidSubmitter(PpbsBidConfig config, crypto::SecretKey gb_master,
-               crypto::SecretKey gc);
+               crypto::SecretKey gc,
+               std::optional<crypto::PaillierPublicKey> paillier =
+                   std::nullopt);
 
   /// Encodes a full bid vector (bids[r] <= bmax required).
   BidSubmission submit(const BidVector& bids, Rng& rng) const;
@@ -187,10 +207,15 @@ class BidSubmitter {
   crypto::SealedBox box_;
   struct KeyCtxCache;
   std::shared_ptr<KeyCtxCache> key_ctxs_;  ///< shared across copies
+  /// The cell encoder (never null): the HMAC singleton, or an SU-side
+  /// (encode-only) PaillierBackend owning the published public key.
+  std::shared_ptr<const crypto::BidBackend> backend_;
 };
 
 /// Auctioneer-side order test within one channel column:
 /// true iff bid `a` >= bid `b` in the masked order-preserving encoding.
+/// HMAC-backend cells only — backend-generic code paths go through
+/// crypto::BidBackend::ge instead.
 bool encrypted_ge(const ChannelBidSubmission& a,
                   const ChannelBidSubmission& b) noexcept;
 

@@ -11,8 +11,10 @@ ShardedBidTable::ShardedBidTable(const std::vector<BidSubmission>& submissions,
                                  std::size_t num_shards,
                                  ArgmaxStrategy strategy,
                                  std::size_t num_threads,
-                                 obs::MetricsRegistry* metrics)
+                                 obs::MetricsRegistry* metrics,
+                                 const crypto::BidBackend* backend)
     : submissions_(&submissions),
+      backend_(&crypto::resolve_backend(backend)),
       users_(submissions.size()),
       channels_(num_channels),
       shard_of_(std::move(shard_of)),
@@ -53,7 +55,8 @@ void ShardedBidTable::build_shards(ArgmaxStrategy strategy,
     obs::Span build_span(metrics_, "shard.table_build");
     shards_[s] = std::make_unique<EncryptedBidTable>(
         EncryptedBidTable::subset_view(*submissions_, channels_, members_[s],
-                                       strategy, /*sort_threads=*/1));
+                                       strategy, /*sort_threads=*/1,
+                                       backend_));
   });
 }
 
@@ -74,7 +77,7 @@ ShardedBidTable ShardedBidTable::restore(EncryptedBidTable&& global,
   }
   ShardedBidTable table(*global.owned_, global.num_channels(),
                         std::move(shard_of), num_shards, strategy, num_threads,
-                        metrics);
+                        metrics, global.backend_);
   // Keep the submissions alive: the subset views reference the vector
   // the shared_ptr owns.
   table.owned_ = global.owned_;
@@ -142,6 +145,7 @@ ShardedBidTable ShardedBidTable::clone() const {
   ShardedBidTable copy;
   copy.submissions_ = submissions_;
   copy.owned_ = owned_;
+  copy.backend_ = backend_;
   copy.users_ = users_;
   copy.channels_ = channels_;
   copy.shard_of_ = shard_of_;
@@ -175,13 +179,13 @@ std::optional<auction::UserId> ShardedBidTable::argmax_in_column(
     }
     const auto& challenger = (*submissions_)[g].channels[r];
     const auto& incumbent = (*submissions_)[*best].channels[r];
-    const bool challenger_ge = encrypted_ge(challenger, incumbent);
+    const bool challenger_ge = backend_->ge(challenger, incumbent);
     // Strictly greater replaces; a masked tie keeps the lower GLOBAL id
     // (global ids interleave across shards, so the explicit comparison —
     // not the visit order — carries the tie-break).  The result is the
     // highest-value live entry with the lowest id among equals: exactly
     // the single-table stable-sort / first-seen-scan winner.
-    if (challenger_ge && !encrypted_ge(incumbent, challenger)) {
+    if (challenger_ge && !backend_->ge(incumbent, challenger)) {
       best = g;
     } else if (challenger_ge && g < *best) {
       best = g;
@@ -199,7 +203,7 @@ const ChannelBidSubmission& ShardedBidTable::entry(UserId u,
 
 Bytes ShardedBidTable::serialize() const {
   return EncryptedBidTable::serialize_image(*submissions_, channels_, present_,
-                                            live_);
+                                            live_, backend_);
 }
 
 }  // namespace lppa::core

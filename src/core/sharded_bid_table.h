@@ -49,12 +49,15 @@ class ShardedBidTable final : public auction::BidTableView {
   /// byte-identical for every thread count.  `metrics`, when set,
   /// records per-shard "shard.table_build" spans, a "shard.argmax" span
   /// per merged query, and the "shard.argmax_merges" counter.
+  /// `backend` selects the masked order test for every shard table and
+  /// the cross-shard merge (null = the seed HMAC backend).
   ShardedBidTable(const std::vector<BidSubmission>& submissions,
                   std::size_t num_channels, std::vector<std::uint32_t> shard_of,
                   std::size_t num_shards,
                   ArgmaxStrategy strategy = ArgmaxStrategy::kSortedColumns,
                   std::size_t num_threads = 1,
-                  obs::MetricsRegistry* metrics = nullptr);
+                  obs::MetricsRegistry* metrics = nullptr,
+                  const crypto::BidBackend* backend = nullptr);
 
   /// Re-shards a restored (owning) global table image mid-allocation:
   /// the per-shard tables are rebuilt from the owned submissions and the
@@ -121,6 +124,9 @@ class ShardedBidTable final : public auction::BidTableView {
 
   const std::vector<BidSubmission>* submissions_ = nullptr;
   std::shared_ptr<const std::vector<BidSubmission>> owned_;  ///< restore path
+  /// The masked order test; never null after construction.  restore()
+  /// inherits the deserialized global image's backend.
+  const crypto::BidBackend* backend_ = &crypto::hmac_backend();
   std::size_t users_ = 0;
   std::size_t channels_ = 0;
   std::vector<std::uint32_t> shard_of_;     ///< global id -> shard

@@ -23,11 +23,14 @@ SubmissionValidator::SubmissionValidator(const LppaConfig& config)
       num_channels_(config.num_channels),
       bid_width_(config.bid.enc.scaled_width()),
       pad_bid_ranges_(config.bid.pad_range_sets),
-      sealed_payload_size_(SealedBidPayload{}.serialize().size()) {
+      sealed_payload_size_(SealedBidPayload{}.serialize().size()),
+      backend_(&crypto::resolve_backend(config.backend)) {
   config.bid.enc.validate();
   LPPA_REQUIRE(coord_width_ >= 1 && coord_width_ <= prefix::kMaxWidth,
                "coordinate width out of range");
   LPPA_REQUIRE(num_channels_ > 0, "auction requires channels");
+  LPPA_REQUIRE(backend_->id() == config.bid.backend,
+               "validator backend does not match the bid-config backend id");
 }
 
 std::optional<std::string> SubmissionValidator::validate_family(
@@ -91,16 +94,22 @@ std::optional<std::string> SubmissionValidator::validate_bid(
   for (std::size_t r = 0; r < s.channels.size(); ++r) {
     const ChannelBidSubmission& c = s.channels[r];
     const std::string where = "channel " + std::to_string(r);
-    // Digest counts bound the encoded value to the [0, bmax] scaled
-    // encoding: a family over any wider width (i.e. a value beyond
-    // scaled_max) has more than bid_width_+1 digests and is rejected.
-    if (auto e = validate_family(c.value_family, bid_width_,
-                                 (where + " value_family").c_str())) {
-      return e;
-    }
-    if (auto e = validate_range(c.range_set, bid_width_, pad_bid_ranges_,
-                                (where + " range_set").c_str())) {
-      return e;
+    if (backend_->id() != crypto::BidBackendId::kHmacPrefix) {
+      // Non-HMAC cells carry no prefix structure; the backend owns the
+      // per-cell shape test (empty families, ciphertext range).
+      if (auto e = backend_->validate_cell(c)) return where + ": " + *e;
+    } else {
+      // Digest counts bound the encoded value to the [0, bmax] scaled
+      // encoding: a family over any wider width (i.e. a value beyond
+      // scaled_max) has more than bid_width_+1 digests and is rejected.
+      if (auto e = validate_family(c.value_family, bid_width_,
+                                   (where + " value_family").c_str())) {
+        return e;
+      }
+      if (auto e = validate_range(c.range_set, bid_width_, pad_bid_ranges_,
+                                  (where + " range_set").c_str())) {
+        return e;
+      }
     }
     // The stream cipher preserves length, so a well-formed sealed payload
     // has exactly the SealedBidPayload wire size as ciphertext.

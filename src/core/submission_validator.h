@@ -55,6 +55,11 @@ class SubmissionValidator {
   int bid_width_;          ///< scaled_width of the [0, bmax] bid encoding
   bool pad_bid_ranges_;
   std::size_t sealed_payload_size_;  ///< ciphertext bytes of a SealedBidPayload
+  /// The round's crypto backend: HMAC bids keep the legacy prefix-family
+  /// structural checks below; Paillier bids delegate the per-cell shape
+  /// test to the backend's validate_cell hook (empty families, ciphertext
+  /// inside Z*_{n^2}).  Never null.
+  const crypto::BidBackend* backend_;
 };
 
 }  // namespace lppa::core

@@ -23,6 +23,10 @@ namespace {
 constexpr std::uint64_t kDomainG0 = 0x6730ULL;
 constexpr std::uint64_t kDomainGbMaster = 0x67626d6173746572ULL;
 constexpr std::uint64_t kDomainGc = 0x6763ULL;
+// ASCII "pail": the Paillier keygen stream.  Only drawn when the config
+// selects the Paillier backend, so the three HMAC key streams above are
+// untouched by the backend choice.
+constexpr std::uint64_t kDomainPaillier = 0x7061696cULL;
 
 crypto::SecretKey derive_key(std::uint64_t seed, std::uint64_t domain) {
   Rng rng(derive_stream_seed(seed, domain));
@@ -40,6 +44,15 @@ TrustedThirdParty::TrustedThirdParty(PpbsBidConfig config, std::uint64_t seed,
       gc_(derive_key(seed, kDomainGc)),
       box_(gc_, config_.sealed_cipher) {
   config_.enc.validate();
+  if (config_.backend == crypto::BidBackendId::kPaillier) {
+    Rng prng(derive_stream_seed(seed, kDomainPaillier));
+    const auto keys =
+        crypto::paillier_keygen(config_.paillier_prime_bits, prng);
+    oracle_ = std::make_shared<const crypto::PaillierCompareOracle>(
+        keys, config_.enc.scaled_max());
+    backend_ = std::make_shared<const crypto::PaillierBackend>(keys.pub,
+                                                               oracle_);
+  }
 }
 
 void ChargeQuery::serialize(ByteWriter& w) const {
@@ -47,12 +60,17 @@ void ChargeQuery::serialize(ByteWriter& w) const {
   w.u64(channel);
   w.bytes(sealed.serialize());
   value_family.serialize(w);
+  // Implied backend tag, as in ChannelBidSubmission: an empty family
+  // means the Paillier ciphertext follows; HMAC queries keep the
+  // pre-backend byte layout.
+  if (value_family.size() == 0) w.u64(paillier_ct);
   w.u8(runner_up_sealed.has_value() ? 1 : 0);
   if (runner_up_sealed.has_value()) {
     LPPA_REQUIRE(runner_up_family.has_value(),
                  "runner-up sealed payload without its prefix family");
     w.bytes(runner_up_sealed->serialize());
     runner_up_family->serialize(w);
+    if (runner_up_family->size() == 0) w.u64(runner_up_ct);
   }
 }
 
@@ -62,11 +80,13 @@ ChargeQuery ChargeQuery::deserialize(ByteReader& r) {
   q.channel = r.u64();
   q.sealed = crypto::SealedMessage::deserialize(r.bytes());
   q.value_family = prefix::HashedPrefixSet::deserialize(r);
+  if (q.value_family.size() == 0) q.paillier_ct = r.u64();
   const std::uint8_t has_runner_up = r.u8();
   LPPA_PROTOCOL_CHECK(has_runner_up <= 1, "invalid runner-up flag");
   if (has_runner_up) {
     q.runner_up_sealed = crypto::SealedMessage::deserialize(r.bytes());
     q.runner_up_family = prefix::HashedPrefixSet::deserialize(r);
+    if (q.runner_up_family->size() == 0) q.runner_up_ct = r.u64();
   }
   return q;
 }
@@ -95,20 +115,30 @@ ChargeResult ChargeResult::deserialize(ByteReader& r) {
 
 std::optional<SealedBidPayload> TrustedThirdParty::open_and_verify(
     const crypto::SealedMessage& sealed,
-    const prefix::HashedPrefixSet& family, ChannelId channel) const {
+    const prefix::HashedPrefixSet& family, std::uint64_t paillier_ct,
+    ChannelId channel) const {
   const auto plain = box_.open(sealed);
   if (!plain) return std::nullopt;  // not sealed under gc
   const SealedBidPayload payload =
       SealedBidPayload::deserialize(std::span<const std::uint8_t>(*plain));
 
   const auto& enc = config_.enc;
-  // Verify the submitted prefix family really encodes the sealed scaled
-  // value (the bidder cannot under/over-state its price to the TTP).
-  const crypto::SecretKey key =
-      derive_channel_key(gb_master_, channel, config_.per_channel_keys);
-  const auto expected = prefix::HashedPrefixSet::of_value(
-      key, payload.scaled, enc.scaled_width());
-  if (expected != family) return std::nullopt;
+  // Verify the submitted masked encoding really encodes the sealed
+  // scaled value (the bidder cannot under/over-state its price to the
+  // TTP).  Paillier backend: decrypt the submitted ciphertext; HMAC
+  // backend: recompute the prefix family.
+  if (oracle_ != nullptr) {
+    if (paillier_ct == 0 || paillier_ct >= oracle_->pub().n_squared ||
+        oracle_->decrypt(paillier_ct) != payload.scaled) {
+      return std::nullopt;
+    }
+  } else {
+    const crypto::SecretKey key =
+        derive_channel_key(gb_master_, channel, config_.per_channel_keys);
+    const auto expected = prefix::HashedPrefixSet::of_value(
+        key, payload.scaled, enc.scaled_width());
+    if (expected != family) return std::nullopt;
+  }
 
   // Consistency between the true bid and the scaled encoding: a positive
   // bid must sit exactly in its slot; a zero bid must either sit in the
@@ -128,8 +158,8 @@ ChargeResult TrustedThirdParty::process(const ChargeQuery& query) const {
   result.channel = query.channel;
   if (metrics_ != nullptr) metrics_->counter("ttp.queries").inc();
 
-  const auto payload =
-      open_and_verify(query.sealed, query.value_family, query.channel);
+  const auto payload = open_and_verify(query.sealed, query.value_family,
+                                       query.paillier_ct, query.channel);
   if (!payload) {
     result.manipulated = true;
     if (metrics_ != nullptr) metrics_->counter("ttp.manipulations").inc();
@@ -158,8 +188,9 @@ ChargeResult TrustedThirdParty::process(const ChargeQuery& query) const {
   }
   LPPA_PROTOCOL_CHECK(query.runner_up_family.has_value(),
                       "runner-up sealed payload without its prefix family");
-  const auto runner_up = open_and_verify(
-      *query.runner_up_sealed, *query.runner_up_family, query.channel);
+  const auto runner_up =
+      open_and_verify(*query.runner_up_sealed, *query.runner_up_family,
+                      query.runner_up_ct, query.channel);
   if (!runner_up) {
     result.manipulated = true;
     result.valid = false;

@@ -30,6 +30,10 @@ struct SuKeyBundle {
   crypto::SecretKey g0;         ///< location-masking HMAC key
   crypto::SecretKey gb_master;  ///< master for gb_1..gb_k
   crypto::SecretKey gc;         ///< sealing key towards the TTP
+  /// Published Paillier public key (kPaillier backend only) — the SUs
+  /// encrypt their scaled bids under it; the private half never leaves
+  /// the TTP's comparison oracle.
+  std::optional<crypto::PaillierPublicKey> paillier;
 };
 
 /// How winners are charged.  The paper uses first-price (§V-C.1) and
@@ -42,17 +46,23 @@ enum class ChargingRule {
   kSecondPrice,
 };
 
-/// A winner's charge request relayed by the auctioneer.
+/// A winner's charge request relayed by the auctioneer.  Under the
+/// Paillier backend the prefix families are empty and the ciphertext
+/// fields carry the submitted masked bids instead; the wire format uses
+/// the same implied tag as ChannelBidSubmission (ciphertext present iff
+/// the family is empty), so HMAC queries keep their pre-backend bytes.
 struct ChargeQuery {
   UserId user = 0;
   ChannelId channel = 0;
   crypto::SealedMessage sealed;          ///< the winner's sealed payload
   prefix::HashedPrefixSet value_family;  ///< the submitted H_gb_r(G(s))
+  std::uint64_t paillier_ct = 0;         ///< the submitted E_pub(s)
 
   /// Under kSecondPrice the auctioneer also relays the column's
   /// runner-up submission (absent when the winner was alone).
   std::optional<crypto::SealedMessage> runner_up_sealed;
   std::optional<prefix::HashedPrefixSet> runner_up_family;
+  std::uint64_t runner_up_ct = 0;
 
   void serialize(ByteWriter& w) const;
   static ChargeQuery deserialize(ByteReader& r);
@@ -83,9 +93,26 @@ class TrustedThirdParty {
 
   /// Key distribution (TTP -> SUs over a secure channel).
   SuKeyBundle su_keys() const noexcept {
-    return SuKeyBundle{g0_, gb_master_, gc_};
+    return SuKeyBundle{g0_, gb_master_, gc_,
+                       oracle_ != nullptr
+                           ? std::optional<crypto::PaillierPublicKey>(
+                                 oracle_->pub())
+                           : std::nullopt};
   }
   const crypto::SecretKey& g0() const noexcept { return g0_; }
+
+  /// The auctioneer-facing backend for this round's configuration: the
+  /// HMAC singleton, or a PaillierBackend wired to this TTP's comparison
+  /// oracle.  Stable for the TTP's lifetime (shared across copies).
+  const crypto::BidBackend& bid_backend() const noexcept {
+    return backend_ != nullptr ? *backend_ : crypto::hmac_backend();
+  }
+
+  /// The Paillier comparison oracle (null under the HMAC backend); the
+  /// bench reads its per-op counters.
+  const crypto::PaillierCompareOracle* paillier_oracle() const noexcept {
+    return oracle_.get();
+  }
 
   /// Processes one charge query (decrypt, verify, un-disguise).
   ChargeResult process(const ChargeQuery& query) const;
@@ -111,10 +138,12 @@ class TrustedThirdParty {
 
  private:
   /// Decrypts and verifies one sealed payload against its submitted
-  /// prefix family; nullopt on any integrity failure.
+  /// masked encoding (prefix family or Paillier ciphertext, by backend);
+  /// nullopt on any integrity failure.
   std::optional<SealedBidPayload> open_and_verify(
       const crypto::SealedMessage& sealed,
-      const prefix::HashedPrefixSet& family, ChannelId channel) const;
+      const prefix::HashedPrefixSet& family, std::uint64_t paillier_ct,
+      ChannelId channel) const;
 
   PpbsBidConfig config_;
   ChargingRule rule_ = ChargingRule::kFirstPrice;
@@ -122,6 +151,10 @@ class TrustedThirdParty {
   crypto::SecretKey gb_master_;
   crypto::SecretKey gc_;
   crypto::SealedBox box_;
+  /// kPaillier backend only (both null otherwise); shared_ptr keeps the
+  /// TTP copyable and bid_backend() references stable across copies.
+  std::shared_ptr<const crypto::PaillierCompareOracle> oracle_;
+  std::shared_ptr<const crypto::BidBackend> backend_;
   std::size_t batches_ = 0;
   std::size_t queries_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;  ///< not owned; may be null

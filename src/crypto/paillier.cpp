@@ -107,9 +107,12 @@ std::uint64_t PaillierPublicKey::encrypt(std::uint64_t plaintext,
   do {
     r = 1 + rng.below(n - 1);
   } while (std::gcd(r, n) != 1);
-  // (n+1)^m mod n^2 == 1 + m*n (binomial), computed directly.
+  // (n+1)^m mod n^2 == 1 + m*n (binomial), computed directly.  The
+  // plaintext is NOT reduced mod n here: an out-of-range value must be
+  // the typed rejection above, never a silent wrap-around that encrypts
+  // a different number than the caller handed in.
   const std::uint64_t g_m =
-      (1 + mulmod_u64(plaintext % n, n, n_squared)) % n_squared;
+      (1 + mulmod_u64(plaintext, n, n_squared)) % n_squared;
   const std::uint64_t r_n = modpow_u64(r, n, n_squared);
   return mulmod_u64(g_m, r_n, n_squared);
 }

@@ -73,6 +73,9 @@ AuctioneerServer::AuctioneerServer(
   // (replay must not re-journal what is already durable).
   wave_ = proto::replay_session_journal(*journal_, session_, num_users_,
                                         *report_);
+  // Journaled churn operations have already been re-applied by replay;
+  // the scripted schedule resumes right after them.
+  churn_next_ = std::min(session_.churn_ops_applied(), round_.churn.size());
   session_.attach_journal(journal_);
   if (journal_->empty()) journal_->append_round_start(num_users_);
 
@@ -171,6 +174,27 @@ void AuctioneerServer::loop_body() {
   if (session_.admission_closed()) {
     admission_open_ = false;
     commit_round();
+  }
+
+  // Scripted churn: apply the remaining departure/return schedule before
+  // any submission is ingested.  Each operation is write-ahead journaled
+  // inside the session call, so the kMidChurn checkpoint that follows it
+  // models a crash with the operation durable but the round unfinished —
+  // the restarted server replays the journal and resumes the schedule at
+  // churn_next_.
+  if (!session_.admission_closed()) {
+    while (churn_next_ < round_.churn.size()) {
+      const SocketChurnOp& op = round_.churn[churn_next_];
+      if (op.depart) {
+        session_.churn_depart(op.user);
+      } else {
+        session_.churn_return(op.user);
+      }
+      ++churn_next_;
+      if (crashes_ != nullptr) {
+        crashes_->checkpoint(proto::CrashPoint::kMidChurn);
+      }
+    }
   }
 
   std::vector<EventLoop::Event> events;

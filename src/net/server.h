@@ -70,6 +70,14 @@ struct ServerConfig {
   obs::MetricsRegistry* metrics = nullptr;  ///< not owned; may be null
 };
 
+/// One scripted churn operation the server applies while admission is
+/// still open: SU `user` departs the round (true) or returns to it
+/// (false).  See SocketRoundOptions::churn.
+struct SocketChurnOp {
+  bool depart = true;
+  std::size_t user = 0;
+};
+
 /// Round policy, mirroring proto::RecoverableSessionConfig field for
 /// field (ticks mean wall ticks here, bus ticks there).
 struct SocketRoundOptions {
@@ -77,6 +85,12 @@ struct SocketRoundOptions {
   std::size_t deadline_ticks = 0;  ///< 0 disables the round deadline
   std::size_t min_quorum = 1;
   std::size_t recovery_cost_ticks = 1;
+  /// Scripted churn schedule, applied in order before admission closes.
+  /// Each operation is journaled write-ahead by the session and followed
+  /// by a CrashPoint::kMidChurn checkpoint; a restarted server resumes
+  /// the schedule from AuctioneerSession::churn_ops_applied(), so every
+  /// operation lands exactly once across crash/recovery attempts.
+  std::vector<SocketChurnOp> churn;
 };
 
 class AuctioneerServer {
@@ -165,6 +179,7 @@ class AuctioneerServer {
   // construction) ---------------------------------------------------------
   proto::AuctioneerSession session_;
   std::size_t wave_ = 0;
+  std::size_t churn_next_ = 0;  ///< cursor into round_.churn
   Endpoint endpoint_;
   Fd listener_;
   EventLoop loop_;

@@ -19,7 +19,7 @@ SuClient::SuClient(std::size_t user_index, const core::LppaConfig& config,
       config_(config),
       location_protocol_(keys.g0, config.coord_width, config.lambda,
                          config.pad_location_ranges),
-      submitter_(config.bid, keys.gb_master, keys.gc) {}
+      submitter_(config.bid, keys.gb_master, keys.gc, keys.paillier) {}
 
 Bytes SuClient::location_envelope(const auction::SuLocation& location,
                                   Rng& rng) const {
@@ -56,6 +56,9 @@ AuctioneerSession::AuctioneerSession(const core::LppaConfig& config,
       strikes_(num_users, 0),
       last_error_(num_users) {
   LPPA_REQUIRE(num_users > 0, "auction requires at least one user");
+  // Normalise the backend pointer once (null = HMAC); the validator has
+  // already rejected a pointer that contradicts config.bid.backend.
+  config_.backend = &crypto::resolve_backend(config_.backend);
 }
 
 AuctioneerSession::IngestResult AuctioneerSession::classify_and_store(
@@ -191,6 +194,7 @@ void AuctioneerSession::churn_depart(std::size_t user) {
   location_wire_[user].clear();
   bid_wire_[user].clear();
   last_error_[user] = "departed before admission closed";
+  ++churn_ops_;
   if (config_.metrics != nullptr) {
     config_.metrics->counter("churn.session_departures").inc();
   }
@@ -205,6 +209,7 @@ void AuctioneerSession::churn_return(std::size_t user) {
   }
   absent_[user] = false;
   last_error_[user].clear();
+  ++churn_ops_;
   if (config_.metrics != nullptr) {
     config_.metrics->counter("churn.session_arrivals").inc();
   }
@@ -363,10 +368,13 @@ void AuctioneerSession::run_allocation(Rng& rng) {
                            core::ShardedBidTable::contiguous_shards(
                                bid_store_.size(), config_.num_shards),
                            config_.num_shards, config_.argmax_strategy,
-                           config_.num_threads, config_.metrics);
+                           config_.num_threads, config_.metrics,
+                           config_.backend);
     awards_ = auction::greedy_allocate(*sharded_table_, *conflicts_, rng);
   } else {
-    table_.emplace(bid_store_, config_.num_channels);
+    table_.emplace(bid_store_, config_.num_channels,
+                   core::ArgmaxStrategy::kSortedColumns, /*sort_threads=*/1,
+                   config_.backend);
     awards_ = auction::greedy_allocate(*table_, *conflicts_, rng);
   }
   for (auto& award : awards_) {
@@ -400,15 +408,16 @@ std::vector<Bytes> AuctioneerSession::charge_query_envelopes() const {
   };
   for (const auto& award : awards_) {
     const auto& entry = bid_of(award.user).channels[award.channel];
-    core::ChargeQuery query{award.user, award.channel, entry.sealed,
-                            entry.value_family, std::nullopt, std::nullopt};
+    core::ChargeQuery query{award.user,         award.channel, entry.sealed,
+                            entry.value_family, entry.paillier_ct,
+                            std::nullopt,       std::nullopt,  0};
     if (config_.charging_rule == core::ChargingRule::kSecondPrice) {
       std::optional<auction::UserId> second;
       for (const std::size_t u : participants_) {
         if (u == award.user) continue;
         if (!second ||
-            !core::encrypted_ge(bid_of(*second).channels[award.channel],
-                                bid_of(u).channels[award.channel])) {
+            !config_.backend->ge(bid_of(*second).channels[award.channel],
+                                 bid_of(u).channels[award.channel])) {
           second = u;
         }
       }
@@ -416,6 +425,7 @@ std::vector<Bytes> AuctioneerSession::charge_query_envelopes() const {
         const auto& runner_up = bid_of(*second).channels[award.channel];
         query.runner_up_sealed = runner_up.sealed;
         query.runner_up_family = runner_up.value_family;
+        query.runner_up_ct = runner_up.paillier_ct;
       }
     }
     pending.push_back(std::move(query));
@@ -619,8 +629,9 @@ void AuctioneerSession::restore_from(std::span<const std::uint8_t> wire) {
     // submissions — deterministic, no randomness — so only the bid
     // table's consumed-cell state needs the serialized image.
     compact_participants();
-    core::EncryptedBidTable global =
-        core::EncryptedBidTable::deserialize(r.bytes());
+    core::EncryptedBidTable global = core::EncryptedBidTable::deserialize(
+        r.bytes(), core::ArgmaxStrategy::kSortedColumns, /*sort_threads=*/1,
+        config_.backend);
     LPPA_PROTOCOL_CHECK(global.num_users() == participants_.size() &&
                             global.num_channels() == config_.num_channels,
                         "snapshot bid table dimensions mismatch");

@@ -118,6 +118,12 @@ class AuctioneerSession {
   /// churn_return).
   bool is_absent(std::size_t user) const;
 
+  /// Count of churn operations applied so far (departures + returns),
+  /// including ones re-applied by journal replay.  A crash-recovering
+  /// driver resumes its scripted churn schedule from this cursor instead
+  /// of re-issuing operations the journal already made durable.
+  std::size_t churn_ops_applied() const noexcept { return churn_ops_; }
+
   /// True once every present user's location and bid submission has
   /// arrived (absent/departed users are not awaited).
   bool ready() const noexcept;
@@ -231,6 +237,7 @@ class AuctioneerSession {
   std::vector<auction::Award> awards_;
   std::vector<bool> charge_done_;  ///< per-award TTP result received
   bool allocated_ = false;
+  std::size_t churn_ops_ = 0;  ///< applied churn operations (see getter)
   RoundJournal* journal_ = nullptr;  ///< not owned; may be null
 };
 

@@ -183,21 +183,41 @@ TEST(SocketFaultMatrix, EveryClassConvergesToCleanAwards) {
 // The crash matrix over sockets: kill the auctioneer at every (point,
 // nth occurrence) a clean round reaches; recovery must republish
 // byte-identical results from the journal alone, with the SUs only ever
-// redelivering already-built bytes.
+// redelivering already-built bytes.  The scripted churn schedule makes
+// the server apply depart/return operations while admission is open, so
+// CrashPoint::kMidChurn is reached (once per operation) and crashes
+// there — churn record durable, round unfinished — are part of the
+// matrix like every other checkpoint.
 TEST(SocketCrashMatrix, EveryCrashPointRecoversByteIdentically) {
   const WireWorld w = make_world(6, 2, 31);
 
+  // SU 1 departs and returns (net no-op, but two journaled operations);
+  // SUs 4 and 2 stay departed, so the round commits without them.
+  SocketRoundOptions round;
+  round.churn = {{/*depart=*/true, 1},
+                 {/*depart=*/true, 4},
+                 {/*depart=*/false, 1},
+                 {/*depart=*/true, 2}};
+
   proto::CrashInjector counter;
-  const auto clean = run_socket(w, {}, {}, &counter);
+  const auto clean = run_socket(w, {}, round, &counter);
   ASSERT_TRUE(clean.report.completed) << clean.report.summary();
   ASSERT_EQ(counter.crashes_fired(), 0u);
   ASSERT_GT(counter.total_hits(), 0u);
   for (std::size_t p = 0; p < proto::kNumCrashPoints; ++p) {
     const auto point = static_cast<proto::CrashPoint>(p);
-    if (point == proto::CrashPoint::kMidChurn) continue;
     ASSERT_GT(counter.hits(point), 0u)
         << "crash point " << p << " never reached on the socket path";
   }
+  // One kMidChurn checkpoint per scripted operation.
+  ASSERT_EQ(counter.hits(proto::CrashPoint::kMidChurn), round.churn.size());
+
+  // The churned socket round equals a bus round that excludes exactly
+  // the finally-departed SUs (per-SU RNG streams are forked by index
+  // either way).
+  const auto bus = run_bus(w, {}, {2, 4});
+  EXPECT_EQ(clean.awards, bus.awards);
+  EXPECT_EQ(clean.announcement, bus.announcement);
 
   std::size_t runs = 0;
   for (std::size_t p = 0; p < proto::kNumCrashPoints; ++p) {
@@ -205,7 +225,7 @@ TEST(SocketCrashMatrix, EveryCrashPointRecoversByteIdentically) {
     for (std::size_t nth = 0; nth < counter.hits(point); ++nth) {
       proto::CrashInjector injector;
       injector.arm(point, nth);
-      const auto crashed = run_socket(w, {}, {}, &injector);
+      const auto crashed = run_socket(w, {}, round, &injector);
       ++runs;
 
       ASSERT_EQ(injector.crashes_fired(), 1u) << "point " << p << " hit "

@@ -60,6 +60,16 @@ TEST(RandomPrime, RespectsBitWidth) {
   EXPECT_THROW(random_prime(33, rng), LppaError);
 }
 
+TEST(RandomPrime, MinimumWidthThreeBits) {
+  // bits=3 is the documented floor: candidates live in [4, 7] and the
+  // only odd primes there are 5 and 7.
+  Rng rng(11);
+  for (int i = 0; i < 25; ++i) {
+    const std::uint64_t p = random_prime(3, rng);
+    EXPECT_TRUE(p == 5 || p == 7) << p;
+  }
+}
+
 TEST(ModPow, MatchesNaive) {
   EXPECT_EQ(modpow_u64(2, 10, 1000), 24u);
   EXPECT_EQ(modpow_u64(7, 0, 13), 1u);
@@ -84,6 +94,44 @@ TEST(ModInv, InvertsCoprimes) {
       EXPECT_EQ(a * *inv % m, 1u);
     } else {
       EXPECT_FALSE(inv.has_value());
+    }
+  }
+}
+
+TEST(ModInv, NonCoprimeEdgesReturnNullopt) {
+  // The nullopt branch is what paillier_keygen's mu-inverse failure path
+  // rides: L(g^lambda) not coprime with n retries the whole keygen
+  // attempt instead of producing a bogus mu.
+  EXPECT_FALSE(modinv_u64(6, 9).has_value());
+  EXPECT_FALSE(modinv_u64(0, 7).has_value());
+  EXPECT_FALSE(modinv_u64(4, 8).has_value());
+  ASSERT_TRUE(modinv_u64(1, 2).has_value());
+  EXPECT_EQ(*modinv_u64(1, 2), 1u);
+  EXPECT_THROW(modinv_u64(3, 1), LppaError);  // modulus must exceed 1
+}
+
+TEST(PaillierKeygen, FourBitKeysExerciseTheDistinctPrimeRetry) {
+  // Exactly two 4-bit primes exist (11 and 13), so the q == p retry loop
+  // must fire whenever the first two draws collide; every keypair ends up
+  // with the same modulus 11 * 13 and lambda = lcm(10, 12).
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    auto keys = paillier_keygen(4, rng);
+    EXPECT_EQ(keys.pub.n, 143u);
+    EXPECT_EQ(keys.pub.n_squared, 143u * 143u);
+    EXPECT_EQ(keys.priv.lambda, 60u);
+    EXPECT_EQ(keys.priv.decrypt(keys.pub.encrypt(100, rng), keys.pub), 100u);
+  }
+}
+
+TEST(PaillierKeygen, PrimeBitsBoundsAreTyped) {
+  Rng rng(5);
+  for (const int bits : {3, 17}) {
+    try {
+      paillier_keygen(bits, rng);
+      FAIL() << "prime_bits " << bits << " must be rejected";
+    } catch (const LppaError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kInvalidArgument) << bits;
     }
   }
 }
@@ -119,6 +167,19 @@ TEST_F(PaillierTest, EncryptionIsRandomised) {
 
 TEST_F(PaillierTest, RejectsOversizedPlaintext) {
   EXPECT_THROW(keys.pub.encrypt(keys.pub.n, rng), LppaError);
+}
+
+TEST_F(PaillierTest, OversizedPlaintextRejectionIsTyped) {
+  // A plaintext >= n must be the typed kInvalidArgument rejection — never
+  // a silent mod-n wrap that encrypts a different number than requested.
+  for (const std::uint64_t m : {keys.pub.n, keys.pub.n + 1, ~std::uint64_t{0}}) {
+    try {
+      keys.pub.encrypt(m, rng);
+      FAIL() << "plaintext " << m << " must be rejected";
+    } catch (const LppaError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kInvalidArgument) << m;
+    }
+  }
 }
 
 TEST_F(PaillierTest, HomomorphicAddition) {

@@ -61,12 +61,12 @@ struct ChargeBatchTest : ::testing::Test {
 TEST_F(ChargeBatchTest, QueriesRoundTrip) {
   std::vector<core::ChargeQuery> queries;
   const auto sub1 = submitter.encode_bid(0, 7, rng);
-  queries.push_back({1, 0, sub1.sealed, sub1.value_family, std::nullopt,
-                     std::nullopt});
+  queries.push_back({1, 0, sub1.sealed, sub1.value_family, 0, std::nullopt,
+                     std::nullopt, 0});
   const auto sub2 = submitter.encode_bid(1, 12, rng);
   const auto runner = submitter.encode_bid(1, 4, rng);
-  queries.push_back({2, 1, sub2.sealed, sub2.value_family, runner.sealed,
-                     runner.value_family});
+  queries.push_back({2, 1, sub2.sealed, sub2.value_family, 0, runner.sealed,
+                     runner.value_family, 0});
 
   const Bytes wire = serialize_charge_queries(queries);
   const auto restored = deserialize_charge_queries(wire);
@@ -100,7 +100,8 @@ TEST_F(ChargeBatchTest, RoundTrippedQueryStillProcessable) {
                                           ttp.su_keys().gc);
   const auto sub = real_submitter.encode_bid(2, 9, rng);
   const std::vector<core::ChargeQuery> queries = {
-      {7, 2, sub.sealed, sub.value_family, std::nullopt, std::nullopt}};
+      {7, 2, sub.sealed, sub.value_family, 0, std::nullopt, std::nullopt,
+       0}};
   const auto restored =
       deserialize_charge_queries(serialize_charge_queries(queries));
   const auto result = ttp.process(restored[0]);

@@ -14,8 +14,8 @@ struct TtpTest : ::testing::Test {
 
   ChargeQuery query_for(ChannelId r, Money bid) {
     const auto sub = submitter.encode_bid(r, bid, rng);
-    return ChargeQuery{/*user=*/3, r, sub.sealed, sub.value_family,
-                       std::nullopt, std::nullopt};
+    return ChargeQuery{/*user=*/3, r, sub.sealed, sub.value_family, 0,
+                       std::nullopt, std::nullopt, 0};
   }
 };
 
@@ -87,8 +87,8 @@ TEST_F(TtpTest, InconsistentPayloadFlagsManipulation) {
   const auto family = prefix::HashedPrefixSet::of_value(
       derive_channel_key(ttp.su_keys().gb_master, 0, true), scaled_for_12,
       cfg.enc.scaled_width());
-  ChargeQuery query{0, 0, box.seal(plain, rng), family, std::nullopt,
-                    std::nullopt};
+  ChargeQuery query{0, 0, box.seal(plain, rng), family, 0, std::nullopt,
+                    std::nullopt, 0};
   const auto result = ttp.process(query);
   EXPECT_TRUE(result.manipulated);
 }
@@ -100,8 +100,8 @@ TEST_F(TtpTest, OverflowingTrueBidFlagsManipulation) {
   const auto family = prefix::HashedPrefixSet::of_value(
       derive_channel_key(ttp.su_keys().gb_master, 0, true), scaled,
       cfg.enc.scaled_width());
-  ChargeQuery query{0, 0, box.seal(plain, rng), family, std::nullopt,
-                    std::nullopt};
+  ChargeQuery query{0, 0, box.seal(plain, rng), family, 0, std::nullopt,
+                    std::nullopt, 0};
   EXPECT_TRUE(ttp.process(query).manipulated);
 }
 
@@ -109,8 +109,8 @@ TEST_F(TtpTest, WrongChannelKeyFlagsManipulation) {
   // A submission for channel 2 replayed as a channel-5 charge query fails
   // the per-channel prefix verification.
   const auto sub = submitter.encode_bid(2, 9, rng);
-  ChargeQuery query{0, /*channel=*/5, sub.sealed, sub.value_family,
-                    std::nullopt, std::nullopt};
+  ChargeQuery query{0, /*channel=*/5, sub.sealed, sub.value_family, 0,
+                    std::nullopt, std::nullopt, 0};
   EXPECT_TRUE(ttp.process(query).manipulated);
 }
 
@@ -142,8 +142,8 @@ struct SecondPriceTest : ::testing::Test {
   ChargeQuery query_with_runner_up(Money winner, Money runner_up) {
     const auto w = submitter.encode_bid(0, winner, rng);
     const auto r = submitter.encode_bid(0, runner_up, rng);
-    ChargeQuery q{0, 0, w.sealed, w.value_family, r.sealed,
-                  r.value_family};
+    ChargeQuery q{0, 0, w.sealed, w.value_family, 0, r.sealed,
+                  r.value_family, 0};
     return q;
   }
 };
@@ -158,8 +158,8 @@ TEST_F(SecondPriceTest, WinnerPaysRunnerUpPrice) {
 TEST_F(SecondPriceTest, LoneWinnerPaysNothing) {
   const auto sub = submitter.encode_bid(0, 12, rng);
   const auto result =
-      ttp.process(ChargeQuery{0, 0, sub.sealed, sub.value_family,
-                              std::nullopt, std::nullopt});
+      ttp.process(ChargeQuery{0, 0, sub.sealed, sub.value_family, 0,
+                              std::nullopt, std::nullopt, 0});
   EXPECT_TRUE(result.valid);
   EXPECT_EQ(result.charge, 0u);
 }
@@ -200,7 +200,8 @@ TEST_F(SecondPriceTest, FirstPriceRuleIgnoresRunnerUp) {
   const auto w = fp_submitter.encode_bid(0, 12, rng);
   const auto r = fp_submitter.encode_bid(0, 7, rng);
   const auto result = first.process(
-      ChargeQuery{0, 0, w.sealed, w.value_family, r.sealed, r.value_family});
+      ChargeQuery{0, 0, w.sealed, w.value_family, 0, r.sealed,
+                  r.value_family, 0});
   EXPECT_TRUE(result.valid);
   EXPECT_EQ(result.charge, 12u);
 }
@@ -213,8 +214,8 @@ TEST_F(TtpTest, BasicSchemeChargingWorksToo) {
                                      basic_ttp.su_keys().gc);
   const auto sub = basic_submitter.encode_bid(3, 11, rng);
   const auto result =
-      basic_ttp.process(ChargeQuery{1, 3, sub.sealed, sub.value_family,
-                                    std::nullopt, std::nullopt});
+      basic_ttp.process(ChargeQuery{1, 3, sub.sealed, sub.value_family, 0,
+                                    std::nullopt, std::nullopt, 0});
   EXPECT_TRUE(result.valid);
   EXPECT_EQ(result.charge, 11u);
 }
